@@ -1,0 +1,56 @@
+// §6 "Encoding": redundant coded pieces, any k of n reconstructing the
+// file.  We sweep the redundancy factor and report completion time and
+// traffic — coding removes the last-rare-piece bottleneck at the cost
+// of a larger piece universe.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "ocd/coding/coded_instance.hpp"
+#include "ocd/topology/random_graph.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ocd;
+  const bool csv = bench::csv_requested(argc, argv);
+  const bool full = bench::full_scale();
+  bench::print_header("ablation_coding",
+                      "§6 encoding (k-of-n pieces) redundancy sweep");
+
+  const std::int32_t n = full ? 100 : 50;
+  const std::int32_t data_tokens = full ? 64 : 24;
+  const std::vector<double> redundancies =
+      full ? std::vector<double>{1.0, 1.25, 1.5, 2.0, 3.0}
+           : std::vector<double>{1.0, 1.5, 2.0};
+
+  Rng graph_rng(0xab5'0000);
+  const Digraph base = topology::random_overlay(n, graph_rng);
+
+  Table table({"redundancy", "pieces", "policy", "moves", "bandwidth",
+               "mean_completion"});
+  table.set_precision(2);
+
+  for (const double redundancy : redundancies) {
+    Digraph g = base;
+    const auto coded = coding::coded_broadcast(std::move(g), data_tokens,
+                                               redundancy, 0);
+    for (const std::string name : {"random", "local", "global"}) {
+      auto policy = heuristics::make_policy(name);
+      sim::SimOptions options;
+      options.seed = 33;
+      options.completion = coded.completion_predicate();
+      const auto result = sim::run(coded.instance(), *policy, options);
+      if (!result.success) {
+        std::cerr << name << " failed at redundancy " << redundancy << '\n';
+        return 1;
+      }
+      table.add_row({redundancy,
+                     static_cast<std::int64_t>(coded.instance().num_tokens()),
+                     name, result.steps, result.bandwidth,
+                     result.stats.mean_completion()});
+    }
+  }
+
+  bench::emit(table, csv);
+  std::cout << "# expected: completion time falls (or holds) as redundancy\n"
+               "# grows — receivers stop needing the last specific pieces.\n";
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Offline post-pass ablation: §5.1's pruning recovers bandwidth; our
+// compaction pass (the makespan analogue) advances moves to their
+// earliest legal step.  Per heuristic: raw schedule vs pruned vs
+// prune+compact, against the combinatorial lower bounds.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "ocd/core/compact.hpp"
+#include "ocd/core/scenario.hpp"
+#include "ocd/sim/scripted.hpp"
+#include "ocd/topology/random_graph.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ocd;
+  const bool csv = bench::csv_requested(argc, argv);
+  const bool full = bench::full_scale();
+  bench::print_header("ablation_compaction",
+                      "offline prune+compact post-pass per heuristic");
+
+  const std::int32_t n = full ? 120 : 60;
+  const std::int32_t num_tokens = full ? 96 : 36;
+
+  Rng graph_rng(0xab7'0000);
+  Digraph base = topology::random_overlay(n, graph_rng);
+  auto built = core::single_source_receiver_density(std::move(base),
+                                                    num_tokens, 0, 0.5,
+                                                    graph_rng);
+  const core::Instance& inst = built.instance;
+  const auto t_lb = core::makespan_lower_bound(inst);
+  const auto bw_lb = core::bandwidth_lower_bound(inst);
+
+  Table table({"policy", "raw_steps", "raw_bw", "pruned_bw", "opt_steps",
+               "opt_bw", "t_lb", "bw_lb"});
+
+  auto report = [&](const std::string& label, sim::Policy& policy) {
+    sim::SimOptions options;
+    options.seed = 13;
+    const auto result = sim::run(inst, policy, options);
+    if (!result.success) return;
+    const auto pruned = core::prune(inst, result.schedule);
+    const auto optimized = core::optimize_schedule(inst, result.schedule);
+    table.add_row({label, result.steps, result.bandwidth, pruned.bandwidth(),
+                   optimized.length(), optimized.bandwidth(), t_lb, bw_lb});
+  };
+
+  for (const auto& name : heuristics::all_policy_names()) {
+    auto policy = heuristics::make_policy(name);
+    report(name, *policy);
+  }
+  // The §4.2 two-phase algorithm's knowledge-flooding idle prefix is
+  // pure compaction fodder — its offline plan needs none of the delay.
+  sim::TwoPhasePolicy two_phase("global");
+  report("two-phase", two_phase);
+
+  bench::emit(table, csv);
+  std::cout << "# expected: opt_bw == pruned_bw (compaction preserves the\n"
+               "# pruned move set); opt_steps <= raw_steps.  Dense flooding\n"
+               "# schedules barely shorten; two-phase's idle delay prefix\n"
+               "# compacts away entirely.\n";
+  return 0;
+}

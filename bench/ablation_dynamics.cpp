@@ -1,0 +1,70 @@
+// §6 "Changing network conditions": heuristic robustness under cross
+// traffic (capacity jitter), link churn, and node churn (arrivals &
+// departures), relative to the static network.
+#include <iostream>
+#include <memory>
+
+#include "bench_common.hpp"
+#include "ocd/core/scenario.hpp"
+#include "ocd/dynamics/model.hpp"
+#include "ocd/topology/random_graph.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ocd;
+  const bool csv = bench::csv_requested(argc, argv);
+  const bool full = bench::full_scale();
+  bench::print_header("ablation_dynamics",
+                      "§6 changing network conditions (robustness sweep)");
+
+  const std::int32_t n = full ? 100 : 50;
+  const std::int32_t num_tokens = full ? 128 : 48;
+
+  Rng graph_rng(0xab4'0000);
+  Digraph base = topology::random_overlay(n, graph_rng);
+  const auto inst =
+      core::single_source_all_receivers(std::move(base), num_tokens, 0);
+
+  struct Condition {
+    std::string label;
+    std::unique_ptr<dynamics::DynamicsModel> model;
+  };
+  std::vector<Condition> conditions;
+  conditions.push_back({"static", nullptr});
+  conditions.push_back(
+      {"jitter-0.5", std::make_unique<dynamics::CapacityJitter>(0.5)});
+  conditions.push_back(
+      {"link-churn-10%", std::make_unique<dynamics::LinkChurn>(0.10, 3)});
+  conditions.push_back(
+      {"node-churn-5%", std::make_unique<dynamics::NodeChurn>(0.05, 4)});
+  if (full) {
+    conditions.push_back(
+        {"jitter-0.8", std::make_unique<dynamics::CapacityJitter>(0.8)});
+    conditions.push_back(
+        {"link-churn-25%", std::make_unique<dynamics::LinkChurn>(0.25, 5)});
+  }
+
+  Table table({"condition", "policy", "moves", "bandwidth", "redundant"});
+
+  for (const auto& condition : conditions) {
+    for (const auto& name : heuristics::all_policy_names()) {
+      auto policy = heuristics::make_policy(name);
+      sim::SimOptions options;
+      options.seed = 77;
+      options.dynamics = condition.model.get();
+      options.max_steps = 100'000;
+      const auto result = sim::run(inst, *policy, options);
+      if (!result.success) {
+        std::cerr << name << " failed under " << condition.label << '\n';
+        return 1;
+      }
+      table.add_row({condition.label, name, result.steps, result.bandwidth,
+                     result.stats.redundant_moves});
+    }
+  }
+
+  bench::emit(table, csv);
+  std::cout << "# expected: every heuristic completes under all conditions;\n"
+               "# moves grow with churn severity, informed heuristics degrade\n"
+               "# more gracefully than round-robin.\n";
+  return 0;
+}

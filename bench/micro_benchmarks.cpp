@@ -1,0 +1,197 @@
+// Component micro-benchmarks (google-benchmark): TokenSet kernels,
+// topology generation, simplex pivoting, policy planning steps, and the
+// validation/pruning passes that every figure pipeline leans on.
+#include <benchmark/benchmark.h>
+
+#include "ocd/core/compact.hpp"
+#include "ocd/core/prune.hpp"
+#include "ocd/core/steiner.hpp"
+#include "ocd/sim/gossip.hpp"
+#include "ocd/core/scenario.hpp"
+#include "ocd/core/validate.hpp"
+#include "ocd/exact/ip_builder.hpp"
+#include "ocd/graph/algorithms.hpp"
+#include "ocd/heuristics/factory.hpp"
+#include "ocd/lp/simplex.hpp"
+#include "ocd/sim/simulator.hpp"
+#include "ocd/topology/random_graph.hpp"
+#include "ocd/topology/transit_stub.hpp"
+
+namespace {
+
+using namespace ocd;
+
+void BM_TokenSetUnion(benchmark::State& state) {
+  const auto universe = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  TokenSet a(universe);
+  TokenSet b(universe);
+  for (std::size_t i = 0; i < universe / 3; ++i) {
+    a.set(static_cast<TokenId>(rng.below(universe)));
+    b.set(static_cast<TokenId>(rng.below(universe)));
+  }
+  for (auto _ : state) {
+    TokenSet c = a;
+    c |= b;
+    benchmark::DoNotOptimize(c);
+  }
+}
+BENCHMARK(BM_TokenSetUnion)->Arg(64)->Arg(512)->Arg(4096);
+
+void BM_TokenSetCount(benchmark::State& state) {
+  const auto universe = static_cast<std::size_t>(state.range(0));
+  TokenSet a = TokenSet::full(universe);
+  for (auto _ : state) benchmark::DoNotOptimize(a.count());
+}
+BENCHMARK(BM_TokenSetCount)->Arg(512)->Arg(4096);
+
+void BM_TokenSetForEach(benchmark::State& state) {
+  const auto universe = static_cast<std::size_t>(state.range(0));
+  Rng rng(2);
+  TokenSet a(universe);
+  for (std::size_t i = 0; i < universe / 4; ++i)
+    a.set(static_cast<TokenId>(rng.below(universe)));
+  for (auto _ : state) {
+    std::int64_t sum = 0;
+    a.for_each([&](TokenId t) { sum += t; });
+    benchmark::DoNotOptimize(sum);
+  }
+}
+BENCHMARK(BM_TokenSetForEach)->Arg(512)->Arg(4096);
+
+void BM_RandomOverlay(benchmark::State& state) {
+  const auto n = static_cast<std::int32_t>(state.range(0));
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    Rng rng(seed++);
+    benchmark::DoNotOptimize(topology::random_overlay(n, rng));
+  }
+}
+BENCHMARK(BM_RandomOverlay)->Arg(50)->Arg(200)->Arg(500);
+
+void BM_TransitStub(benchmark::State& state) {
+  const auto opt =
+      topology::transit_stub_options_for_size(static_cast<std::int32_t>(state.range(0)));
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    Rng rng(seed++);
+    benchmark::DoNotOptimize(topology::transit_stub(opt, rng));
+  }
+}
+BENCHMARK(BM_TransitStub)->Arg(50)->Arg(200);
+
+void BM_AllPairsDistances(benchmark::State& state) {
+  Rng rng(3);
+  const Digraph g =
+      topology::random_overlay(static_cast<std::int32_t>(state.range(0)), rng);
+  for (auto _ : state) benchmark::DoNotOptimize(all_pairs_distances(g));
+}
+BENCHMARK(BM_AllPairsDistances)->Arg(100)->Arg(300);
+
+void BM_SimplexTransportation(benchmark::State& state) {
+  // Random dense transportation LP: s suppliers x s consumers.
+  const auto s = static_cast<std::int32_t>(state.range(0));
+  Rng rng(7);
+  lp::LinearProgram program;
+  std::vector<std::vector<std::int32_t>> var(
+      static_cast<std::size_t>(s),
+      std::vector<std::int32_t>(static_cast<std::size_t>(s)));
+  for (auto& row : var)
+    for (auto& v : row)
+      v = program.add_variable(0, lp::kInfinity,
+                               1.0 + rng.uniform_real() * 9.0);
+  for (std::int32_t i = 0; i < s; ++i) {
+    std::vector<lp::Term> supply;
+    std::vector<lp::Term> demand;
+    for (std::int32_t j = 0; j < s; ++j) {
+      supply.push_back({var[static_cast<std::size_t>(i)]
+                           [static_cast<std::size_t>(j)],
+                        1.0});
+      demand.push_back({var[static_cast<std::size_t>(j)]
+                           [static_cast<std::size_t>(i)],
+                        1.0});
+    }
+    program.add_constraint(std::move(supply), lp::Relation::kLessEqual, 10);
+    program.add_constraint(std::move(demand), lp::Relation::kGreaterEqual, 5);
+  }
+  for (auto _ : state) benchmark::DoNotOptimize(lp::solve_lp(program));
+}
+BENCHMARK(BM_SimplexTransportation)->Arg(5)->Arg(10)->Arg(20);
+
+void BM_IpBuildFigure1(benchmark::State& state) {
+  const auto inst = core::figure1_instance();
+  for (auto _ : state) {
+    exact::TimeIndexedIp ip(inst, 3);
+    benchmark::DoNotOptimize(ip.program().num_variables());
+  }
+}
+BENCHMARK(BM_IpBuildFigure1);
+
+void BM_PolicyFullRun(benchmark::State& state, const char* name) {
+  Rng rng(11);
+  Digraph g = topology::random_overlay(60, rng);
+  const auto inst = core::single_source_all_receivers(std::move(g), 32, 0);
+  for (auto _ : state) {
+    auto policy = heuristics::make_policy(name);
+    sim::SimOptions options;
+    options.seed = 5;
+    options.record_schedule = false;
+    benchmark::DoNotOptimize(sim::run(inst, *policy, options));
+  }
+}
+BENCHMARK_CAPTURE(BM_PolicyFullRun, round_robin, "round-robin");
+BENCHMARK_CAPTURE(BM_PolicyFullRun, random, "random");
+BENCHMARK_CAPTURE(BM_PolicyFullRun, local, "local");
+BENCHMARK_CAPTURE(BM_PolicyFullRun, bandwidth, "bandwidth");
+BENCHMARK_CAPTURE(BM_PolicyFullRun, global, "global");
+
+void BM_ValidateAndPrune(benchmark::State& state) {
+  Rng rng(13);
+  Digraph g = topology::random_overlay(60, rng);
+  const auto inst = core::single_source_all_receivers(std::move(g), 32, 0);
+  auto policy = heuristics::make_policy("random");
+  const auto run = sim::run(inst, *policy);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::validate(inst, run.schedule));
+    benchmark::DoNotOptimize(core::prune(inst, run.schedule));
+  }
+}
+BENCHMARK(BM_ValidateAndPrune);
+
+void BM_GossipAdvance(benchmark::State& state) {
+  Rng rng(17);
+  const auto n = static_cast<std::int32_t>(state.range(0));
+  Digraph g = topology::random_overlay(n, rng);
+  const auto inst = core::single_source_all_receivers(std::move(g), 32, 0);
+  sim::GossipState gossip(inst);
+  std::vector<TokenSet> possession;
+  for (VertexId v = 0; v < inst.num_vertices(); ++v)
+    possession.push_back(inst.have(v));
+  std::int64_t step = 0;
+  for (auto _ : state) gossip.advance(possession, step++);
+}
+BENCHMARK(BM_GossipAdvance)->Arg(30)->Arg(100);
+
+void BM_CompactSchedule(benchmark::State& state) {
+  Rng rng(19);
+  Digraph g = topology::random_overlay(50, rng);
+  const auto inst = core::single_source_all_receivers(std::move(g), 24, 0);
+  auto policy = heuristics::make_policy("local");
+  const auto run = sim::run(inst, *policy);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(core::compact_schedule(inst, run.schedule));
+}
+BENCHMARK(BM_CompactSchedule);
+
+void BM_SteinerPacking(benchmark::State& state) {
+  Rng rng(23);
+  Digraph g = topology::random_overlay(60, rng);
+  const auto inst = core::single_source_all_receivers(std::move(g), 24, 0);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(core::steiner_packing_schedule(inst));
+}
+BENCHMARK(BM_SteinerPacking);
+
+}  // namespace
+
+BENCHMARK_MAIN();

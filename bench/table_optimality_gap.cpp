@@ -1,0 +1,59 @@
+// §3.4 / §5: "we calculate bounds ... to provide a rough notion of the
+// quality of our local and global heuristics".  On random small
+// instances (where the time-indexed IP and the combinatorial BnB are
+// exact) we tabulate every heuristic's makespan and bandwidth against
+// the optimum and the combinatorial lower bounds.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "ocd/core/scenario.hpp"
+#include "ocd/exact/bnb.hpp"
+#include "ocd/exact/ip_solver.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ocd;
+  const bool csv = bench::csv_requested(argc, argv);
+  const bool full = bench::full_scale();
+  bench::print_header("table_optimality_gap",
+                      "§3.4/§5 heuristics vs exact optima on small graphs");
+
+  const int instances = full ? 10 : 5;
+
+  Table table({"seed", "n", "m", "opt_makespan", "opt_bw@opt_t", "lb_makespan",
+               "lb_bw", "policy", "moves", "bandwidth", "pruned_bw"});
+
+  double worst_time_ratio = 0.0;
+  for (int seed = 0; seed < instances; ++seed) {
+    Rng rng(static_cast<std::uint64_t>(seed) + 0x7ab'0000);
+    const auto inst = core::random_small_instance(5, 2, 0.5, rng);
+
+    const auto exact_time = exact::focd_min_makespan(inst, 12);
+    if (!exact_time.has_value()) continue;
+    // Min bandwidth subject to optimal time (the hybrid goal of §3.4).
+    const auto exact_bw = exact::solve_eocd(inst, exact_time->makespan);
+    const auto lb_t = core::makespan_lower_bound(inst);
+    const auto lb_bw = core::bandwidth_lower_bound(inst);
+
+    for (const auto& name : heuristics::all_policy_names()) {
+      const auto run = bench::run_policy(inst, name, 900 + seed);
+      if (!run.success) continue;
+      worst_time_ratio =
+          std::max(worst_time_ratio,
+                   static_cast<double>(run.moves) /
+                       static_cast<double>(exact_time->makespan));
+      table.add_row({static_cast<std::int64_t>(seed),
+                     static_cast<std::int64_t>(inst.num_vertices()),
+                     static_cast<std::int64_t>(inst.num_tokens()),
+                     static_cast<std::int64_t>(exact_time->makespan),
+                     exact_bw ? exact_bw->bandwidth : -1, lb_t, lb_bw, name,
+                     run.moves, run.bandwidth, run.pruned_bandwidth});
+    }
+  }
+
+  bench::emit(table, csv);
+  std::cout << "# worst heuristic/optimal makespan ratio: "
+            << worst_time_ratio << '\n'
+            << "# expected: informed heuristics sit within a small factor\n"
+               "# of the optimum; lower bounds never exceed it.\n";
+  return 0;
+}

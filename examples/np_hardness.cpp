@@ -1,0 +1,59 @@
+// np_hardness: watch the Dominating Set reduction (paper appendix,
+// Figure 7) decide domination through content distribution — and pull a
+// dominating set back out of the witness schedule.
+//
+//   $ ./np_hardness
+#include <iostream>
+
+#include "ocd/core/validate.hpp"
+#include "ocd/exact/bnb.hpp"
+#include "ocd/reduction/ds_reduction.hpp"
+
+int main() {
+  using namespace ocd;
+
+  // A 7-vertex graph: a hexagon with a hub attached to three corners.
+  reduction::UndirectedGraph g(7);
+  for (std::int32_t v = 0; v < 6; ++v) g.add_edge(v, (v + 1) % 6);
+  g.add_edge(6, 0);
+  g.add_edge(6, 2);
+  g.add_edge(6, 4);
+
+  const auto exact_set = reduction::minimum_dominating_set(g);
+  std::cout << "graph: hexagon + hub, domination number = "
+            << exact_set.size() << " (e.g. {";
+  for (std::size_t i = 0; i < exact_set.size(); ++i)
+    std::cout << (i ? "," : "") << exact_set[i];
+  std::cout << "})\n\n";
+
+  for (std::int32_t k = 0; k <= 4; ++k) {
+    const auto reduced = reduction::reduce_dominating_set(g, k);
+    std::cout << "k = " << k << ": FOCD instance with "
+              << reduced.instance.num_vertices() << " vertices, "
+              << reduced.instance.num_tokens() << " tokens -> ";
+
+    exact::BnbOptions options;
+    options.max_nodes = 200'000'000;
+    options.max_plans_per_step = 200'000'000;
+    core::Schedule witness;
+    const bool feasible =
+        exact::dfocd_feasible(reduced.instance, 2, options, &witness);
+    if (!feasible) {
+      std::cout << "NOT solvable in 2 timesteps  =>  no dominating set of "
+                   "size <= "
+                << k << '\n';
+      continue;
+    }
+    const auto set = reduction::extract_dominating_set(reduced, witness);
+    std::cout << "solvable in 2 timesteps  =>  dominating set {";
+    for (std::size_t i = 0; i < set.size(); ++i)
+      std::cout << (i ? "," : "") << set[i];
+    std::cout << "} (valid: "
+              << (reduction::is_dominating_set(g, set) ? "yes" : "no")
+              << ")\n";
+  }
+
+  std::cout << "\nThe 2-step feasibility flips exactly at the domination\n"
+               "number - the NP-hardness reduction of Theorem 5 at work.\n";
+  return 0;
+}

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Reproduce everything: build, run the test suite, run every figure and
+# ablation bench, and archive outputs under ./results/.
+#
+#   scripts/reproduce_all.sh            # quick mode (seconds per bench)
+#   OCD_FULL=1 scripts/reproduce_all.sh # the paper's full parameter sweep
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+
+mkdir -p results
+ctest --test-dir build --output-on-failure 2>&1 | tee results/tests.txt
+
+for bench in build/bench/*; do
+  name=$(basename "$bench")
+  echo "== ${name} =="
+  "$bench" | tee "results/${name}.txt"
+done
+
+echo
+echo "All outputs archived in results/."

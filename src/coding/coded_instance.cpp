@@ -1,0 +1,85 @@
+#include "ocd/coding/coded_instance.hpp"
+
+#include <cmath>
+
+namespace ocd::coding {
+
+TokenSet CodedFile::pieces(std::size_t universe) const {
+  TokenSet s(universe);
+  for (std::int32_t i = 0; i < coded; ++i) s.set(first + i);
+  return s;
+}
+
+CodedInstance::CodedInstance(core::Instance instance,
+                             std::vector<CodedFile> files,
+                             std::vector<std::vector<std::int32_t>> wanted)
+    : instance_(std::move(instance)),
+      files_(std::move(files)),
+      wanted_files_(std::move(wanted)) {
+  OCD_EXPECTS(wanted_files_.size() ==
+              static_cast<std::size_t>(instance_.num_vertices()));
+  for (const CodedFile& file : files_) {
+    OCD_EXPECTS(file.first >= 0);
+    OCD_EXPECTS(file.data >= 1 && file.coded >= file.data);
+    OCD_EXPECTS(file.first + file.coded <= instance_.num_tokens());
+  }
+  for (const auto& list : wanted_files_) {
+    for (std::int32_t f : list)
+      OCD_EXPECTS(f >= 0 && static_cast<std::size_t>(f) < files_.size());
+  }
+}
+
+const std::vector<std::int32_t>& CodedInstance::wanted_files(
+    VertexId v) const {
+  OCD_EXPECTS(instance_.graph().valid_vertex(v));
+  return wanted_files_[static_cast<std::size_t>(v)];
+}
+
+bool CodedInstance::vertex_satisfied(VertexId v,
+                                     const TokenSet& possession) const {
+  OCD_EXPECTS(instance_.graph().valid_vertex(v));
+  for (std::int32_t f : wanted_files_[static_cast<std::size_t>(v)]) {
+    const CodedFile& file = files_[static_cast<std::size_t>(f)];
+    // Count held pieces of this file; early exit at the threshold.
+    std::int32_t held = 0;
+    for (std::int32_t i = 0; i < file.coded && held < file.data; ++i) {
+      if (possession.test(file.first + i)) ++held;
+    }
+    if (held < file.data) return false;
+  }
+  return true;
+}
+
+std::function<bool(VertexId, const TokenSet&)>
+CodedInstance::completion_predicate() const {
+  return [this](VertexId v, const TokenSet& possession) {
+    return vertex_satisfied(v, possession);
+  };
+}
+
+CodedInstance coded_broadcast(Digraph graph, std::int32_t data_tokens,
+                              double redundancy, VertexId source) {
+  OCD_EXPECTS(data_tokens >= 1);
+  OCD_EXPECTS(redundancy >= 1.0);
+  const auto coded = static_cast<std::int32_t>(
+      std::lround(static_cast<double>(data_tokens) * redundancy));
+  OCD_ASSERT(coded >= data_tokens);
+
+  core::Instance inst(std::move(graph), coded);
+  OCD_EXPECTS(inst.graph().valid_vertex(source));
+  const auto all = TokenSet::full(static_cast<std::size_t>(coded));
+  inst.set_have(source, all);
+  std::vector<std::vector<std::int32_t>> wanted(
+      static_cast<std::size_t>(inst.num_vertices()));
+  for (VertexId v = 0; v < inst.num_vertices(); ++v) {
+    if (v == source) continue;
+    inst.set_want(v, all);  // transport chases every piece...
+    wanted[static_cast<std::size_t>(v)] = {0};  // ...completion needs k
+  }
+  inst.add_file(0, coded);
+
+  return CodedInstance(std::move(inst), {CodedFile{0, data_tokens, coded}},
+                       std::move(wanted));
+}
+
+}  // namespace ocd::coding

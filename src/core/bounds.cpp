@@ -1,0 +1,195 @@
+#include "ocd/core/bounds.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "ocd/core/steiner.hpp"
+#include "ocd/graph/algorithms.hpp"
+
+namespace ocd::core {
+
+namespace {
+
+std::vector<TokenSet> initial_possession(const Instance& inst) {
+  std::vector<TokenSet> p;
+  p.reserve(static_cast<std::size_t>(inst.num_vertices()));
+  for (VertexId v = 0; v < inst.num_vertices(); ++v) p.push_back(inst.have(v));
+  return p;
+}
+
+}  // namespace
+
+std::int64_t bandwidth_lower_bound(const Instance& inst,
+                                   std::span<const TokenSet> possession) {
+  OCD_EXPECTS(possession.size() ==
+              static_cast<std::size_t>(inst.num_vertices()));
+  std::int64_t total = 0;
+  for (VertexId v = 0; v < inst.num_vertices(); ++v) {
+    total += static_cast<std::int64_t>(
+        (inst.want(v) - possession[static_cast<std::size_t>(v)]).count());
+  }
+  return total;
+}
+
+std::int64_t bandwidth_lower_bound(const Instance& inst) {
+  const auto p = initial_possession(inst);
+  return bandwidth_lower_bound(inst, p);
+}
+
+std::int64_t distance_lower_bound(const Instance& inst,
+                                  std::span<const TokenSet> possession) {
+  OCD_EXPECTS(possession.size() ==
+              static_cast<std::size_t>(inst.num_vertices()));
+  const auto n = static_cast<std::size_t>(inst.num_vertices());
+  std::int64_t bound = 0;
+  for (TokenId t = 0; t < inst.num_tokens(); ++t) {
+    // Multi-source BFS from all holders of t.
+    std::vector<std::int32_t> dist(n, kUnreachable);
+    std::queue<VertexId> frontier;
+    bool outstanding = false;
+    for (VertexId v = 0; v < inst.num_vertices(); ++v) {
+      if (possession[static_cast<std::size_t>(v)].test(t)) {
+        dist[static_cast<std::size_t>(v)] = 0;
+        frontier.push(v);
+      } else if (inst.want(v).test(t)) {
+        outstanding = true;
+      }
+    }
+    if (!outstanding) continue;
+    if (frontier.empty())
+      throw Error("distance_lower_bound: wanted token has no holder");
+    while (!frontier.empty()) {
+      const VertexId u = frontier.front();
+      frontier.pop();
+      for (ArcId id : inst.graph().out_arcs(u)) {
+        const VertexId w = inst.graph().arc(id).to;
+        auto& dw = dist[static_cast<std::size_t>(w)];
+        if (dw == kUnreachable) {
+          dw = dist[static_cast<std::size_t>(u)] + 1;
+          frontier.push(w);
+        }
+      }
+    }
+    for (VertexId v = 0; v < inst.num_vertices(); ++v) {
+      if (inst.want(v).test(t) &&
+          !possession[static_cast<std::size_t>(v)].test(t)) {
+        if (dist[static_cast<std::size_t>(v)] == kUnreachable)
+          throw Error("distance_lower_bound: wanted token unreachable");
+        bound = std::max<std::int64_t>(bound,
+                                       dist[static_cast<std::size_t>(v)]);
+      }
+    }
+  }
+  return bound;
+}
+
+std::int64_t distance_lower_bound(const Instance& inst) {
+  const auto p = initial_possession(inst);
+  return distance_lower_bound(inst, p);
+}
+
+std::int64_t makespan_lower_bound(const Instance& inst,
+                                  std::span<const TokenSet> possession) {
+  OCD_EXPECTS(possession.size() ==
+              static_cast<std::size_t>(inst.num_vertices()));
+  std::int64_t best = distance_lower_bound(inst, possession);
+
+  // The paper's M_i(v) bound: a vertex still missing k tokens that all
+  // lie outside its radius-i in-closure needs at least
+  // i + ceil(k / in_capacity(v)) further timesteps, for every radius i.
+  for (VertexId v = 0; v < inst.num_vertices(); ++v) {
+    const TokenSet missing =
+        inst.want(v) - possession[static_cast<std::size_t>(v)];
+    if (missing.empty()) continue;
+    const std::int64_t in_cap = inst.graph().in_capacity(v);
+    if (in_cap == 0)
+      throw Error("makespan_lower_bound: needy vertex has no in-capacity");
+
+    // BFS distances from v following arcs backward: dist_to_v[u] = hops
+    // from u to v.  Tokens held only at distance > i are outside the
+    // radius-i closure.
+    const auto dist_to_v = bfs_distances_to(inst.graph(), v);
+    // For each missing token, the distance of its nearest holder.
+    std::vector<std::int32_t> holder_dist;
+    holder_dist.reserve(missing.count());
+    missing.for_each([&](TokenId t) {
+      std::int32_t nearest = kUnreachable;
+      for (VertexId u = 0; u < inst.num_vertices(); ++u) {
+        if (possession[static_cast<std::size_t>(u)].test(t))
+          nearest = std::min(nearest, dist_to_v[static_cast<std::size_t>(u)]);
+      }
+      if (nearest == kUnreachable)
+        throw Error("makespan_lower_bound: wanted token unreachable");
+      holder_dist.push_back(nearest);
+    });
+    std::sort(holder_dist.begin(), holder_dist.end());
+
+    // Sweep radii at holder-distance breakpoints: tokens with
+    // holder_dist > i lie outside the closure.
+    const auto k_total = static_cast<std::int64_t>(holder_dist.size());
+    for (std::size_t idx = 0; idx <= holder_dist.size(); ++idx) {
+      const std::int64_t radius = idx == 0 ? 0 : holder_dist[idx - 1];
+      // Tokens strictly farther than `radius`.
+      const auto outside =
+          static_cast<std::int64_t>(holder_dist.end() -
+                                    std::upper_bound(holder_dist.begin(),
+                                                     holder_dist.end(),
+                                                     radius));
+      const std::int64_t need =
+          radius + (outside + in_cap - 1) / in_cap;
+      best = std::max(best, need);
+      if (outside == 0) break;
+    }
+    // Radius 0 with everything outstanding: pure capacity bound.
+    best = std::max(best, (k_total + in_cap - 1) / in_cap);
+  }
+  return best;
+}
+
+std::int64_t makespan_lower_bound(const Instance& inst) {
+  const auto p = initial_possession(inst);
+  return makespan_lower_bound(inst, p);
+}
+
+std::int64_t one_step_lookahead_bound(const Instance& inst,
+                                      std::span<const TokenSet> possession) {
+  OCD_EXPECTS(possession.size() ==
+              static_cast<std::size_t>(inst.num_vertices()));
+  bool outstanding = false;
+  for (VertexId v = 0; v < inst.num_vertices(); ++v) {
+    const TokenSet missing =
+        inst.want(v) - possession[static_cast<std::size_t>(v)];
+    if (missing.empty()) continue;
+    outstanding = true;
+    // Everything must be obtainable in one step: held by an in-neighbor,
+    // and within aggregate in-capacity.
+    if (static_cast<std::int64_t>(missing.count()) >
+        inst.graph().in_capacity(v))
+      return 2;
+    TokenSet reachable(static_cast<std::size_t>(inst.num_tokens()));
+    for (ArcId id : inst.graph().in_arcs(v)) {
+      reachable |=
+          possession[static_cast<std::size_t>(inst.graph().arc(id).from)];
+    }
+    if (!missing.is_subset_of(reachable)) return 2;
+  }
+  return outstanding ? 1 : 0;
+}
+
+std::int64_t bandwidth_upper_bound_serial_steiner(const Instance& inst) {
+  std::int64_t total = 0;
+  for (TokenId t = 0; t < inst.num_tokens(); ++t) {
+    std::vector<VertexId> terminals;
+    for (VertexId v = 0; v < inst.num_vertices(); ++v) {
+      if (inst.want(v).test(t) && !inst.have(v).test(t)) terminals.push_back(v);
+    }
+    if (terminals.empty()) continue;
+    const auto roots = inst.sources_of(t);
+    if (roots.empty())
+      throw Error("bandwidth_upper_bound_serial_steiner: no holder");
+    total += steiner_tree(inst.graph(), roots, terminals).cost();
+  }
+  return total;
+}
+
+}  // namespace ocd::core

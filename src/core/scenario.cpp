@@ -1,0 +1,210 @@
+#include "ocd/core/scenario.hpp"
+
+#include "ocd/topology/random_graph.hpp"
+
+namespace ocd::core {
+
+Instance single_source_all_receivers(Digraph graph, std::int32_t num_tokens,
+                                     VertexId source) {
+  OCD_EXPECTS(num_tokens >= 1);
+  Instance inst(std::move(graph), num_tokens);
+  OCD_EXPECTS(inst.graph().valid_vertex(source));
+  const auto all = TokenSet::full(static_cast<std::size_t>(num_tokens));
+  inst.set_have(source, all);
+  for (VertexId v = 0; v < inst.num_vertices(); ++v) {
+    if (v != source) inst.set_want(v, all);
+  }
+  inst.add_file(0, num_tokens);
+  return inst;
+}
+
+DensityScenario single_source_receiver_density(Digraph graph,
+                                               std::int32_t num_tokens,
+                                               VertexId source,
+                                               double threshold, Rng& rng) {
+  OCD_EXPECTS(threshold >= 0.0 && threshold <= 1.0);
+  Instance inst(std::move(graph), num_tokens);
+  OCD_EXPECTS(inst.graph().valid_vertex(source));
+  const auto all = TokenSet::full(static_cast<std::size_t>(num_tokens));
+  inst.set_have(source, all);
+  std::int32_t receivers = 0;
+  for (VertexId v = 0; v < inst.num_vertices(); ++v) {
+    if (v == source) continue;
+    if (rng.uniform_real() < threshold) {
+      inst.set_want(v, all);
+      ++receivers;
+    }
+  }
+  inst.add_file(0, num_tokens);
+  return DensityScenario{std::move(inst), receivers};
+}
+
+namespace {
+
+/// Partitions vertices other than the excluded one into `groups` nearly
+/// equal contiguous groups; returns group index per vertex (-1 for the
+/// excluded vertex).
+std::vector<std::int32_t> partition_vertices(std::int32_t n,
+                                             std::int32_t groups,
+                                             VertexId excluded) {
+  std::vector<std::int32_t> group(static_cast<std::size_t>(n), -1);
+  std::int32_t members = excluded >= 0 ? n - 1 : n;
+  std::int32_t assigned = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    if (v == excluded) continue;
+    group[static_cast<std::size_t>(v)] =
+        static_cast<std::int32_t>((static_cast<std::int64_t>(assigned) *
+                                   groups) /
+                                  members);
+    ++assigned;
+  }
+  return group;
+}
+
+}  // namespace
+
+Instance subdivided_files(Digraph graph, std::int32_t total_tokens,
+                          std::int32_t num_files, VertexId source) {
+  OCD_EXPECTS(num_files >= 1 && total_tokens >= num_files);
+  OCD_EXPECTS(total_tokens % num_files == 0);
+  Instance inst(std::move(graph), total_tokens);
+  OCD_EXPECTS(inst.graph().valid_vertex(source));
+  OCD_EXPECTS(inst.num_vertices() >= num_files + 1);
+
+  inst.set_have(source, TokenSet::full(static_cast<std::size_t>(total_tokens)));
+
+  const std::int32_t file_size = total_tokens / num_files;
+  std::vector<TokenSet> file_tokens;
+  file_tokens.reserve(static_cast<std::size_t>(num_files));
+  for (std::int32_t f = 0; f < num_files; ++f) {
+    inst.add_file(f * file_size, file_size);
+    file_tokens.push_back(
+        inst.files().back().tokens(static_cast<std::size_t>(total_tokens)));
+  }
+
+  const auto group = partition_vertices(inst.num_vertices(), num_files, source);
+  for (VertexId v = 0; v < inst.num_vertices(); ++v) {
+    const std::int32_t f = group[static_cast<std::size_t>(v)];
+    if (f >= 0) inst.set_want(v, file_tokens[static_cast<std::size_t>(f)]);
+  }
+  return inst;
+}
+
+Instance subdivided_files_random_senders(Digraph graph,
+                                         std::int32_t total_tokens,
+                                         std::int32_t num_files, Rng& rng) {
+  OCD_EXPECTS(num_files >= 1 && total_tokens >= num_files);
+  OCD_EXPECTS(total_tokens % num_files == 0);
+  Instance inst(std::move(graph), total_tokens);
+  OCD_EXPECTS(inst.num_vertices() >= num_files + 1);
+
+  const std::int32_t file_size = total_tokens / num_files;
+  std::vector<TokenSet> file_tokens;
+  for (std::int32_t f = 0; f < num_files; ++f) {
+    inst.add_file(f * file_size, file_size);
+    file_tokens.push_back(
+        inst.files().back().tokens(static_cast<std::size_t>(total_tokens)));
+  }
+
+  // Wants first (partition over all vertices), then pick each file's
+  // sender among vertices that do not want it.
+  const auto group = partition_vertices(inst.num_vertices(), num_files, -1);
+  for (VertexId v = 0; v < inst.num_vertices(); ++v) {
+    const std::int32_t f = group[static_cast<std::size_t>(v)];
+    inst.set_want(v, file_tokens[static_cast<std::size_t>(f)]);
+  }
+  for (std::int32_t f = 0; f < num_files; ++f) {
+    std::vector<VertexId> candidates;
+    for (VertexId v = 0; v < inst.num_vertices(); ++v) {
+      if (group[static_cast<std::size_t>(v)] != f) candidates.push_back(v);
+    }
+    VertexId sender;
+    if (candidates.empty()) {
+      // Single-file degenerate case: everyone wants the file, so demote
+      // a random vertex to pure seeder (matching Figure 5's convention
+      // that the source wants nothing).
+      OCD_ASSERT(num_files == 1);
+      sender = static_cast<VertexId>(
+          rng.below(static_cast<std::uint64_t>(inst.num_vertices())));
+      inst.set_want(sender,
+                    inst.want(sender) - file_tokens[static_cast<std::size_t>(f)]);
+    } else {
+      sender =
+          candidates[static_cast<std::size_t>(rng.below(candidates.size()))];
+    }
+    inst.set_have(sender,
+                  inst.have(sender) | file_tokens[static_cast<std::size_t>(f)]);
+  }
+  return inst;
+}
+
+Instance figure1_instance() {
+  // Vertices: 0 = s, 1..4 = w1..w4 (receivers), 5 = r1, 6 = r2 (relays).
+  // Bandwidth-optimal tree: s->w1->w2->{w3,w4}  (4 moves, 3 steps).
+  // Fast relay paths: s->r1->w3 and s->r2->w4 enable a 2-step schedule
+  // at the cost of 2 relay deliveries (6 moves total).
+  Digraph g(7);
+  const VertexId s = 0, w1 = 1, w2 = 2, w3 = 3, w4 = 4, r1 = 5, r2 = 6;
+  g.add_arc(s, w1, 1);
+  g.add_arc(w1, w2, 1);
+  g.add_arc(w2, w3, 1);
+  g.add_arc(w2, w4, 1);
+  g.add_arc(s, r1, 1);
+  g.add_arc(r1, w3, 1);
+  g.add_arc(s, r2, 1);
+  g.add_arc(r2, w4, 1);
+
+  Instance inst(std::move(g), 1);
+  inst.add_have(s, 0);
+  for (VertexId v : {w1, w2, w3, w4}) inst.add_want(v, 0);
+  inst.add_file(0, 1);
+  return inst;
+}
+
+Instance adversarial_path(std::int32_t path_length, std::int32_t num_tokens,
+                          TokenId wanted) {
+  OCD_EXPECTS(path_length >= 1);
+  OCD_EXPECTS(num_tokens >= 1);
+  OCD_EXPECTS(wanted >= 0 && wanted < num_tokens);
+  Digraph g(path_length + 1);
+  for (VertexId v = 0; v < path_length; ++v) {
+    g.add_arc(v, v + 1, 1);
+    g.add_arc(v + 1, v, 1);
+  }
+  Instance inst(std::move(g), num_tokens);
+  inst.set_have(0, TokenSet::full(static_cast<std::size_t>(num_tokens)));
+  inst.add_want(path_length, wanted);
+  return inst;
+}
+
+Instance random_small_instance(std::int32_t n, std::int32_t m,
+                               double want_probability, Rng& rng) {
+  OCD_EXPECTS(n >= 2 && m >= 1);
+  topology::RandomGraphOptions options;
+  options.edge_probability = 0.6;
+  options.capacities = topology::CapacityRange{1, 2};
+  Digraph g = topology::random_overlay(n, options, rng);
+  Instance inst(std::move(g), m);
+  for (TokenId t = 0; t < m; ++t) {
+    const auto holder = static_cast<VertexId>(rng.below(
+        static_cast<std::uint64_t>(n)));
+    inst.add_have(holder, t);
+    bool anyone = false;
+    for (VertexId v = 0; v < n; ++v) {
+      if (v != holder && rng.chance(want_probability)) {
+        inst.add_want(v, t);
+        anyone = true;
+      }
+    }
+    if (!anyone) {
+      // Guarantee at least one wanter so the instance is interesting.
+      VertexId v = static_cast<VertexId>(rng.below(
+          static_cast<std::uint64_t>(n)));
+      if (v == holder) v = (v + 1) % n;
+      inst.add_want(v, t);
+    }
+  }
+  return inst;
+}
+
+}  // namespace ocd::core

@@ -1,0 +1,59 @@
+#include "ocd/core/schedule.hpp"
+
+#include <algorithm>
+
+namespace ocd::core {
+
+void Timestep::add(ArcId arc, const TokenSet& tokens) {
+  OCD_EXPECTS(arc >= 0);
+  if (tokens.empty()) return;
+  for (ArcSend& send : sends_) {
+    if (send.arc == arc) {
+      send.tokens |= tokens;
+      return;
+    }
+  }
+  sends_.push_back(ArcSend{arc, tokens});
+}
+
+void Timestep::add(ArcId arc, TokenId token, std::size_t universe) {
+  OCD_EXPECTS(arc >= 0);
+  for (ArcSend& send : sends_) {
+    if (send.arc == arc) {
+      send.tokens.set(token);
+      return;
+    }
+  }
+  TokenSet s(universe);
+  s.set(token);
+  sends_.push_back(ArcSend{arc, std::move(s)});
+}
+
+std::int64_t Timestep::moves() const noexcept {
+  std::int64_t total = 0;
+  for (const ArcSend& send : sends_)
+    total += static_cast<std::int64_t>(send.tokens.count());
+  return total;
+}
+
+bool Timestep::empty() const noexcept {
+  return std::all_of(sends_.begin(), sends_.end(),
+                     [](const ArcSend& s) { return s.tokens.empty(); });
+}
+
+void Timestep::compact() {
+  std::erase_if(sends_, [](const ArcSend& s) { return s.tokens.empty(); });
+}
+
+std::int64_t Schedule::bandwidth() const noexcept {
+  std::int64_t total = 0;
+  for (const Timestep& step : steps_) total += step.moves();
+  return total;
+}
+
+void Schedule::trim() {
+  for (Timestep& step : steps_) step.compact();
+  while (!steps_.empty() && steps_.back().empty()) steps_.pop_back();
+}
+
+}  // namespace ocd::core

@@ -1,0 +1,102 @@
+#include "ocd/core/validate.hpp"
+
+#include <sstream>
+
+namespace ocd::core {
+
+namespace {
+
+/// Shared replay loop.  on_violation is called with a description and
+/// must either throw or record-and-stop; returns final possession.
+template <typename ViolationFn>
+std::optional<std::vector<std::vector<TokenSet>>> replay(
+    const Instance& inst, const Schedule& schedule, bool keep_trace,
+    ViolationFn&& on_violation) {
+  const auto n = static_cast<std::size_t>(inst.num_vertices());
+  const auto universe = static_cast<std::size_t>(inst.num_tokens());
+
+  std::vector<std::vector<TokenSet>> trace;
+  std::vector<TokenSet> possession(n, TokenSet(universe));
+  for (VertexId v = 0; v < inst.num_vertices(); ++v)
+    possession[static_cast<std::size_t>(v)] = inst.have(v);
+  if (keep_trace) trace.push_back(possession);
+
+  for (std::size_t i = 0; i < schedule.steps().size(); ++i) {
+    const Timestep& step = schedule.steps()[i];
+    std::vector<TokenSet> next = possession;
+    for (const ArcSend& send : step.sends()) {
+      if (send.arc < 0 || send.arc >= inst.graph().num_arcs()) {
+        std::ostringstream msg;
+        msg << "timestep " << i << ": unknown arc id " << send.arc;
+        on_violation(msg.str());
+        return std::nullopt;
+      }
+      const Arc& arc = inst.graph().arc(send.arc);
+      if (send.tokens.universe_size() != universe) {
+        std::ostringstream msg;
+        msg << "timestep " << i << ": token universe mismatch on arc ("
+            << arc.from << "," << arc.to << ")";
+        on_violation(msg.str());
+        return std::nullopt;
+      }
+      if (send.tokens.count() > static_cast<std::size_t>(arc.capacity)) {
+        std::ostringstream msg;
+        msg << "timestep " << i << ": capacity exceeded on arc (" << arc.from
+            << "," << arc.to << "): sent " << send.tokens.count()
+            << " > c = " << arc.capacity;
+        on_violation(msg.str());
+        return std::nullopt;
+      }
+      if (!send.tokens.is_subset_of(
+              possession[static_cast<std::size_t>(arc.from)])) {
+        std::ostringstream msg;
+        msg << "timestep " << i << ": possession violated on arc ("
+            << arc.from << "," << arc.to << "): sender lacks "
+            << (send.tokens - possession[static_cast<std::size_t>(arc.from)])
+                   .to_string();
+        on_violation(msg.str());
+        return std::nullopt;
+      }
+      next[static_cast<std::size_t>(arc.to)] |= send.tokens;
+    }
+    possession = std::move(next);
+    if (keep_trace) trace.push_back(possession);
+  }
+
+  if (!keep_trace) trace.push_back(std::move(possession));
+  return trace;
+}
+
+}  // namespace
+
+ValidationResult validate(const Instance& inst, const Schedule& schedule) {
+  ValidationResult result;
+  auto trace = replay(inst, schedule, /*keep_trace=*/false,
+                      [&](const std::string& msg) { result.violation = msg; });
+  if (!trace.has_value()) return result;
+  result.valid = true;
+  result.final_possession = std::move(trace->back());
+  result.successful = true;
+  for (VertexId v = 0; v < inst.num_vertices(); ++v) {
+    if (!inst.want(v).is_subset_of(
+            result.final_possession[static_cast<std::size_t>(v)])) {
+      result.successful = false;
+      break;
+    }
+  }
+  return result;
+}
+
+std::vector<std::vector<TokenSet>> possession_trace(const Instance& inst,
+                                                    const Schedule& schedule) {
+  auto trace = replay(inst, schedule, /*keep_trace=*/true,
+                      [](const std::string& msg) { throw Error(msg); });
+  OCD_ASSERT(trace.has_value());
+  return std::move(*trace);
+}
+
+bool is_successful(const Instance& inst, const Schedule& schedule) {
+  return validate(inst, schedule).successful;
+}
+
+}  // namespace ocd::core

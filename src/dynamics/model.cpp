@@ -1,0 +1,121 @@
+#include "ocd/dynamics/model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ocd::dynamics {
+
+void DynamicsModel::reset(const core::Instance&, std::uint64_t) {}
+
+void DynamicsModel::observe(std::int64_t, const core::Instance&,
+                            const std::vector<TokenSet>&) {}
+
+// ---------------------------------------------------------------------
+// CapacityJitter
+// ---------------------------------------------------------------------
+CapacityJitter::CapacityJitter(double intensity, std::int32_t min_capacity)
+    : intensity_(intensity), min_capacity_(min_capacity) {
+  OCD_EXPECTS(intensity >= 0.0 && intensity <= 1.0);
+  OCD_EXPECTS(min_capacity >= 0);
+}
+
+void CapacityJitter::reset(const core::Instance&, std::uint64_t seed) {
+  rng_ = Rng(seed ^ 0x4a171e50ULL);
+}
+
+void CapacityJitter::apply(std::int64_t, const Digraph& graph,
+                           std::span<std::int32_t> capacity) {
+  OCD_EXPECTS(capacity.size() == static_cast<std::size_t>(graph.num_arcs()));
+  if (intensity_ == 0.0) return;
+  for (ArcId a = 0; a < graph.num_arcs(); ++a) {
+    const std::int32_t full = graph.arc(a).capacity;
+    const auto low = static_cast<std::int32_t>(
+        std::floor(static_cast<double>(full) * (1.0 - intensity_)));
+    const std::int32_t lo = std::max(min_capacity_, low);
+    capacity[static_cast<std::size_t>(a)] =
+        lo >= full ? full
+                   : static_cast<std::int32_t>(rng_.uniform_int(lo, full));
+  }
+}
+
+// ---------------------------------------------------------------------
+// LinkChurn
+// ---------------------------------------------------------------------
+LinkChurn::LinkChurn(double fail_probability, std::int32_t outage_steps)
+    : fail_probability_(fail_probability), outage_steps_(outage_steps) {
+  OCD_EXPECTS(fail_probability >= 0.0 && fail_probability <= 1.0);
+  OCD_EXPECTS(outage_steps >= 1);
+}
+
+void LinkChurn::reset(const core::Instance& inst, std::uint64_t seed) {
+  rng_ = Rng(seed ^ 0x11c0c4a1ULL);
+  down_until_.assign(static_cast<std::size_t>(inst.graph().num_arcs()), -1);
+}
+
+void LinkChurn::apply(std::int64_t step, const Digraph& graph,
+                      std::span<std::int32_t> capacity) {
+  OCD_EXPECTS(capacity.size() == down_until_.size());
+  for (ArcId a = 0; a < graph.num_arcs(); ++a) {
+    auto& until = down_until_[static_cast<std::size_t>(a)];
+    if (until >= step) {
+      capacity[static_cast<std::size_t>(a)] = 0;
+      continue;
+    }
+    if (rng_.chance(fail_probability_)) {
+      until = step + outage_steps_ - 1;
+      capacity[static_cast<std::size_t>(a)] = 0;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// NodeChurn
+// ---------------------------------------------------------------------
+NodeChurn::NodeChurn(double leave_probability, std::int32_t absence_steps)
+    : leave_probability_(leave_probability), absence_steps_(absence_steps) {
+  OCD_EXPECTS(leave_probability >= 0.0 && leave_probability <= 1.0);
+  OCD_EXPECTS(absence_steps >= 1);
+}
+
+void NodeChurn::set_pinned(std::vector<VertexId> pinned) {
+  pinned_overridden_ = true;
+  pinned_.clear();
+  pinned_vertices_ = std::move(pinned);
+}
+
+void NodeChurn::reset(const core::Instance& inst, std::uint64_t seed) {
+  rng_ = Rng(seed ^ 0x20dec4a1ULL);
+  const auto n = static_cast<std::size_t>(inst.num_vertices());
+  away_until_.assign(n, -1);
+  pinned_.assign(n, false);
+  if (pinned_overridden_) {
+    for (VertexId v : pinned_vertices_) {
+      OCD_EXPECTS(inst.graph().valid_vertex(v));
+      pinned_[static_cast<std::size_t>(v)] = true;
+    }
+  } else {
+    // Pin every vertex that seeds content, so tokens cannot vanish.
+    for (VertexId v = 0; v < inst.num_vertices(); ++v) {
+      if (!inst.have(v).empty()) pinned_[static_cast<std::size_t>(v)] = true;
+    }
+  }
+}
+
+void NodeChurn::apply(std::int64_t step, const Digraph& graph,
+                      std::span<std::int32_t> capacity) {
+  OCD_EXPECTS(away_until_.size() ==
+              static_cast<std::size_t>(graph.num_vertices()));
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    auto& until = away_until_[static_cast<std::size_t>(v)];
+    if (until < step && !pinned_[static_cast<std::size_t>(v)] &&
+        rng_.chance(leave_probability_)) {
+      until = step + absence_steps_ - 1;
+    }
+    if (until >= step) {
+      for (ArcId a : graph.out_arcs(v)) capacity[static_cast<std::size_t>(a)] = 0;
+      for (ArcId a : graph.in_arcs(v)) capacity[static_cast<std::size_t>(a)] = 0;
+    }
+  }
+}
+
+}  // namespace ocd::dynamics

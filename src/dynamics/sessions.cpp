@@ -1,0 +1,94 @@
+#include "ocd/dynamics/sessions.hpp"
+
+namespace ocd::dynamics {
+
+SessionTrace::SessionTrace(std::vector<Session> sessions)
+    : sessions_(std::move(sessions)) {
+  OCD_EXPECTS(!sessions_.empty());
+  for (const Session& s : sessions_) {
+    OCD_EXPECTS(s.join_step >= 0);
+    if (s.linger_after_complete.has_value())
+      OCD_EXPECTS(*s.linger_after_complete >= 0);
+  }
+}
+
+const Session& SessionTrace::session(VertexId v) const {
+  OCD_EXPECTS(v >= 0 && static_cast<std::size_t>(v) < sessions_.size());
+  return sessions_[static_cast<std::size_t>(v)];
+}
+
+SessionTrace SessionTrace::steady(const core::Instance& inst,
+                                  double arrival_rate, Rng& rng) {
+  OCD_EXPECTS(arrival_rate > 0.0 && arrival_rate <= 1.0);
+  std::vector<Session> sessions(
+      static_cast<std::size_t>(inst.num_vertices()));
+  std::int64_t clock = 0;
+  for (VertexId v = 0; v < inst.num_vertices(); ++v) {
+    if (!inst.have(v).empty()) continue;  // sources present from step 0
+    // Geometric inter-arrival with success probability arrival_rate.
+    std::int64_t gap = 1;
+    while (!rng.chance(arrival_rate) && gap < 10'000) ++gap;
+    clock += gap;
+    sessions[static_cast<std::size_t>(v)].join_step = clock;
+  }
+  return SessionTrace(std::move(sessions));
+}
+
+SessionTrace SessionTrace::flash_crowd(const core::Instance& inst,
+                                       std::int64_t burst_window, Rng& rng) {
+  OCD_EXPECTS(burst_window >= 1);
+  std::vector<Session> sessions(
+      static_cast<std::size_t>(inst.num_vertices()));
+  for (VertexId v = 0; v < inst.num_vertices(); ++v) {
+    if (!inst.have(v).empty()) continue;
+    sessions[static_cast<std::size_t>(v)].join_step =
+        static_cast<std::int64_t>(
+            rng.below(static_cast<std::uint64_t>(burst_window)));
+  }
+  return SessionTrace(std::move(sessions));
+}
+
+SessionDynamics::SessionDynamics(SessionTrace trace)
+    : trace_(std::move(trace)) {}
+
+void SessionDynamics::reset(const core::Instance& inst, std::uint64_t) {
+  OCD_EXPECTS(trace_.size() == static_cast<std::size_t>(inst.num_vertices()));
+  instance_ = &inst;
+  completed_at_.assign(static_cast<std::size_t>(inst.num_vertices()), -1);
+}
+
+void SessionDynamics::observe(std::int64_t step, const core::Instance& inst,
+                              const std::vector<TokenSet>& possession) {
+  for (VertexId v = 0; v < inst.num_vertices(); ++v) {
+    auto& completed = completed_at_[static_cast<std::size_t>(v)];
+    if (completed < 0 &&
+        inst.want(v).is_subset_of(possession[static_cast<std::size_t>(v)])) {
+      completed = step;
+    }
+  }
+}
+
+bool SessionDynamics::present(VertexId v, std::int64_t step) const {
+  const Session& s = trace_.session(v);
+  if (step < s.join_step) return false;
+  if (s.linger_after_complete.has_value()) {
+    const std::int64_t completed = completed_at_[static_cast<std::size_t>(v)];
+    if (completed >= 0 && step > completed + *s.linger_after_complete)
+      return false;
+  }
+  return true;
+}
+
+void SessionDynamics::apply(std::int64_t step, const Digraph& graph,
+                            std::span<std::int32_t> capacity) {
+  OCD_ASSERT(instance_ != nullptr);
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    if (present(v, step)) continue;
+    for (ArcId a : graph.out_arcs(v))
+      capacity[static_cast<std::size_t>(a)] = 0;
+    for (ArcId a : graph.in_arcs(v))
+      capacity[static_cast<std::size_t>(a)] = 0;
+  }
+}
+
+}  // namespace ocd::dynamics

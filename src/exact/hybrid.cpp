@@ -1,0 +1,71 @@
+#include "ocd/exact/hybrid.hpp"
+
+#include <cmath>
+
+#include "ocd/core/bounds.hpp"
+#include "ocd/exact/bnb.hpp"
+#include "ocd/exact/ip_solver.hpp"
+
+namespace ocd::exact {
+
+namespace {
+
+std::optional<std::int32_t> optimal_makespan(const core::Instance& inst) {
+  if (inst.is_trivially_satisfied()) return 0;
+  const auto result = focd_min_makespan(
+      inst, static_cast<std::int32_t>(
+                std::max<std::int64_t>(1, static_cast<std::int64_t>(
+                                              inst.num_tokens()) *
+                                              inst.num_vertices())));
+  if (!result.has_value()) return std::nullopt;
+  return result->makespan;
+}
+
+}  // namespace
+
+std::optional<HybridResult> solve_hybrid(const core::Instance& inst,
+                                         double slack,
+                                         const lp::MipOptions& options) {
+  OCD_EXPECTS(slack >= 1.0);
+  const auto t_star = optimal_makespan(inst);
+  if (!t_star.has_value()) return std::nullopt;
+  if (*t_star == 0) return HybridResult{0, 0, 0, core::Schedule{}};
+
+  const auto horizon = static_cast<std::int32_t>(
+      std::ceil(slack * static_cast<double>(*t_star)));
+  auto solved = solve_eocd(inst, horizon, options);
+  if (!solved.has_value()) return std::nullopt;
+  return HybridResult{*t_star, horizon, solved->bandwidth,
+                      std::move(solved->schedule)};
+}
+
+std::vector<HybridResult> bandwidth_time_frontier(
+    const core::Instance& inst, std::int32_t max_points,
+    std::int32_t patience, const lp::MipOptions& options) {
+  OCD_EXPECTS(max_points >= 1 && patience >= 1);
+  std::vector<HybridResult> frontier;
+  const auto t_star = optimal_makespan(inst);
+  if (!t_star.has_value() || *t_star == 0) return frontier;
+
+  const auto floor_bw = core::bandwidth_lower_bound(inst);
+  std::int32_t stable = 0;
+  std::int64_t best_bw = -1;
+  for (std::int32_t horizon = *t_star;
+       static_cast<std::int32_t>(frontier.size()) < max_points; ++horizon) {
+    auto solved = solve_eocd(inst, horizon, options);
+    if (!solved.has_value()) break;  // solver budget exceeded
+    frontier.push_back(HybridResult{*t_star, horizon, solved->bandwidth,
+                                    std::move(solved->schedule)});
+    if (best_bw >= 0 && solved->bandwidth >= best_bw) {
+      if (++stable >= patience) break;
+    } else {
+      stable = 0;
+    }
+    best_bw = best_bw < 0 ? solved->bandwidth
+                          : std::min(best_bw, solved->bandwidth);
+    if (best_bw <= floor_bw) break;  // provably optimal bandwidth reached
+  }
+  return frontier;
+}
+
+}  // namespace ocd::exact

@@ -1,0 +1,58 @@
+#include "ocd/exact/ip_solver.hpp"
+
+#include <algorithm>
+
+#include "ocd/core/bounds.hpp"
+#include "ocd/core/validate.hpp"
+
+namespace ocd::exact {
+
+std::optional<IpSolveResult> solve_eocd(const core::Instance& inst,
+                                        std::int32_t horizon,
+                                        const lp::MipOptions& options) {
+  if (inst.is_trivially_satisfied()) {
+    return IpSolveResult{core::Schedule{}, 0, true, 0};
+  }
+  const TimeIndexedIp ip(inst, horizon);
+  const lp::MipResult mip = lp::solve_mip(ip.program(), options);
+  if (mip.status != lp::SolveStatus::kOptimal) return std::nullopt;
+
+  IpSolveResult result;
+  result.schedule = ip.extract_schedule(mip.values);
+  result.schedule.trim();
+  result.bandwidth = result.schedule.bandwidth();
+  result.proven_optimal = mip.proven_optimal;
+  result.nodes_explored = mip.nodes_explored;
+  OCD_ENSURES(core::is_successful(inst, result.schedule));
+  return result;
+}
+
+std::optional<double> lp_bandwidth_lower_bound(
+    const core::Instance& inst, std::int32_t horizon,
+    const lp::SimplexOptions& options) {
+  if (inst.is_trivially_satisfied()) return 0.0;
+  const TimeIndexedIp ip(inst, horizon);
+  const auto relaxed = lp::solve_lp(ip.program(), options);
+  if (relaxed.status != lp::SolveStatus::kOptimal) return std::nullopt;
+  return relaxed.objective;
+}
+
+std::optional<MakespanResult> min_makespan_ip(const core::Instance& inst,
+                                              std::int32_t max_horizon,
+                                              const lp::MipOptions& options) {
+  if (inst.is_trivially_satisfied())
+    return MakespanResult{0, core::Schedule{}};
+  if (!inst.is_satisfiable()) return std::nullopt;
+
+  const auto lb = static_cast<std::int32_t>(
+      std::max<std::int64_t>(1, core::makespan_lower_bound(inst)));
+  for (std::int32_t tau = lb; tau <= max_horizon; ++tau) {
+    auto solved = solve_eocd(inst, tau, options);
+    if (solved.has_value()) {
+      return MakespanResult{tau, std::move(solved->schedule)};
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace ocd::exact

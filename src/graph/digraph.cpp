@@ -1,0 +1,79 @@
+#include "ocd/graph/digraph.hpp"
+
+namespace ocd {
+
+Digraph::Digraph(std::int32_t num_vertices)
+    : num_vertices_(num_vertices),
+      out_(static_cast<std::size_t>(num_vertices)),
+      in_(static_cast<std::size_t>(num_vertices)) {
+  OCD_EXPECTS(num_vertices >= 0);
+}
+
+ArcId Digraph::add_arc(VertexId from, VertexId to, std::int32_t capacity) {
+  OCD_EXPECTS(valid_vertex(from) && valid_vertex(to));
+  OCD_EXPECTS(from != to);  // self-arcs (storage) are implicit in the model
+  OCD_EXPECTS(capacity >= 1);
+  OCD_EXPECTS(find_arc(from, to) < 0);
+  const auto id = static_cast<ArcId>(arcs_.size());
+  arcs_.push_back(Arc{from, to, capacity});
+  out_[static_cast<std::size_t>(from)].push_back(id);
+  in_[static_cast<std::size_t>(to)].push_back(id);
+  return id;
+}
+
+ArcId Digraph::add_or_merge_arc(VertexId from, VertexId to,
+                                std::int32_t capacity) {
+  OCD_EXPECTS(valid_vertex(from) && valid_vertex(to));
+  OCD_EXPECTS(from != to);
+  OCD_EXPECTS(capacity >= 1);
+  const ArcId existing = find_arc(from, to);
+  if (existing >= 0) {
+    arcs_[static_cast<std::size_t>(existing)].capacity += capacity;
+    return existing;
+  }
+  return add_arc(from, to, capacity);
+}
+
+ArcId Digraph::find_arc(VertexId from, VertexId to) const {
+  OCD_EXPECTS(valid_vertex(from) && valid_vertex(to));
+  for (ArcId id : out_[static_cast<std::size_t>(from)]) {
+    if (arcs_[static_cast<std::size_t>(id)].to == to) return id;
+  }
+  return -1;
+}
+
+std::span<const ArcId> Digraph::out_arcs(VertexId v) const {
+  OCD_EXPECTS(valid_vertex(v));
+  return out_[static_cast<std::size_t>(v)];
+}
+
+std::span<const ArcId> Digraph::in_arcs(VertexId v) const {
+  OCD_EXPECTS(valid_vertex(v));
+  return in_[static_cast<std::size_t>(v)];
+}
+
+std::vector<VertexId> Digraph::out_neighbors(VertexId v) const {
+  std::vector<VertexId> out;
+  for (ArcId id : out_arcs(v)) out.push_back(arc(id).to);
+  return out;
+}
+
+std::vector<VertexId> Digraph::in_neighbors(VertexId v) const {
+  std::vector<VertexId> out;
+  for (ArcId id : in_arcs(v)) out.push_back(arc(id).from);
+  return out;
+}
+
+std::int64_t Digraph::in_capacity(VertexId v) const {
+  std::int64_t total = 0;
+  for (ArcId id : in_arcs(v)) total += arc(id).capacity;
+  return total;
+}
+
+std::int64_t Digraph::out_capacity(VertexId v) const {
+  std::int64_t total = 0;
+  for (ArcId id : out_arcs(v)) total += arc(id).capacity;
+  return total;
+}
+
+}  // namespace ocd

@@ -1,0 +1,113 @@
+#include "ocd/heuristics/bandwidth_saver.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <queue>
+
+namespace ocd::heuristics {
+
+void BandwidthPolicy::plan_step(const sim::StepView& view,
+                                sim::StepPlan& plan) {
+  const Digraph& graph = view.graph();
+  const core::Instance& inst = view.instance();
+  const auto& possession = view.global_possession();
+  const auto n = static_cast<std::size_t>(graph.num_vertices());
+  const auto universe = static_cast<std::size_t>(view.num_tokens());
+
+  // allowed[v]: tokens v may receive this turn (needs + elected relays).
+  std::vector<TokenSet> allowed(n, TokenSet(universe));
+
+  std::vector<std::int32_t> frontier_dist(n);
+  std::vector<VertexId> witness(n);
+  for (TokenId t = 0; t < view.num_tokens(); ++t) {
+    // Needy vertices for t.
+    std::vector<VertexId> needy;
+    for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+      if (inst.want(v).test(t) &&
+          !possession[static_cast<std::size_t>(v)].test(t))
+        needy.push_back(v);
+    }
+    if (needy.empty()) continue;
+    for (VertexId v : needy) allowed[static_cast<std::size_t>(v)].set(t);
+
+    // One-hop-knowledge frontier: lacks t, has an in-neighbor holding t.
+    std::fill(frontier_dist.begin(), frontier_dist.end(), -1);
+    std::queue<VertexId> bfs;
+    for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+      if (possession[static_cast<std::size_t>(v)].test(t)) continue;
+      for (ArcId a : graph.in_arcs(v)) {
+        if (possession[static_cast<std::size_t>(graph.arc(a).from)].test(t)) {
+          frontier_dist[static_cast<std::size_t>(v)] = 0;
+          witness[static_cast<std::size_t>(v)] = v;
+          bfs.push(v);
+          break;
+        }
+      }
+    }
+    if (bfs.empty()) continue;  // everyone reachable already holds t
+
+    // Multi-source BFS electing, for every vertex, its nearest frontier
+    // vertex (ties broken by BFS order — deterministic).
+    while (!bfs.empty()) {
+      const VertexId u = bfs.front();
+      bfs.pop();
+      for (ArcId a : graph.out_arcs(u)) {
+        const VertexId w = graph.arc(a).to;
+        if (frontier_dist[static_cast<std::size_t>(w)] < 0) {
+          frontier_dist[static_cast<std::size_t>(w)] =
+              frontier_dist[static_cast<std::size_t>(u)] + 1;
+          witness[static_cast<std::size_t>(w)] =
+              witness[static_cast<std::size_t>(u)];
+          bfs.push(w);
+        }
+      }
+    }
+    for (VertexId v : needy) {
+      if (frontier_dist[static_cast<std::size_t>(v)] >= 0) {
+        allowed[static_cast<std::size_t>(witness[static_cast<std::size_t>(v)])]
+            .set(t);
+      }
+    }
+  }
+
+  // Senders fill capacity with allowed useful tokens: direct needs
+  // before relay tokens, rarest first inside each class.
+  const auto holders = view.aggregate_holders();
+  std::vector<TokenId> rarity_order(universe);
+  std::iota(rarity_order.begin(), rarity_order.end(), 0);
+  std::stable_sort(rarity_order.begin(), rarity_order.end(),
+                   [&](TokenId a, TokenId b) {
+                     return holders[static_cast<std::size_t>(a)] <
+                            holders[static_cast<std::size_t>(b)];
+                   });
+
+  for (ArcId a = 0; a < graph.num_arcs(); ++a) {
+    const Arc& arc = graph.arc(a);
+    TokenSet candidates = possession[static_cast<std::size_t>(arc.from)];
+    candidates -= possession[static_cast<std::size_t>(arc.to)];
+    candidates &= allowed[static_cast<std::size_t>(arc.to)];
+    if (candidates.empty()) continue;
+
+    const auto capacity = static_cast<std::size_t>(view.capacity(a));
+    if (capacity == 0) continue;
+    if (candidates.count() <= capacity) {
+      plan.send(a, candidates);
+      continue;
+    }
+    const TokenSet needs = candidates & inst.want(arc.to);
+    TokenSet batch(universe);
+    std::size_t filled = 0;
+    for (const bool need_pass : {true, false}) {
+      for (TokenId t : rarity_order) {
+        if (filled == capacity) break;
+        if (!candidates.test(t) || batch.test(t)) continue;
+        if (needs.test(t) != need_pass) continue;
+        batch.set(t);
+        ++filled;
+      }
+    }
+    plan.send(a, batch);
+  }
+}
+
+}  // namespace ocd::heuristics

@@ -1,0 +1,39 @@
+#include "ocd/heuristics/factory.hpp"
+
+#include "ocd/heuristics/architectures.hpp"
+#include "ocd/heuristics/bandwidth_saver.hpp"
+#include "ocd/heuristics/global_greedy.hpp"
+#include "ocd/heuristics/random_useful.hpp"
+#include "ocd/heuristics/rarest_random.hpp"
+#include "ocd/heuristics/round_robin.hpp"
+
+namespace ocd::heuristics {
+
+const std::vector<std::string>& all_policy_names() {
+  static const std::vector<std::string> names = {
+      "round-robin", "random", "local", "bandwidth", "global"};
+  return names;
+}
+
+sim::PolicyPtr make_policy(std::string_view name) {
+  if (name == "round-robin") return std::make_unique<RoundRobinPolicy>();
+  if (name == "random") return std::make_unique<RandomPolicy>();
+  if (name == "local") return std::make_unique<RarestRandomPolicy>();
+  if (name == "bandwidth") return std::make_unique<BandwidthPolicy>();
+  if (name == "global") return std::make_unique<GlobalGreedyPolicy>();
+  // §2 architecture baselines (not part of the paper's five).
+  if (name == "overcast-tree") return std::make_unique<TreePolicy>();
+  if (name == "splitstream-forest")
+    return std::make_unique<StripedForestPolicy>();
+  if (name == "fast-replica") return std::make_unique<FastReplicaPolicy>();
+  throw Error("unknown policy name: " + std::string(name));
+}
+
+std::vector<sim::PolicyPtr> make_all_policies() {
+  std::vector<sim::PolicyPtr> policies;
+  for (const std::string& name : all_policy_names())
+    policies.push_back(make_policy(name));
+  return policies;
+}
+
+}  // namespace ocd::heuristics

@@ -1,0 +1,100 @@
+#include "ocd/heuristics/global_greedy.hpp"
+
+#include <algorithm>
+#include <array>
+#include <numeric>
+
+namespace ocd::heuristics {
+
+void GlobalGreedyPolicy::reset(const core::Instance&, std::uint64_t seed) {
+  rng_ = Rng(seed);
+}
+
+// Coordinated greedy over (arc, token) pairs.  Assignment proceeds in
+// passes; during pass w a token may hold at most w+1 grants, which
+// spreads *different* rare tokens across the arcs (diversity) instead of
+// pushing the single rarest token everywhere.  Wanted deliveries are
+// preferred over pure diversity floods at every pick, and a token is
+// never delivered twice to the same vertex (the coordination the paper
+// describes).
+void GlobalGreedyPolicy::plan_step(const sim::StepView& view,
+                                   sim::StepPlan& plan) {
+  const Digraph& graph = view.graph();
+  const core::Instance& inst = view.instance();
+  const auto& possession = view.global_possession();
+  const auto n = static_cast<std::size_t>(graph.num_vertices());
+  const auto universe = static_cast<std::size_t>(view.num_tokens());
+  const auto num_arcs = static_cast<std::size_t>(graph.num_arcs());
+
+  const auto holders = view.aggregate_holders();
+  std::vector<TokenId> rarity_order(universe);
+  std::iota(rarity_order.begin(), rarity_order.end(), 0);
+  rng_.shuffle(rarity_order);
+  std::stable_sort(rarity_order.begin(), rarity_order.end(),
+                   [&](TokenId a, TokenId b) {
+                     return holders[static_cast<std::size_t>(a)] <
+                            holders[static_cast<std::size_t>(b)];
+                   });
+
+  // Per-arc base candidates and per-vertex outstanding wants.
+  std::vector<TokenSet> candidates(num_arcs, TokenSet(universe));
+  std::vector<std::int32_t> remaining(num_arcs, 0);
+  bool anything = false;
+  for (ArcId a = 0; a < graph.num_arcs(); ++a) {
+    const Arc& arc = graph.arc(a);
+    TokenSet cand = possession[static_cast<std::size_t>(arc.from)];
+    cand -= possession[static_cast<std::size_t>(arc.to)];
+    anything = anything || !cand.empty();
+    candidates[static_cast<std::size_t>(a)] = std::move(cand);
+    remaining[static_cast<std::size_t>(a)] = view.capacity(a);
+  }
+  if (!anything) return;
+
+  std::vector<TokenSet> outstanding(n, TokenSet(universe));
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    outstanding[static_cast<std::size_t>(v)] =
+        inst.want(v) - possession[static_cast<std::size_t>(v)];
+  }
+
+  std::vector<TokenSet> granted(n, TokenSet(universe));
+  std::vector<std::int32_t> grant_count(universe, 0);
+
+  std::int32_t wave = 0;
+  while (true) {
+    bool progress = false;
+    bool exhausted = true;
+    for (ArcId a = 0; a < graph.num_arcs(); ++a) {
+      if (remaining[static_cast<std::size_t>(a)] <= 0) continue;
+      const auto head = static_cast<std::size_t>(graph.arc(a).to);
+      TokenSet cand = candidates[static_cast<std::size_t>(a)];
+      cand -= granted[head];
+      if (cand.empty()) continue;
+      exhausted = false;
+
+      const TokenSet wanted_cand = cand & outstanding[head];
+      TokenId pick = -1;
+      const std::array<const TokenSet*, 2> pools{&wanted_cand, &cand};
+      for (const TokenSet* pool : pools) {
+        for (TokenId t : rarity_order) {
+          if (pool->test(t) &&
+              grant_count[static_cast<std::size_t>(t)] <= wave) {
+            pick = t;
+            break;
+          }
+        }
+        if (pick >= 0) break;
+      }
+      if (pick < 0) continue;  // every candidate is over the wave cap
+
+      plan.send(a, pick, universe);
+      granted[head].set(pick);
+      ++grant_count[static_cast<std::size_t>(pick)];
+      --remaining[static_cast<std::size_t>(a)];
+      progress = true;
+    }
+    if (exhausted) break;
+    if (!progress) ++wave;  // relax the duplication cap and retry
+  }
+}
+
+}  // namespace ocd::heuristics

@@ -1,0 +1,41 @@
+#include "ocd/heuristics/random_useful.hpp"
+
+namespace ocd::heuristics {
+
+void RandomPolicy::reset(const core::Instance&, std::uint64_t seed) {
+  rng_ = Rng(seed);
+}
+
+void RandomPolicy::plan_vertex(VertexId self, const sim::StepView& view,
+                               sim::StepPlan& plan) {
+  // An all-idle step is legitimate under stale peer knowledge (waiting
+  // for fresher snapshots), so every vertex marks idle and the marks
+  // are overridden by any actual send.
+  plan.mark_idle();
+  const TokenSet& mine = view.own_possession(self);
+  if (mine.empty()) return;
+  const auto universe = static_cast<std::size_t>(view.num_tokens());
+
+  for (ArcId arc_id : view.graph().out_arcs(self)) {
+    const Arc& arc = view.graph().arc(arc_id);
+    TokenSet useful = mine;
+    useful -= view.peer_possession(self, arc.to);
+    const auto available = useful.count();
+    if (available == 0) continue;
+    const auto capacity = static_cast<std::size_t>(view.capacity(arc_id));
+    if (capacity == 0) continue;
+    if (available <= capacity) {
+      plan.send(arc_id, useful);
+      continue;
+    }
+    // Random subset of `capacity` tokens from the useful set.
+    const std::vector<TokenId> pool = useful.to_vector();
+    TokenSet batch(universe);
+    const auto chosen = rng_.sample_indices(pool.size(), capacity);
+    for (std::size_t index : chosen)
+      batch.set(pool[index]);
+    plan.send(arc_id, batch);
+  }
+}
+
+}  // namespace ocd::heuristics

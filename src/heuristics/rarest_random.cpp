@@ -1,0 +1,112 @@
+#include "ocd/heuristics/rarest_random.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace ocd::heuristics {
+
+void RarestRandomPolicy::reset(const core::Instance&, std::uint64_t seed) {
+  rng_ = Rng(seed);
+}
+
+void RarestRandomPolicy::plan_step(const sim::StepView& view,
+                                   sim::StepPlan& plan) {
+  const Digraph& graph = view.graph();
+  const auto universe = static_cast<std::size_t>(view.num_tokens());
+  const auto holders = view.aggregate_holders();
+  const auto need = view.aggregate_need();
+
+  // Global priority order shared by all vertices this step (both
+  // aggregates are distributed to everyone, §5.1): tokens somebody still
+  // needs come first, rarest first within each class, random tie-break.
+  std::vector<TokenId> rarity_order(universe);
+  std::iota(rarity_order.begin(), rarity_order.end(), 0);
+  rng_.shuffle(rarity_order);
+  std::stable_sort(rarity_order.begin(), rarity_order.end(),
+                   [&](TokenId a, TokenId b) {
+                     const bool needed_a = need[static_cast<std::size_t>(a)] > 0;
+                     const bool needed_b = need[static_cast<std::size_t>(b)] > 0;
+                     if (needed_a != needed_b) return needed_a;
+                     return holders[static_cast<std::size_t>(a)] <
+                            holders[static_cast<std::size_t>(b)];
+                   });
+
+  // Pass 1 — receivers subdivide their lacking tokens into per-arc
+  // requests.
+  std::vector<TokenSet> requests(static_cast<std::size_t>(graph.num_arcs()),
+                                 TokenSet(universe));
+  std::vector<std::int32_t> budget(static_cast<std::size_t>(graph.num_arcs()));
+  for (ArcId a = 0; a < graph.num_arcs(); ++a)
+    budget[static_cast<std::size_t>(a)] = view.capacity(a);
+
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    const TokenSet& mine = view.own_possession(v);
+    const auto in_arcs = graph.in_arcs(v);
+    if (in_arcs.empty()) continue;
+
+    // Tokens available from each in-neighbor (per the stale peer view).
+    std::vector<TokenSet> offered;
+    offered.reserve(in_arcs.size());
+    bool anything = false;
+    for (ArcId a : in_arcs) {
+      TokenSet tokens = view.peer_possession(v, graph.arc(a).from);
+      tokens -= mine;
+      anything = anything || !tokens.empty();
+      offered.push_back(std::move(tokens));
+    }
+    if (!anything) continue;
+
+    std::int64_t total_budget = 0;
+    for (ArcId a : in_arcs) total_budget += budget[static_cast<std::size_t>(a)];
+
+    const TokenSet wanted = view.own_want(v) - mine;
+    // Two priority passes: wanted tokens first, then pure flood tokens.
+    for (const bool wanted_pass : {true, false}) {
+      if (total_budget <= 0) break;
+      for (TokenId t : rarity_order) {
+        if (total_budget <= 0) break;
+        if (wanted.test(t) != wanted_pass) continue;
+        if (mine.test(t)) continue;
+        // Already requested from some arc this step?
+        bool requested = false;
+        for (std::size_t k = 0; k < in_arcs.size() && !requested; ++k)
+          requested = requests[static_cast<std::size_t>(in_arcs[k])].test(t);
+        if (requested) continue;
+        // Choose the offering arc with the largest remaining budget
+        // (balances load across peers); random tie-break via scan order.
+        std::int32_t best = -1;
+        std::int32_t best_budget = 0;
+        for (std::size_t k = 0; k < in_arcs.size(); ++k) {
+          const ArcId a = in_arcs[k];
+          if (!offered[k].test(t)) continue;
+          const std::int32_t b = budget[static_cast<std::size_t>(a)];
+          if (b > best_budget) {
+            best_budget = b;
+            best = a;
+          }
+        }
+        if (best >= 0) {
+          requests[static_cast<std::size_t>(best)].set(t);
+          --budget[static_cast<std::size_t>(best)];
+          --total_budget;
+        }
+      }
+    }
+  }
+
+  // Pass 2 — senders fulfil requests (token presence is guaranteed:
+  // the stale view is a subset of current possession).
+  bool sent = false;
+  for (ArcId a = 0; a < graph.num_arcs(); ++a) {
+    if (!requests[static_cast<std::size_t>(a)].empty()) {
+      plan.send(a, requests[static_cast<std::size_t>(a)]);
+      sent = true;
+    }
+  }
+  // No requests can be a legitimate wait: with stale peer knowledge the
+  // offers lag behind reality, and progress resumes once the aggregate
+  // snapshots age forward.
+  if (!sent) plan.mark_idle();
+}
+
+}  // namespace ocd::heuristics

@@ -1,0 +1,71 @@
+// Encoding (§6 open problems):
+//
+// "In our problem, we consider a static set of tokens ... it may be
+//  useful to introduce redundancy into the system by generating
+//  multiple sub-tokens, only a subset of which are necessary to
+//  reconstruct the original token."
+//
+// We model an MDS-style code at the file level: a file of `data`
+// original tokens is published as `coded >= data` coded pieces, and a
+// receiver has the file once it holds ANY `data` of those pieces.  The
+// pieces are ordinary tokens to the transport (heuristics are
+// unchanged); only the *completion condition* weakens from "all wanted
+// tokens" to "enough pieces of every wanted file", which plugs into the
+// simulator through SimOptions::completion.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "ocd/core/instance.hpp"
+
+namespace ocd::coding {
+
+/// One coded file: pieces occupy token ids [first, first+coded).
+struct CodedFile {
+  TokenId first = 0;
+  std::int32_t data = 0;   ///< pieces needed to reconstruct
+  std::int32_t coded = 0;  ///< pieces published
+
+  [[nodiscard]] TokenSet pieces(std::size_t universe) const;
+};
+
+/// An OCD instance whose success criterion is piece-threshold based.
+class CodedInstance {
+ public:
+  CodedInstance(core::Instance instance, std::vector<CodedFile> files,
+                std::vector<std::vector<std::int32_t>> wanted_files);
+
+  [[nodiscard]] const core::Instance& instance() const noexcept {
+    return instance_;
+  }
+  [[nodiscard]] const std::vector<CodedFile>& files() const noexcept {
+    return files_;
+  }
+  /// Indices into files() wanted by vertex v.
+  [[nodiscard]] const std::vector<std::int32_t>& wanted_files(
+      VertexId v) const;
+
+  /// True when `possession` reconstructs every file v wants.
+  [[nodiscard]] bool vertex_satisfied(VertexId v,
+                                      const TokenSet& possession) const;
+
+  /// Completion predicate pluggable into sim::SimOptions::completion.
+  [[nodiscard]] std::function<bool(VertexId, const TokenSet&)>
+  completion_predicate() const;
+
+ private:
+  core::Instance instance_;
+  std::vector<CodedFile> files_;
+  std::vector<std::vector<std::int32_t>> wanted_files_;
+};
+
+/// Single-source broadcast of one coded file: `data_tokens` expanded by
+/// `redundancy` (>= 1.0; coded = round(data * redundancy)).  Every
+/// vertex but the source wants the file; the underlying instance's want
+/// sets list all coded pieces (so flooding heuristics chase them), the
+/// coded completion stops at the threshold.
+CodedInstance coded_broadcast(Digraph graph, std::int32_t data_tokens,
+                              double redundancy, VertexId source);
+
+}  // namespace ocd::coding

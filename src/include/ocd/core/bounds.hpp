@@ -1,0 +1,53 @@
+// Lower/upper bound machinery (§5.1 of the paper):
+//
+//  * remaining-bandwidth lower bound — one move per (vertex, token) pair
+//    wanted but not possessed;
+//  * distance lower bound on makespan — a token must travel at least the
+//    hop distance from its nearest holder;
+//  * the paper's capacity-aware closure bound M_i(v) = i +
+//    ceil(|T outside the radius-i in-closure of v| / in-capacity(v)),
+//    maximized over i and v, including the explicit one-step lookahead
+//    special case;
+//  * a bandwidth upper bound from serial Steiner-tree distribution
+//    (§3.3: optimal bandwidth ignoring time is a min-cost Steiner tree
+//    per token; we use the 2-approximate shortest-path heuristic, see
+//    steiner.hpp).
+#pragma once
+
+#include <span>
+
+#include "ocd/core/instance.hpp"
+
+namespace ocd::core {
+
+/// Bandwidth LB from the current possession state (defaults to h).
+std::int64_t bandwidth_lower_bound(const Instance& instance);
+std::int64_t bandwidth_lower_bound(const Instance& instance,
+                                   std::span<const TokenSet> possession);
+
+/// Makespan LB: max over wanted (v, t) of hop distance from the nearest
+/// holder of t to v.  Returns 0 when nothing is outstanding; throws
+/// ocd::Error when some wanted token is unreachable.
+std::int64_t distance_lower_bound(const Instance& instance);
+std::int64_t distance_lower_bound(const Instance& instance,
+                                  std::span<const TokenSet> possession);
+
+/// The paper's M_i(v) closure bound, maximized over all vertices and all
+/// radii 0..diameter.  Always >= distance_lower_bound-1-ish in shape but
+/// additionally accounts for limited in-capacity; we return the max of
+/// both so callers get the strongest available combinatorial LB.
+std::int64_t makespan_lower_bound(const Instance& instance);
+std::int64_t makespan_lower_bound(const Instance& instance,
+                                  std::span<const TokenSet> possession);
+
+/// One-step lookahead (§5.1 "special case"): 0 when done, 1 when every
+/// outstanding token sits at an in-neighbor within capacity, else 2.
+std::int64_t one_step_lookahead_bound(const Instance& instance,
+                                      std::span<const TokenSet> possession);
+
+/// Bandwidth *upper* bound for EOCD: sum over tokens of the arc count of
+/// a 2-approximate Steiner tree from the token's holders to its wanters
+/// (§3.3 serial distribution).  Throws when unsatisfiable.
+std::int64_t bandwidth_upper_bound_serial_steiner(const Instance& instance);
+
+}  // namespace ocd::core

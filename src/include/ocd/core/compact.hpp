@@ -1,0 +1,24 @@
+// Schedule compaction — the makespan analogue of §5.1's bandwidth
+// pruning.  Pruning removes moves a successful schedule never used;
+// compaction repeatedly *advances* moves to the earliest timestep where
+// their possession and capacity constraints still hold, shortening the
+// schedule without changing what is delivered.  Both transformations
+// preserve validity and success, so heuristic output can be post-
+// processed into a strictly better offline plan (prune, then compact).
+#pragma once
+
+#include "ocd/core/instance.hpp"
+#include "ocd/core/schedule.hpp"
+
+namespace ocd::core {
+
+/// Moves every send as early as possible (stable greedy sweep repeated
+/// to a fixpoint), then trims empty trailing steps.  The result is
+/// valid, delivers a superset-in-time of the original possessions, and
+/// has length() <= the input's and equal bandwidth.
+Schedule compact_schedule(const Instance& instance, const Schedule& schedule);
+
+/// Convenience: prune then compact — the full offline post-pass.
+Schedule optimize_schedule(const Instance& instance, const Schedule& schedule);
+
+}  // namespace ocd::core

@@ -1,0 +1,37 @@
+// Human-facing exports: Graphviz DOT renderings of instances and
+// schedule steps, and a flat CSV trace of every move — the debugging
+// and paper-writing companions to the binary/text formats in io.hpp.
+#pragma once
+
+#include <iosfwd>
+
+#include "ocd/core/instance.hpp"
+#include "ocd/core/schedule.hpp"
+
+namespace ocd::core {
+
+struct DotOptions {
+  /// Label arcs with their capacities.
+  bool show_capacities = true;
+  /// Mark vertices holding tokens (doublecircle) and wanting tokens
+  /// (filled) — the visual language used for instance snapshots.
+  bool mark_roles = true;
+};
+
+/// The instance as a directed graph.  Sources render as doublecircles,
+/// wanters shaded; arc labels carry capacities.
+void write_dot(const Instance& instance, std::ostream& out,
+               const DotOptions& options = {});
+
+/// One timestep overlaid on the instance: arcs active during
+/// `step_index` are bold and labelled with the tokens they carry.
+void write_step_dot(const Instance& instance, const Schedule& schedule,
+                    std::size_t step_index, std::ostream& out,
+                    const DotOptions& options = {});
+
+/// Flat move trace: one CSV row per (step, arc, token).
+/// Columns: step,from,to,token.
+void write_trace_csv(const Instance& instance, const Schedule& schedule,
+                     std::ostream& out);
+
+}  // namespace ocd::core

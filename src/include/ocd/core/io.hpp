@@ -1,0 +1,40 @@
+// Plain-text instance serialization and file-based schedule storage —
+// lets experiments be saved, shared and replayed.
+//
+// Format (line-oriented, '#' comments allowed):
+//
+//   ocd-instance v1
+//   vertices <n> tokens <m>
+//   arc <from> <to> <capacity>        (one per arc)
+//   have <vertex> <token> [token...]  (optional, repeatable)
+//   want <vertex> <token> [token...]  (optional, repeatable)
+//   file <first> <size>               (optional, repeatable)
+//   end
+//
+// Schedules use the Theorem-2 binary codec (core/encoding.hpp) wrapped
+// in a small file header.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "ocd/core/instance.hpp"
+#include "ocd/core/schedule.hpp"
+
+namespace ocd::core {
+
+/// Writes the textual form of `instance`.
+void save_instance(const Instance& instance, std::ostream& out);
+void save_instance_file(const Instance& instance, const std::string& path);
+
+/// Parses an instance; throws ocd::Error with a line-numbered message
+/// on malformed input.
+Instance load_instance(std::istream& in);
+Instance load_instance_file(const std::string& path);
+
+/// Binary schedule files (magic + Theorem-2 body).
+void save_schedule_file(const Schedule& schedule, std::int32_t num_arcs,
+                        std::int32_t num_tokens, const std::string& path);
+Schedule load_schedule_file(const std::string& path);
+
+}  // namespace ocd::core

@@ -1,0 +1,26 @@
+// Schedule pruning (§5.1 of the paper):
+//
+//   "Pruning first removes all moves that deliver a token repeatedly to
+//    the same vertex, and then works back from the last move to the
+//    first, removing moves that deliver tokens which were never used by
+//    the destination vertex."
+//
+// Pruning preserves validity and success while never increasing length
+// or bandwidth; it is used to report the "pruned bandwidth" series of
+// Figures 4-6.
+#pragma once
+
+#include "ocd/core/instance.hpp"
+#include "ocd/core/schedule.hpp"
+
+namespace ocd::core {
+
+/// Returns the pruned schedule.  The input must be valid for `instance`
+/// (success is not required; unsatisfied wants simply keep their moves).
+Schedule prune(const Instance& instance, const Schedule& schedule);
+
+/// Convenience: bandwidth of the pruned schedule.
+std::int64_t pruned_bandwidth(const Instance& instance,
+                              const Schedule& schedule);
+
+}  // namespace ocd::core

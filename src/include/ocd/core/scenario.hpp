@@ -1,0 +1,62 @@
+// Workload builders for every scenario in the paper's evaluation, plus
+// the Figure-1 tension example and the Theorem-4 adversarial family.
+#pragma once
+
+#include "ocd/core/instance.hpp"
+#include "ocd/util/rng.hpp"
+
+namespace ocd::core {
+
+/// §5.2 "Graph size" (Figs 2 & 3): one source holds a single file of
+/// `num_tokens` tokens; every other vertex wants the whole file.
+Instance single_source_all_receivers(Digraph graph, std::int32_t num_tokens,
+                                     VertexId source);
+
+/// §5.2 "Receiver density" (Fig 4): one source holds the file; each other
+/// vertex draws a uniform score and joins the want set iff
+/// score < threshold (threshold 1.0 reproduces the all-receivers case).
+/// Returns the instance and the number of receivers selected.
+struct DensityScenario {
+  Instance instance;
+  std::int32_t num_receivers = 0;
+};
+DensityScenario single_source_receiver_density(Digraph graph,
+                                               std::int32_t num_tokens,
+                                               VertexId source,
+                                               double threshold, Rng& rng);
+
+/// §5.3 "Number of files" (Fig 5): `total_tokens` tokens at one source
+/// are subdivided into `num_files` equal files; the vertices are
+/// partitioned into `num_files` equal groups and group f wants exactly
+/// file f.  `num_files` must divide `total_tokens`; the vertex groups
+/// absorb remainders.  The source wants nothing.
+Instance subdivided_files(Digraph graph, std::int32_t total_tokens,
+                          std::int32_t num_files, VertexId source);
+
+/// §5.3 "Multiple senders" (Fig 6): as subdivided_files, but each file is
+/// initially held by a random vertex chosen among vertices that do not
+/// want it.
+Instance subdivided_files_random_senders(Digraph graph,
+                                         std::int32_t total_tokens,
+                                         std::int32_t num_files, Rng& rng);
+
+/// The Figure-1 graph: a 7-vertex single-token instance in which the
+/// minimum-time schedule takes 2 timesteps and 6 units of bandwidth while
+/// a minimum-bandwidth schedule takes 4 units of bandwidth in 3 steps.
+Instance figure1_instance();
+
+/// Theorem-4 adversarial family: a bidirectional path of `path_length`
+/// arcs; the head holds `num_tokens` tokens, the tail wants exactly one
+/// of them (`wanted`, chosen by the adversary).  The prescient optimum
+/// finishes in `path_length` steps; a local-knowledge algorithm cannot
+/// know which token matters until want-information has crossed the path.
+Instance adversarial_path(std::int32_t path_length, std::int32_t num_tokens,
+                          TokenId wanted);
+
+/// Small random instance used by exact-solver cross-validation tests:
+/// `n` vertices, `m` tokens, each token held by one random vertex and
+/// wanted by each other vertex with probability `want_probability`.
+Instance random_small_instance(std::int32_t n, std::int32_t m,
+                               double want_probability, Rng& rng);
+
+}  // namespace ocd::core

@@ -1,0 +1,77 @@
+// Distribution schedules (§3.1): a sequence of timesteps, each mapping
+// arcs to the token sets sent across them.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ocd/graph/digraph.hpp"
+#include "ocd/util/token_set.hpp"
+
+namespace ocd::core {
+
+/// Tokens sent across one arc during one timestep.
+struct ArcSend {
+  ArcId arc = -1;
+  TokenSet tokens;
+};
+
+/// One timestep: a set of simultaneous moves, stored sparsely (only arcs
+/// that carry at least one token appear).
+class Timestep {
+ public:
+  Timestep() = default;
+
+  /// Adds `tokens` to the send set of `arc` (unioning with any previous
+  /// entry for that arc).
+  void add(ArcId arc, const TokenSet& tokens);
+  void add(ArcId arc, TokenId token, std::size_t universe);
+
+  [[nodiscard]] const std::vector<ArcSend>& sends() const noexcept {
+    return sends_;
+  }
+  [[nodiscard]] std::vector<ArcSend>& sends() noexcept { return sends_; }
+
+  /// Token-transfers in this timestep.
+  [[nodiscard]] std::int64_t moves() const noexcept;
+
+  [[nodiscard]] bool empty() const noexcept;
+
+  /// Removes arcs whose send set became empty.
+  void compact();
+
+ private:
+  std::vector<ArcSend> sends_;
+  // arc -> index into sends_, built lazily; small schedules just scan.
+};
+
+/// A full distribution schedule.
+class Schedule {
+ public:
+  Schedule() = default;
+
+  void append(Timestep step) { steps_.push_back(std::move(step)); }
+
+  [[nodiscard]] const std::vector<Timestep>& steps() const noexcept {
+    return steps_;
+  }
+  [[nodiscard]] std::vector<Timestep>& steps() noexcept { return steps_; }
+
+  /// Number of timesteps ("moves" on the paper's evaluation figures).
+  [[nodiscard]] std::int64_t length() const noexcept {
+    return static_cast<std::int64_t>(steps_.size());
+  }
+
+  /// Total token-transfers ("bandwidth").
+  [[nodiscard]] std::int64_t bandwidth() const noexcept;
+
+  /// Drops empty trailing timesteps (can appear after pruning).
+  void trim();
+
+  [[nodiscard]] bool empty() const noexcept { return steps_.empty(); }
+
+ private:
+  std::vector<Timestep> steps_;
+};
+
+}  // namespace ocd::core

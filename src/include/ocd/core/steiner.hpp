@@ -1,0 +1,53 @@
+// Steiner-tree machinery for the EOCD bandwidth analysis (§3.3).
+//
+// The paper observes that ignoring time, the optimal bandwidth for one
+// token is a minimum Steiner tree from its holders to its wanters (with
+// 0-cost identification of multiple holders).  Computing it exactly is
+// NP-hard, so we implement the classical shortest-path heuristic (grow
+// the tree by repeatedly attaching the terminal nearest to it), a
+// 2-approximation on the metric closure; plus a scheduler that realizes
+// the serial token-by-token distribution of §3.3.
+#pragma once
+
+#include <vector>
+
+#include "ocd/core/instance.hpp"
+#include "ocd/core/schedule.hpp"
+
+namespace ocd::core {
+
+/// A Steiner arborescence for one token: the arcs used, in an order
+/// where every arc's tail is reached before the arc is listed.
+struct SteinerTree {
+  std::vector<ArcId> arcs;
+  /// Hop depth at which each arc becomes sendable when the tree is
+  /// scheduled level-parallel (depth of the arc's tail from the roots).
+  std::vector<std::int32_t> depth;
+  [[nodiscard]] std::int64_t cost() const {
+    return static_cast<std::int64_t>(arcs.size());
+  }
+  /// Levels needed to push one token down the whole tree.
+  [[nodiscard]] std::int32_t height() const;
+};
+
+/// Shortest-path-heuristic Steiner arborescence from `roots` (vertices
+/// already holding the token) spanning `terminals`.  Throws ocd::Error
+/// when some terminal is unreachable.
+SteinerTree steiner_tree(const Digraph& graph,
+                         const std::vector<VertexId>& roots,
+                         const std::vector<VertexId>& terminals);
+
+/// §3.3 construction: distributes each token serially over its Steiner
+/// tree (levels of one token's tree run in parallel; distinct tokens run
+/// back-to-back).  Bandwidth equals the summed tree costs; length is the
+/// summed tree heights.  A bandwidth-frugal but slow offline scheduler.
+Schedule serial_steiner_schedule(const Instance& instance);
+
+/// Time-multiplexed variant: all tokens' Steiner trees run concurrently,
+/// list-scheduled against arc capacities and possession precedence.
+/// Same bandwidth as serial_steiner_schedule (the identical move set),
+/// but the makespan shrinks to roughly the deepest tree when capacity
+/// permits — a fast *and* frugal offline planner.
+Schedule steiner_packing_schedule(const Instance& instance);
+
+}  // namespace ocd::core

@@ -1,0 +1,38 @@
+// Schedule validation: replays a schedule against the formal constraints
+// of §3.1 (capacity, possession, initial assignment) and checks success
+// (w(v) ⊆ p_t(v) for all v).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ocd/core/instance.hpp"
+#include "ocd/core/schedule.hpp"
+
+namespace ocd::core {
+
+/// Outcome of replaying a schedule.
+struct ValidationResult {
+  bool valid = false;       ///< All constraints hold at every timestep.
+  bool successful = false;  ///< valid and every want satisfied at the end.
+  std::string violation;    ///< Empty when valid; else a human-readable
+                            ///< description of the first violation found.
+  /// Final possession sets p_t(v) (populated when valid).
+  std::vector<TokenSet> final_possession;
+};
+
+/// Replays the schedule; never throws for mere invalidity.
+ValidationResult validate(const Instance& instance, const Schedule& schedule);
+
+/// Replays and returns possession after every timestep:
+/// result[0] = p_0 = h, result[i] = possession after timestep i-1... i.e.
+/// result.size() == schedule.length() + 1.  Throws ocd::Error if the
+/// schedule violates a constraint.
+std::vector<std::vector<TokenSet>> possession_trace(const Instance& instance,
+                                                    const Schedule& schedule);
+
+/// True when the schedule is valid and satisfies every want.
+bool is_successful(const Instance& instance, const Schedule& schedule);
+
+}  // namespace ocd::core

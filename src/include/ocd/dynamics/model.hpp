@@ -1,0 +1,110 @@
+// Changing network conditions (§6 open problems).
+//
+// "We can consider that the capacity of each arc, or even the set of
+//  arcs themselves changes between turns.  By restricting the types of
+//  possible changes, this could model cross traffic, dynamic channel
+//  conditions, intermittent mobility, or even denial-of-service
+//  attacks."  ...  "Arrivals and departures ... may be viewed as an
+//  instance of 'Changing network conditions' with capacities to and
+//  from particular nodes going from zero to non-zero and back."
+//
+// A DynamicsModel rewrites the per-arc effective capacities at the
+// start of every timestep (0 disables an arc for the step).  The
+// simulator hands policies the *effective* capacities through
+// StepView::capacity — the "network oracle [with] knowledge of current
+// network conditions" the paper compares against.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string_view>
+
+#include "ocd/core/instance.hpp"
+#include "ocd/util/rng.hpp"
+
+namespace ocd::dynamics {
+
+class DynamicsModel {
+ public:
+  virtual ~DynamicsModel() = default;
+
+  [[nodiscard]] virtual std::string_view name() const = 0;
+
+  /// Called once per run before the first step.
+  virtual void reset(const core::Instance& instance, std::uint64_t seed);
+
+  /// Called once per step (before apply) with the step-initial
+  /// possession — lets state-dependent models (e.g. departure after
+  /// completion) track progress.  Default: ignored.
+  virtual void observe(std::int64_t step, const core::Instance& instance,
+                       const std::vector<TokenSet>& possession);
+
+  /// Overwrites `capacity` (pre-initialized to the static capacities,
+  /// one entry per arc) for this step.  Entries must stay >= 0.
+  virtual void apply(std::int64_t step, const Digraph& graph,
+                     std::span<std::int32_t> capacity) = 0;
+};
+
+/// Cross traffic: every step each arc's capacity is an independent
+/// uniform draw from [floor(c*(1-intensity)), c], never below min_cap.
+class CapacityJitter final : public DynamicsModel {
+ public:
+  explicit CapacityJitter(double intensity, std::int32_t min_capacity = 1);
+
+  [[nodiscard]] std::string_view name() const override { return "jitter"; }
+  void reset(const core::Instance& instance, std::uint64_t seed) override;
+  void apply(std::int64_t step, const Digraph& graph,
+             std::span<std::int32_t> capacity) override;
+
+ private:
+  double intensity_;
+  std::int32_t min_capacity_;
+  Rng rng_{1};
+};
+
+/// Link churn: each up arc fails with probability `fail_probability`
+/// per step and stays down for `outage_steps` steps (capacity 0).
+class LinkChurn final : public DynamicsModel {
+ public:
+  LinkChurn(double fail_probability, std::int32_t outage_steps);
+
+  [[nodiscard]] std::string_view name() const override { return "link-churn"; }
+  void reset(const core::Instance& instance, std::uint64_t seed) override;
+  void apply(std::int64_t step, const Digraph& graph,
+             std::span<std::int32_t> capacity) override;
+
+ private:
+  double fail_probability_;
+  std::int32_t outage_steps_;
+  std::vector<std::int64_t> down_until_;
+  Rng rng_{1};
+};
+
+/// Node churn (arrivals & departures): each present vertex departs with
+/// probability `leave_probability` per step; while absent (for
+/// `absence_steps`), every incident arc has capacity 0.  Vertices keep
+/// their state across absences (they re-join with what they had).
+class NodeChurn final : public DynamicsModel {
+ public:
+  NodeChurn(double leave_probability, std::int32_t absence_steps);
+
+  [[nodiscard]] std::string_view name() const override { return "node-churn"; }
+  void reset(const core::Instance& instance, std::uint64_t seed) override;
+  void apply(std::int64_t step, const Digraph& graph,
+             std::span<std::int32_t> capacity) override;
+
+  /// Vertices never taken down (defaults to every vertex with a
+  /// nonempty initial have-set, so content cannot vanish entirely).
+  void set_pinned(std::vector<VertexId> pinned);
+
+ private:
+  double leave_probability_;
+  std::int32_t absence_steps_;
+  std::vector<std::int64_t> away_until_;
+  std::vector<bool> pinned_;
+  std::vector<VertexId> pinned_vertices_;
+  bool pinned_overridden_ = false;
+  Rng rng_{1};
+};
+
+}  // namespace ocd::dynamics

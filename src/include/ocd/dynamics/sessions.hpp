@@ -1,0 +1,76 @@
+// Session traces — the §6 "Arrivals and departures" variant made
+// concrete:
+//
+// "In any real system, participants are unlikely to join
+//  simultaneously...  This variant may be viewed as an instance of the
+//  'Changing network conditions' with capacities to and from particular
+//  nodes going from zero to non-zero and back depending on whether a
+//  node is arriving or departing."
+//
+// A SessionTrace assigns each vertex a join step and an optional
+// departure rule; SessionDynamics implements it as a DynamicsModel
+// (absent vertices have zero incident capacity).  Generators produce
+// the classic swarm shapes: steady Poisson-like arrivals and flash
+// crowds.  Departure after completion models selfish peers that stop
+// seeding `linger` steps after their own download finishes.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "ocd/dynamics/model.hpp"
+
+namespace ocd::dynamics {
+
+struct Session {
+  std::int64_t join_step = 0;
+  /// Steps the vertex keeps seeding after its wants complete; nullopt =
+  /// stays forever (altruistic peer).
+  std::optional<std::int64_t> linger_after_complete;
+};
+
+class SessionTrace {
+ public:
+  explicit SessionTrace(std::vector<Session> sessions);
+
+  [[nodiscard]] const Session& session(VertexId v) const;
+  [[nodiscard]] std::size_t size() const noexcept { return sessions_.size(); }
+
+  /// Steady arrivals: geometric inter-arrival gaps with mean
+  /// 1/arrival_rate; sources (nonempty have-sets) join at step 0.
+  static SessionTrace steady(const core::Instance& instance,
+                             double arrival_rate, Rng& rng);
+
+  /// Flash crowd: everyone (but the always-present sources) joins within
+  /// the first `burst_window` steps, uniformly.
+  static SessionTrace flash_crowd(const core::Instance& instance,
+                                  std::int64_t burst_window, Rng& rng);
+
+ private:
+  std::vector<Session> sessions_;
+};
+
+/// DynamicsModel view of a trace.  Vertices outside their session have
+/// zero incident capacity; a vertex with a linger rule departs that many
+/// steps after its wants first complete (completion is tracked through
+/// the observe() hook the simulator calls with step-initial possession).
+class SessionDynamics final : public DynamicsModel {
+ public:
+  explicit SessionDynamics(SessionTrace trace);
+
+  [[nodiscard]] std::string_view name() const override { return "sessions"; }
+  void reset(const core::Instance& instance, std::uint64_t seed) override;
+  void observe(std::int64_t step, const core::Instance& instance,
+               const std::vector<TokenSet>& possession) override;
+  void apply(std::int64_t step, const Digraph& graph,
+             std::span<std::int32_t> capacity) override;
+
+  [[nodiscard]] bool present(VertexId v, std::int64_t step) const;
+
+ private:
+  SessionTrace trace_;
+  const core::Instance* instance_ = nullptr;
+  std::vector<std::int64_t> completed_at_;  // -1 = not yet
+};
+
+}  // namespace ocd::dynamics

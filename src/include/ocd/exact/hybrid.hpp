@@ -1,0 +1,42 @@
+// The hybrid time/bandwidth objective sketched at the end of §3.4:
+// "search for a bandwidth-optimal solution subject to the constraint
+// that the time be no more than some constant factor of the optimal
+// time".
+//
+// solve_hybrid computes the FOCD optimum T*, then minimizes bandwidth
+// under the horizon ceil(slack * T*).  bandwidth_time_frontier sweeps
+// the horizon upward from T*, tracing the Pareto front until the
+// bandwidth optimum stops improving (it is non-increasing in the
+// horizon and bounded below by the bandwidth lower bound).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "ocd/core/instance.hpp"
+#include "ocd/core/schedule.hpp"
+#include "ocd/lp/mip.hpp"
+
+namespace ocd::exact {
+
+struct HybridResult {
+  std::int32_t optimal_makespan = 0;  ///< T* from the FOCD sweep
+  std::int32_t horizon = 0;           ///< the budget actually used
+  std::int64_t bandwidth = 0;
+  core::Schedule schedule;
+};
+
+/// Bandwidth-optimal within `slack` x the optimal makespan.
+/// Requires slack >= 1.  nullopt when unsatisfiable or over budget.
+std::optional<HybridResult> solve_hybrid(const core::Instance& instance,
+                                         double slack,
+                                         const lp::MipOptions& options = {});
+
+/// One frontier point per horizon T*, T*+1, ..., stopping after the
+/// bandwidth optimum stabilizes for `patience` consecutive horizons or
+/// `max_points` points were produced.
+std::vector<HybridResult> bandwidth_time_frontier(
+    const core::Instance& instance, std::int32_t max_points = 6,
+    std::int32_t patience = 2, const lp::MipOptions& options = {});
+
+}  // namespace ocd::exact

@@ -1,0 +1,63 @@
+// The paper's time-indexed integer program (§3.4).
+//
+// For a horizon of tau timesteps we create binary variables
+//   hold[v][t][i]  — vertex v possesses token t at the start of step i+1
+//                    (i = 0..tau; i = 0 encodes the initial assignment,
+//                    realized as fixed bounds),
+//   send[a][t][i]  — token t crosses arc a during timestep i (1..tau),
+// and constraints
+//   possession:  send[a][t][i]   <= hold[tail(a)][t][i-1]
+//   no minting:  hold[v][t][i]   <= hold[v][t][i-1] + sum_in send[a][t][i]
+//   capacity:    sum_t send[a][t][i] <= c(a)
+//   wants:       hold[v][t][tau] = 1 for t in w(v)   (via fixed bounds)
+// with objective  min  sum send  (EOCD restricted to the horizon).
+//
+// Any IP solution maps back to a valid distribution schedule; see
+// extract_schedule.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "ocd/core/instance.hpp"
+#include "ocd/core/schedule.hpp"
+#include "ocd/lp/model.hpp"
+
+namespace ocd::exact {
+
+/// The built model plus the variable index maps needed to read back a
+/// schedule from a solution vector.
+class TimeIndexedIp {
+ public:
+  TimeIndexedIp(const core::Instance& instance, std::int32_t horizon);
+
+  [[nodiscard]] const lp::LinearProgram& program() const noexcept {
+    return program_;
+  }
+  [[nodiscard]] std::int32_t horizon() const noexcept { return horizon_; }
+
+  /// Variable index of send[arc][token][step] with step in 1..horizon.
+  [[nodiscard]] std::int32_t send_var(ArcId arc, TokenId token,
+                                      std::int32_t step) const;
+
+  /// Variable index of hold[vertex][token][step] with step in 0..horizon.
+  [[nodiscard]] std::int32_t hold_var(VertexId vertex, TokenId token,
+                                      std::int32_t step) const;
+
+  /// Reads a schedule out of a solution vector (values in {0,1} within
+  /// tolerance).  The result has exactly `horizon` timesteps; callers
+  /// may trim().
+  [[nodiscard]] core::Schedule extract_schedule(
+      const std::vector<double>& solution) const;
+
+ private:
+  const core::Instance& instance_;
+  std::int32_t horizon_ = 0;
+  lp::LinearProgram program_;
+  // Index bases: send vars laid out arc-major then token then step;
+  // hold vars vertex-major then token then step.
+  std::int32_t send_base_ = 0;
+  std::int32_t hold_base_ = 0;
+};
+
+}  // namespace ocd::exact

@@ -1,0 +1,49 @@
+// Exact EOCD/FOCD solving through the time-indexed IP (§3.4).
+#pragma once
+
+#include <optional>
+
+#include "ocd/core/instance.hpp"
+#include "ocd/core/schedule.hpp"
+#include "ocd/exact/ip_builder.hpp"
+#include "ocd/lp/mip.hpp"
+
+namespace ocd::exact {
+
+struct IpSolveResult {
+  core::Schedule schedule;
+  std::int64_t bandwidth = 0;
+  bool proven_optimal = false;
+  std::int64_t nodes_explored = 0;
+};
+
+/// Minimum-bandwidth schedule within `horizon` timesteps (EOCD with a
+/// makespan budget), or nullopt when infeasible within the horizon or
+/// the solver budget was exhausted without an incumbent.
+std::optional<IpSolveResult> solve_eocd(const core::Instance& instance,
+                                        std::int32_t horizon,
+                                        const lp::MipOptions& options = {});
+
+/// Linear-programming lower bound on the EOCD optimum within
+/// `horizon` timesteps: the §3.4 IP's relaxation objective.  Stronger
+/// than the simple counting bound whenever relaying is unavoidable
+/// (every relay hop costs fractional mass too).  Returns nullopt when
+/// the relaxation is infeasible (horizon too small) or the simplex
+/// budget is exhausted.
+std::optional<double> lp_bandwidth_lower_bound(
+    const core::Instance& instance, std::int32_t horizon,
+    const lp::SimplexOptions& options = {});
+
+struct MakespanResult {
+  std::int32_t makespan = 0;
+  core::Schedule schedule;
+};
+
+/// Minimum makespan (FOCD) by sweeping the horizon upward from the
+/// combinatorial lower bound until the IP becomes feasible.  Returns
+/// nullopt when no horizon <= max_horizon is feasible.
+std::optional<MakespanResult> min_makespan_ip(
+    const core::Instance& instance, std::int32_t max_horizon,
+    const lp::MipOptions& options = {});
+
+}  // namespace ocd::exact

@@ -1,0 +1,86 @@
+// Arc-indexed weighted digraph.
+//
+// This is the G = (V, E), c : E -> N of the paper: a simple directed
+// graph whose arc weights are capacities (tokens per timestep).  Arcs are
+// identified by dense ArcIds so per-arc simulator state (send sets,
+// round-robin cursors, plans) lives in flat vectors.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "ocd/util/error.hpp"
+
+namespace ocd {
+
+using VertexId = std::int32_t;
+using ArcId = std::int32_t;
+
+/// One directed arc (u, v) with capacity c(u, v) >= 1.
+struct Arc {
+  VertexId from = -1;
+  VertexId to = -1;
+  std::int32_t capacity = 0;
+};
+
+class Digraph {
+ public:
+  Digraph() = default;
+  explicit Digraph(std::int32_t num_vertices);
+
+  [[nodiscard]] std::int32_t num_vertices() const noexcept {
+    return num_vertices_;
+  }
+  [[nodiscard]] std::int32_t num_arcs() const noexcept {
+    return static_cast<std::int32_t>(arcs_.size());
+  }
+
+  /// Adds arc (from, to) with the given capacity and returns its id.
+  /// The graph must stay simple: adding a duplicate arc is a contract
+  /// violation (the paper folds multi-arcs into one arc whose capacity is
+  /// the sum; callers wanting that behaviour use add_or_merge_arc).
+  ArcId add_arc(VertexId from, VertexId to, std::int32_t capacity);
+
+  /// Adds (from, to) or, if present, increases its capacity.
+  ArcId add_or_merge_arc(VertexId from, VertexId to, std::int32_t capacity);
+
+  [[nodiscard]] const Arc& arc(ArcId id) const {
+    OCD_EXPECTS(id >= 0 && static_cast<std::size_t>(id) < arcs_.size());
+    return arcs_[static_cast<std::size_t>(id)];
+  }
+
+  /// Id of arc (from, to), or -1 when absent.  O(out-degree).
+  [[nodiscard]] ArcId find_arc(VertexId from, VertexId to) const;
+
+  [[nodiscard]] bool has_arc(VertexId from, VertexId to) const {
+    return find_arc(from, to) >= 0;
+  }
+
+  /// Ids of arcs leaving / entering v.
+  [[nodiscard]] std::span<const ArcId> out_arcs(VertexId v) const;
+  [[nodiscard]] std::span<const ArcId> in_arcs(VertexId v) const;
+
+  /// Out-/in-neighbour vertex lists (deduplicated by simplicity).
+  [[nodiscard]] std::vector<VertexId> out_neighbors(VertexId v) const;
+  [[nodiscard]] std::vector<VertexId> in_neighbors(VertexId v) const;
+
+  /// Sum of capacities into v (the paper's indegree used by the M_i(v)
+  /// bound counts incoming capacity).
+  [[nodiscard]] std::int64_t in_capacity(VertexId v) const;
+  [[nodiscard]] std::int64_t out_capacity(VertexId v) const;
+
+  [[nodiscard]] bool valid_vertex(VertexId v) const noexcept {
+    return v >= 0 && v < num_vertices_;
+  }
+
+  [[nodiscard]] const std::vector<Arc>& arcs() const noexcept { return arcs_; }
+
+ private:
+  std::int32_t num_vertices_ = 0;
+  std::vector<Arc> arcs_;
+  std::vector<std::vector<ArcId>> out_;
+  std::vector<std::vector<ArcId>> in_;
+};
+
+}  // namespace ocd

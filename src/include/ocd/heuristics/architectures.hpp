@@ -1,0 +1,101 @@
+// Architecture baselines from the paper's related-work survey (§2).
+//
+// The paper motivates the OCD formulation by the zoo of deployed
+// overlay architectures; these policies implement idealized versions of
+// the two classic structures so benches can compare *architectures*
+// (single tree vs striped forest vs mesh) inside one formal model:
+//
+//  * TreePolicy ("overcast-tree") — Overcast [9]: a single
+//    bandwidth-optimized distribution tree.  We build the widest-path
+//    (maximum bottleneck capacity) spanning tree rooted at the richest
+//    source and flood useful tokens along tree edges only.
+//
+//  * StripedForestPolicy ("splitstream-forest") — SplitStream [3] /
+//    CoopNet [12]: content split into k stripes, each pushed down its
+//    own randomized tree so interior load spreads across vertices.
+//
+//  * FastReplicaPolicy ("fast-replica") — FastReplica [4]: the source
+//    partitions the file across its direct neighbors (one block each),
+//    who then exchange blocks among themselves; remaining vertices pull
+//    blocks mesh-style.
+//
+// Both use only per-peer possession knowledge (kLocalPeers) and assume
+// the overlay's links are bidirectional (true for every generator in
+// ocd::topology); on one-way graphs they may fail to complete, which
+// the simulator reports as an unsuccessful run.
+#pragma once
+
+#include <vector>
+
+#include "ocd/sim/policy.hpp"
+
+namespace ocd::heuristics {
+
+class TreePolicy final : public sim::Policy {
+ public:
+  [[nodiscard]] std::string_view name() const override {
+    return "overcast-tree";
+  }
+  [[nodiscard]] sim::KnowledgeClass knowledge_class() const override {
+    return sim::KnowledgeClass::kLocalPeers;
+  }
+
+  void reset(const core::Instance& instance, std::uint64_t seed) override;
+  void plan_step(const sim::StepView& view, sim::StepPlan& plan) override;
+
+  /// Tree arcs in use (both directions where present); for tests.
+  [[nodiscard]] const std::vector<ArcId>& tree_arcs() const noexcept {
+    return tree_arcs_;
+  }
+
+ private:
+  std::vector<ArcId> tree_arcs_;
+  std::vector<bool> arc_in_tree_;
+};
+
+class StripedForestPolicy final : public sim::Policy {
+ public:
+  explicit StripedForestPolicy(std::int32_t stripes = 4);
+
+  [[nodiscard]] std::string_view name() const override {
+    return "splitstream-forest";
+  }
+  [[nodiscard]] sim::KnowledgeClass knowledge_class() const override {
+    return sim::KnowledgeClass::kLocalPeers;
+  }
+
+  void reset(const core::Instance& instance, std::uint64_t seed) override;
+  void plan_step(const sim::StepView& view, sim::StepPlan& plan) override;
+
+  [[nodiscard]] std::int32_t stripes() const noexcept { return stripes_; }
+
+ private:
+  std::int32_t stripes_;
+  /// arc_stripes_[a]: bitmask of stripes allowed to use arc a.
+  std::vector<std::uint32_t> arc_stripes_;
+  std::vector<TokenSet> stripe_tokens_;
+};
+
+class FastReplicaPolicy final : public sim::Policy {
+ public:
+  [[nodiscard]] std::string_view name() const override {
+    return "fast-replica";
+  }
+  [[nodiscard]] sim::KnowledgeClass knowledge_class() const override {
+    return sim::KnowledgeClass::kLocalPeers;
+  }
+
+  void reset(const core::Instance& instance, std::uint64_t seed) override;
+  void plan_step(const sim::StepView& view, sim::StepPlan& plan) override;
+
+ private:
+  VertexId source_ = 0;
+  /// Block assigned to each of the source's out-neighbors (the initial
+  /// scatter); tokens outside any block travel with block 0.
+  std::vector<TokenSet> block_of_arc_;
+};
+
+/// The paper's five heuristics plus the §2 architecture baselines.
+const std::vector<std::string>& extended_policy_names();
+
+}  // namespace ocd::heuristics

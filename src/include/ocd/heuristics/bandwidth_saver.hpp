@@ -1,0 +1,31 @@
+// Bandwidth (§5.1): an online heuristic with global knowledge that
+// "more cautiously adds tokens to a move ... each vertex shall obtain
+// from its peers in its next turn only tokens that it will eventually
+// use": tokens it needs, or tokens for which it is the closest
+// one-hop-knowledge vertex to a node that needs them (a one-hop-
+// knowledge vertex could obtain the token in a single turn).
+//
+// Knowledge class kGlobal.  Each step we compute, per token, the needy
+// set and the one-hop frontier, then a multi-source BFS elects for each
+// needy node its nearest frontier vertex; only elected relays and needy
+// nodes are allowed to receive the token.  Senders then fill arc
+// capacity with allowed tokens, needs before relays, rarest first.
+#pragma once
+
+#include <vector>
+
+#include "ocd/sim/policy.hpp"
+
+namespace ocd::heuristics {
+
+class BandwidthPolicy final : public sim::Policy {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "bandwidth"; }
+  [[nodiscard]] sim::KnowledgeClass knowledge_class() const override {
+    return sim::KnowledgeClass::kGlobal;
+  }
+
+  void plan_step(const sim::StepView& view, sim::StepPlan& plan) override;
+};
+
+}  // namespace ocd::heuristics

@@ -1,0 +1,23 @@
+// Heuristic registry: construct any of the paper's five policies by
+// name; enumerate them for sweeps.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ocd/sim/policy.hpp"
+
+namespace ocd::heuristics {
+
+/// Names in the order the paper introduces them:
+/// round-robin, random, local, bandwidth, global.
+const std::vector<std::string>& all_policy_names();
+
+/// Constructs a policy by name; throws ocd::Error for unknown names.
+sim::PolicyPtr make_policy(std::string_view name);
+
+/// Convenience: all five policies, paper order.
+std::vector<sim::PolicyPtr> make_all_policies();
+
+}  // namespace ocd::heuristics

@@ -1,0 +1,32 @@
+// Global (§5.1): the coordinated variant of the Local heuristic —
+// "vertices have the ability to coordinate across each other at each
+// timestep to ensure that they maximize diversity ... Our implementation
+// of this technique applies a greedy selection algorithm over the set of
+// tokens and edges, and is thus not guaranteed to maximize diversity."
+//
+// Knowledge class kGlobal with full per-step coordination: tokens are
+// processed rarest-first; each (arc, token) assignment delivers the
+// token to a vertex that does not have it and has not been granted it
+// by another arc this step, so no capacity is wasted on duplicates.
+// Wanted deliveries are assigned before pure diversity floods.
+#pragma once
+
+#include "ocd/sim/policy.hpp"
+
+namespace ocd::heuristics {
+
+class GlobalGreedyPolicy final : public sim::Policy {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "global"; }
+  [[nodiscard]] sim::KnowledgeClass knowledge_class() const override {
+    return sim::KnowledgeClass::kGlobal;
+  }
+
+  void reset(const core::Instance& instance, std::uint64_t seed) override;
+  void plan_step(const sim::StepView& view, sim::StepPlan& plan) override;
+
+ private:
+  Rng rng_{1};
+};
+
+}  // namespace ocd::heuristics

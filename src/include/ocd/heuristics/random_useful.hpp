@@ -1,0 +1,30 @@
+// Random (§5.1): "peers have current knowledge about the tokens known by
+// each of their peers at the beginning of the turn.  Each vertex then
+// independently chooses at random which tokens to send over the edge."
+//
+// Knowledge class kLocalPeers.  The peer snapshot honours the
+// simulator's staleness option (the paper's "state 'k' turns ago"
+// relaxation).  A flooding heuristic: it sends any token the peer lacks,
+// wanted or not.
+#pragma once
+
+#include "ocd/sim/policy.hpp"
+
+namespace ocd::heuristics {
+
+class RandomPolicy final : public sim::Policy {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "random"; }
+  [[nodiscard]] sim::KnowledgeClass knowledge_class() const override {
+    return sim::KnowledgeClass::kLocalPeers;
+  }
+
+  void reset(const core::Instance& instance, std::uint64_t seed) override;
+  void plan_vertex(VertexId self, const sim::StepView& view,
+                   sim::StepPlan& plan) override;
+
+ private:
+  Rng rng_{1};
+};
+
+}  // namespace ocd::heuristics

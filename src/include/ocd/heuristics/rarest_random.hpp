@@ -1,0 +1,39 @@
+// Local (§5.1): rarest-random with request subdivision.
+//
+// "Rarest random is often used in multicast flooding because, by
+//  diversifying the set of tokens known by various vertices, they can
+//  share them with each other for increased bandwidth... our heuristic
+//  subdivides a vertex's needs to their peers.  This is analogous to a
+//  request for blocks... we distribute both aggregates of what vertices
+//  want and what they do not have."
+//
+// Knowledge class kLocalAggregate: per-peer possession snapshots plus
+// the per-step global aggregate vectors (rarity and need).  Each
+// timestep runs in two conceptually-distributed passes:
+//   1. every vertex partitions the tokens it lacks among its in-arcs
+//      (a block request), rarest tokens first, wanted tokens before
+//      flood tokens, at most `capacity` requests per arc;
+//   2. every sender transmits exactly the requested tokens.
+#pragma once
+
+#include <vector>
+
+#include "ocd/sim/policy.hpp"
+
+namespace ocd::heuristics {
+
+class RarestRandomPolicy final : public sim::Policy {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "local"; }
+  [[nodiscard]] sim::KnowledgeClass knowledge_class() const override {
+    return sim::KnowledgeClass::kLocalAggregate;
+  }
+
+  void reset(const core::Instance& instance, std::uint64_t seed) override;
+  void plan_step(const sim::StepView& view, sim::StepPlan& plan) override;
+
+ private:
+  Rng rng_{1};
+};
+
+}  // namespace ocd::heuristics

@@ -1,0 +1,45 @@
+// Dominating-set solvers used to cross-validate the NP-hardness
+// reduction (appendix / Figure 7 of the paper).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "ocd/graph/digraph.hpp"
+#include "ocd/util/rng.hpp"
+
+namespace ocd::reduction {
+
+/// An undirected graph for the Dominating Set problem, stored as an
+/// adjacency-mask vector (n <= 64).
+class UndirectedGraph {
+ public:
+  explicit UndirectedGraph(std::int32_t n);
+
+  void add_edge(std::int32_t u, std::int32_t v);
+  [[nodiscard]] std::int32_t num_vertices() const noexcept { return n_; }
+  [[nodiscard]] bool has_edge(std::int32_t u, std::int32_t v) const;
+  /// Closed neighborhood of v (v plus its neighbors) as a bitmask.
+  [[nodiscard]] std::uint64_t closed_neighborhood(std::int32_t v) const;
+
+ private:
+  std::int32_t n_;
+  std::vector<std::uint64_t> adjacency_;
+};
+
+/// Smallest dominating set, by exact branch-and-bound over closed
+/// neighborhoods.  Practical for n <= ~30.
+std::vector<std::int32_t> minimum_dominating_set(const UndirectedGraph& g);
+
+/// True when `set` dominates g.
+bool is_dominating_set(const UndirectedGraph& g,
+                       const std::vector<std::int32_t>& set);
+
+/// Greedy ln(n)-approximation, for comparison in benches.
+std::vector<std::int32_t> greedy_dominating_set(const UndirectedGraph& g);
+
+/// Uniform random undirected graph (every pair with probability p).
+UndirectedGraph random_undirected(std::int32_t n, double p, Rng& rng);
+
+}  // namespace ocd::reduction

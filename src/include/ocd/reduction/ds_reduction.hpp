@@ -1,0 +1,50 @@
+// The Dominating Set -> FOCD reduction from the paper's appendix
+// (Theorem 5, illustrated in Figure 7):
+//
+// Given an undirected graph G = (V, E) with |V| = n and an integer k,
+// build a FOCD instance with vertices {s, t} ∪ V ∪ V' and tokens
+// {0} ∪ {1..n-k}:
+//   * s holds every token;
+//   * t wants {1..n-k}; every v'_i wants {0};
+//   * arcs (capacity 1): s -> v_i, v_i -> t, v_i -> v'_i, and
+//     v_i -> v'_j for every (v_i, v_j) in E.
+//
+// G has a dominating set of size <= k  ⟺  the instance is satisfiable
+// in 2 timesteps.
+#pragma once
+
+#include "ocd/core/instance.hpp"
+#include "ocd/core/schedule.hpp"
+#include "ocd/reduction/dominating_set.hpp"
+
+namespace ocd::reduction {
+
+/// Vertex-index layout of the constructed instance.
+struct ReductionLayout {
+  VertexId s = 0;
+  VertexId t = 1;
+  /// v_i = first_v + i, v'_i = first_v_prime + i.
+  VertexId first_v = 2;
+  VertexId first_v_prime = 0;
+  std::int32_t n = 0;
+  std::int32_t k = 0;
+};
+
+struct ReducedInstance {
+  core::Instance instance;
+  ReductionLayout layout;
+};
+
+/// Builds the FOCD instance deciding "does g have a dominating set of
+/// size <= k?".  Requires 0 <= k <= n.
+ReducedInstance reduce_dominating_set(const UndirectedGraph& g,
+                                      std::int32_t k);
+
+/// Reads a dominating set out of a 2-step witness schedule: the set of
+/// v_i that receive token 0 in the first timestep.  The result is a
+/// valid dominating set of size <= k whenever the schedule is a valid
+/// 2-step solution.
+std::vector<std::int32_t> extract_dominating_set(
+    const ReducedInstance& reduced, const core::Schedule& schedule);
+
+}  // namespace ocd::reduction

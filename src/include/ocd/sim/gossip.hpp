@@ -1,0 +1,79 @@
+// §4.1 made literal: per-vertex knowledge states updated only by
+// neighbor exchange.
+//
+// The paper requires k_{i+1}(v) to be computable from k_i(v) and
+// k_i(u) for neighbors u (information travels bidirectionally along
+// arcs).  GossipState implements exactly that: every vertex keeps, for
+// every other vertex w, its freshest belief about w's possession set
+// tagged with the step it was observed; each timestep a vertex refreshes
+// its own entry from ground truth and adopts any fresher entry a
+// neighbor holds.  Beliefs therefore lag by at most dist(w, v) steps —
+// the mechanism behind §4.2's "additive factor of the diameter".
+//
+// GossipRarestPolicy is a rarest-random variant that consumes ONLY this
+// gossip state plus its own possession — a policy that is local by
+// construction (declared kLocalOnly; the runtime view enforcement
+// guarantees it never touches the oracle accessors).  Comparing it with
+// the aggregate-oracle Local heuristic quantifies what the paper's
+// "implementation problem" of distributing aggregates actually costs.
+#pragma once
+
+#include <vector>
+
+#include "ocd/sim/policy.hpp"
+
+namespace ocd::sim {
+
+/// One belief: what some vertex thinks `target`'s possession was at
+/// `observed_step` (-1 = never heard of it; the token set is then
+/// empty, the safe under-approximation).
+struct Belief {
+  TokenSet tokens;
+  std::int64_t observed_step = -1;
+};
+
+class GossipState {
+ public:
+  explicit GossipState(const core::Instance& instance);
+
+  /// Advances one round: every vertex refreshes its own entry from
+  /// `possession` (stamped `step`), then adopts fresher entries from
+  /// neighbors' *previous-round* states (synchronous gossip).
+  void advance(const std::vector<TokenSet>& possession, std::int64_t step);
+
+  /// What `vertex` currently believes about `target`.
+  [[nodiscard]] const Belief& belief(VertexId vertex, VertexId target) const;
+
+  /// Age of the freshest information `vertex` has about `target` at
+  /// time `now` (kUnknownAge when it has none).
+  [[nodiscard]] std::int64_t age(VertexId vertex, VertexId target,
+                                 std::int64_t now) const;
+
+  static constexpr std::int64_t kUnknownAge = -1;
+
+ private:
+  const core::Instance& instance_;
+  // beliefs_[v][w]: v's belief about w.
+  std::vector<std::vector<Belief>> beliefs_;
+  std::vector<std::vector<Belief>> scratch_;
+};
+
+/// Rarest-random requests driven purely by gossip beliefs.
+class GossipRarestPolicy final : public Policy {
+ public:
+  [[nodiscard]] std::string_view name() const override {
+    return "gossip-rarest";
+  }
+  [[nodiscard]] KnowledgeClass knowledge_class() const override {
+    return KnowledgeClass::kLocalOnly;
+  }
+
+  void reset(const core::Instance& instance, std::uint64_t seed) override;
+  void plan_step(const StepView& view, StepPlan& plan) override;
+
+ private:
+  std::unique_ptr<GossipState> gossip_;
+  Rng rng_{1};
+};
+
+}  // namespace ocd::sim

@@ -1,0 +1,55 @@
+// The LOCD knowledge model (§4.1).
+//
+// k_i(v) — what vertex v may use when planning timestep i — is factored
+// into three ingredients the views hand to policies:
+//   * the vertex's own state (possession, wants, incident arcs),
+//   * per-neighbor possession snapshots, optionally `staleness` steps
+//     old (§5.1 discusses relaxing Random's perfect peer knowledge to
+//     the state "k turns ago"),
+//   * per-token aggregate vectors distributed each step (the Local
+//     heuristic's "aggregate need and knowledge": how many vertices
+//     still need each token, and how many hold it).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "ocd/core/instance.hpp"
+
+namespace ocd::sim {
+
+/// Per-token aggregates over the whole system, recomputed at the start
+/// of each timestep from the step-initial possession.
+struct Aggregates {
+  /// holders[t]: vertices currently possessing t (the Local heuristic's
+  /// rarity signal — smaller is rarer).
+  std::vector<std::int32_t> holders;
+  /// need[t]: vertices that want t and do not yet have it.
+  std::vector<std::int32_t> need;
+};
+
+Aggregates compute_aggregates(const core::Instance& instance,
+                              const std::vector<TokenSet>& possession);
+
+/// Ring buffer of possession snapshots providing `staleness`-steps-old
+/// peer views.  With staleness 0 the freshest snapshot is returned
+/// (peers' state at the start of the current turn).
+class SnapshotBuffer {
+ public:
+  explicit SnapshotBuffer(std::int32_t staleness);
+
+  /// Installs the possession at the start of a new timestep.
+  void push(const std::vector<TokenSet>& possession);
+
+  /// The snapshot policies may consult this step.
+  [[nodiscard]] const std::vector<TokenSet>& stale_view() const;
+
+  [[nodiscard]] std::int32_t staleness() const noexcept { return staleness_; }
+
+ private:
+  std::int32_t staleness_;
+  std::deque<std::vector<TokenSet>> snapshots_;
+};
+
+}  // namespace ocd::sim

@@ -1,0 +1,37 @@
+// Control-plane overhead accounting.
+//
+// §4.2 notes that a competitive bound for EOCD "depends on the
+// bandwidth cost of sending knowledge".  This utility prices the
+// knowledge each class consumes per timestep, in bits, under the
+// natural encodings:
+//
+//   kLocalOnly      — nothing crosses the network (own state only);
+//   kLocalPeers     — each edge carries one possession bitmap per
+//                     direction: m bits per arc;
+//   kLocalAggregate — peers' bitmaps plus an aggregate broadcast of two
+//                     per-token counters (need & holders, ceil(log2 n+1)
+//                     bits each) delivered to every vertex;
+//   kGlobal         — the full possession matrix (n·m bits) delivered
+//                     to every vertex.
+//
+// These are per-step *costs of the assumption*, not traffic the
+// simulator moves; benches report them so the heuristics' data-plane
+// savings can be weighed against their knowledge appetite.
+#pragma once
+
+#include <cstdint>
+
+#include "ocd/core/instance.hpp"
+#include "ocd/sim/views.hpp"
+
+namespace ocd::sim {
+
+/// Bits of knowledge delivered per timestep under `klass`.
+std::int64_t knowledge_bits_per_step(const core::Instance& instance,
+                                     KnowledgeClass klass);
+
+/// Total knowledge bits for a run of `steps` timesteps.
+std::int64_t knowledge_bits_total(const core::Instance& instance,
+                                  KnowledgeClass klass, std::int64_t steps);
+
+}  // namespace ocd::sim

@@ -1,0 +1,72 @@
+// Policy interface: the decision procedure of an online heuristic.
+#pragma once
+
+#include <memory>
+#include <string_view>
+
+#include "ocd/core/schedule.hpp"
+#include "ocd/sim/views.hpp"
+#include "ocd/util/rng.hpp"
+
+namespace ocd::sim {
+
+/// Mutable plan for one timestep.  Policies add sends; the simulator
+/// validates them against capacity and possession afterwards, so a
+/// buggy policy is caught rather than silently corrupting a run.
+class StepPlan {
+ public:
+  explicit StepPlan(const Digraph& graph);
+  /// With per-step effective capacities (dynamics); remaining_capacity
+  /// then reports against the effective values.
+  StepPlan(const Digraph& graph,
+           std::span<const std::int32_t> effective_capacity);
+
+  /// Adds tokens to an arc's send set.
+  void send(ArcId arc, const TokenSet& tokens);
+  void send(ArcId arc, TokenId token, std::size_t universe);
+
+  /// Capacity still unclaimed on `arc` within this plan.
+  [[nodiscard]] std::int32_t remaining_capacity(ArcId arc) const;
+
+  /// Declares an intentionally empty timestep (e.g. the knowledge-
+  /// flooding phase of the §4.2 two-phase algorithm).  Without this
+  /// mark, an empty plan with outstanding wants is reported as a
+  /// stalled policy.
+  void mark_idle() noexcept { idle_ = true; }
+  [[nodiscard]] bool idle_marked() const noexcept { return idle_; }
+
+  [[nodiscard]] const core::Timestep& timestep() const noexcept {
+    return step_;
+  }
+  [[nodiscard]] core::Timestep take() noexcept { return std::move(step_); }
+
+ private:
+  const Digraph& graph_;
+  std::span<const std::int32_t> effective_capacity_;
+  core::Timestep step_;
+  bool idle_ = false;
+};
+
+class Policy {
+ public:
+  virtual ~Policy() = default;
+
+  [[nodiscard]] virtual std::string_view name() const = 0;
+  [[nodiscard]] virtual KnowledgeClass knowledge_class() const = 0;
+
+  /// Called once before a run.  `seed` derives any internal randomness.
+  virtual void reset(const core::Instance& instance, std::uint64_t seed);
+
+  /// Plans one timestep.  The default implementation calls plan_vertex
+  /// for every vertex — the shape of a genuinely distributed algorithm;
+  /// coordinated policies (Global) may override plan_step wholesale.
+  virtual void plan_step(const StepView& view, StepPlan& plan);
+
+  /// Per-vertex decision: fill sends for `self`'s out-arcs.
+  virtual void plan_vertex(VertexId self, const StepView& view,
+                           StepPlan& plan);
+};
+
+using PolicyPtr = std::unique_ptr<Policy>;
+
+}  // namespace ocd::sim

@@ -1,0 +1,67 @@
+// Scripted execution and the §4.2 two-phase construction.
+//
+// The paper observes that an on-line algorithm can always finish within
+// an additive factor of the graph diameter: spend the first D timesteps
+// flooding full state knowledge, after which every vertex can
+// (deterministically) compute the same global plan and follow it.
+//
+//  * ScriptedPolicy replays a precomputed core::Schedule move-for-move.
+//  * TwoPhasePolicy idles for `delay` steps (knowledge flooding; data
+//    arcs stay silent), then computes a plan with an inner planner
+//    policy simulated offline, and replays it shifted by the delay.
+//    With delay = diameter(G) this realizes the §4.2 argument and its
+//    optimal + D guarantee relative to the inner planner's length.
+#pragma once
+
+#include <optional>
+
+#include "ocd/core/schedule.hpp"
+#include "ocd/sim/policy.hpp"
+
+namespace ocd::sim {
+
+/// Replays a fixed schedule.  Classified kGlobal: a script is by
+/// definition globally-informed content.
+class ScriptedPolicy : public Policy {
+ public:
+  explicit ScriptedPolicy(core::Schedule schedule);
+
+  [[nodiscard]] std::string_view name() const override { return "scripted"; }
+  [[nodiscard]] KnowledgeClass knowledge_class() const override {
+    return KnowledgeClass::kGlobal;
+  }
+  void plan_step(const StepView& view, StepPlan& plan) override;
+
+ private:
+  core::Schedule schedule_;
+};
+
+/// §4.2: idle for `delay` steps, then follow a plan computed by the
+/// named inner policy (simulated offline against the initial state).
+class TwoPhasePolicy : public Policy {
+ public:
+  /// delay < 0 selects the graph diameter at reset time.
+  explicit TwoPhasePolicy(std::string inner_policy = "global",
+                          std::int32_t delay = -1);
+
+  [[nodiscard]] std::string_view name() const override { return "two-phase"; }
+  [[nodiscard]] KnowledgeClass knowledge_class() const override {
+    return KnowledgeClass::kGlobal;
+  }
+
+  void reset(const core::Instance& instance, std::uint64_t seed) override;
+  void plan_step(const StepView& view, StepPlan& plan) override;
+
+  [[nodiscard]] std::int32_t delay() const noexcept { return delay_; }
+  [[nodiscard]] std::int64_t planned_length() const noexcept {
+    return plan_.length();
+  }
+
+ private:
+  std::string inner_policy_;
+  std::int32_t requested_delay_;
+  std::int32_t delay_ = 0;
+  core::Schedule plan_;
+};
+
+}  // namespace ocd::sim

@@ -1,0 +1,66 @@
+// The synchronous round simulator implementing the model of §3.1.
+//
+// Each timestep: build the knowledge views, let the policy plan, verify
+// the plan against capacity and possession (a buggy policy throws), and
+// apply all sends simultaneously.  Runs terminate when every want is
+// satisfied, when `max_steps` elapses, or when a step produces no moves
+// while wants remain outstanding (a stalled policy).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "ocd/core/instance.hpp"
+#include "ocd/core/schedule.hpp"
+#include "ocd/sim/policy.hpp"
+#include "ocd/sim/stats.hpp"
+
+namespace ocd::dynamics {
+class DynamicsModel;
+}
+
+namespace ocd::sim {
+
+struct SimOptions {
+  std::int64_t max_steps = 1'000'000;
+  /// Peer-knowledge staleness k (§5.1: "the state 'k' turns ago").
+  std::int32_t staleness = 0;
+  /// When true, the per-token aggregate vectors handed to
+  /// kLocalAggregate+ policies are computed from the k-stale snapshot
+  /// instead of the step-initial state — modelling a delayed aggregate
+  /// multicast (§5.1 notes "the potential need to support a delay in
+  /// the aggregate knowledge").
+  bool stale_aggregates = false;
+  /// Record the full schedule (needed for pruning/validation; costs
+  /// memory proportional to bandwidth).
+  bool record_schedule = true;
+  /// Seed for the policy's internal randomness.
+  std::uint64_t seed = 1;
+  /// Precompute all-pairs distances for kGlobal policies.  Enabled
+  /// automatically when the policy requires them.
+  bool precompute_distances = false;
+  /// Optional §6 changing-network-conditions model (caller-owned; must
+  /// outlive the run).  Rewrites per-arc effective capacities each
+  /// step; a step in which the network leaves no sendable capacity is
+  /// then a legitimate (idle) step rather than a policy stall.
+  dynamics::DynamicsModel* dynamics = nullptr;
+  /// Optional completion override (§6 encoding): a vertex counts as
+  /// satisfied when this predicate accepts its possession set, instead
+  /// of the default w(v) ⊆ p(v).  Policies still see the instance's
+  /// want sets; only run termination and completion_step change.
+  std::function<bool(VertexId, const TokenSet&)> completion;
+};
+
+struct RunResult {
+  bool success = false;
+  std::int64_t steps = 0;
+  std::int64_t bandwidth = 0;
+  core::Schedule schedule;  ///< Empty unless options.record_schedule.
+  RunStats stats;
+};
+
+/// Runs `policy` on `instance` until completion or budget exhaustion.
+RunResult run(const core::Instance& instance, Policy& policy,
+              const SimOptions& options = {});
+
+}  // namespace ocd::sim

@@ -1,0 +1,42 @@
+// Run statistics collected by the simulator.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ocd/graph/digraph.hpp"
+
+namespace ocd::sim {
+
+struct RunStats {
+  /// Token-transfers per timestep.
+  std::vector<std::int64_t> moves_per_step;
+  /// Transfers that delivered a token the receiver lacked.
+  std::int64_t useful_moves = 0;
+  /// Transfers of tokens the receiver already possessed.
+  std::int64_t redundant_moves = 0;
+  /// Step at which each vertex first satisfied its want set (-1 when a
+  /// vertex never completed; 0 when satisfied initially).
+  std::vector<std::int64_t> completion_step;
+  /// Tokens each vertex uploaded over the run — the fairness signal the
+  /// paper's introduction lists ("nodes contribute roughly in
+  /// proportion to one another").
+  std::vector<std::int64_t> sent_by_vertex;
+  double wall_seconds = 0.0;
+
+  [[nodiscard]] std::int64_t total_moves() const noexcept {
+    return useful_moves + redundant_moves;
+  }
+  /// Mean completion step over vertices with nonempty wants.
+  [[nodiscard]] double mean_completion() const;
+
+  /// Jain's fairness index over per-vertex upload contributions:
+  /// (Σx)² / (n·Σx²) ∈ (0, 1]; 1 = perfectly even contribution.
+  /// Vertices that sent nothing are included; 0 when nobody sent.
+  [[nodiscard]] double upload_fairness() const;
+
+  [[nodiscard]] std::string summary() const;
+};
+
+}  // namespace ocd::sim

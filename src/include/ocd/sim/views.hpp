@@ -1,0 +1,92 @@
+// Knowledge-scoped views handed to policies.
+//
+// A policy declares a KnowledgeClass; the simulator hands it a StepView
+// whose accessors *runtime-check* that the declared class permits the
+// query.  A policy peeking beyond its class trips a contract violation,
+// which the test suite exercises — this keeps the LOCD locality claims
+// of §4.1 honest rather than merely conventional.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "ocd/core/instance.hpp"
+#include "ocd/sim/knowledge.hpp"
+
+namespace ocd::sim {
+
+enum class KnowledgeClass : std::uint8_t {
+  /// Own state only (RoundRobin): possession, wants, incident arcs.
+  kLocalOnly,
+  /// + neighbors' (possibly stale) possession sets (Random).
+  kLocalPeers,
+  /// + per-token global aggregates (Local / rarest-random).
+  kLocalAggregate,
+  /// Full system state (Bandwidth, Global).
+  kGlobal,
+};
+
+const char* to_string(KnowledgeClass k);
+
+/// Read-only window onto the simulation at the start of one timestep.
+class StepView {
+ public:
+  StepView(const core::Instance& instance,
+           const std::vector<TokenSet>& possession,
+           const std::vector<TokenSet>& stale_possession,
+           const Aggregates& aggregates,
+           const std::vector<std::vector<std::int32_t>>* distances,
+           KnowledgeClass granted, std::int64_t step,
+           std::span<const std::int32_t> effective_capacity = {});
+
+  [[nodiscard]] std::int64_t step() const noexcept { return step_; }
+  [[nodiscard]] KnowledgeClass granted() const noexcept { return granted_; }
+
+  /// Effective capacity of `arc` for this step.  Equals the static
+  /// capacity unless a dynamics model is active (§6 changing network
+  /// conditions); 0 means the arc is down this turn.  Available at
+  /// every knowledge class — a vertex always knows the current state of
+  /// its incident links.
+  [[nodiscard]] std::int32_t capacity(ArcId arc) const;
+
+  // ---- kLocalOnly ----------------------------------------------------
+  [[nodiscard]] const Digraph& graph() const noexcept;  // topology is
+  // public knowledge in the paper's model (k_0 includes neighbors and
+  // capacities; we expose the whole overlay map, matching §4.1's
+  // optional "additional information about the graph topology").
+  [[nodiscard]] std::int32_t num_tokens() const noexcept;
+  [[nodiscard]] const TokenSet& own_possession(VertexId v) const;
+  [[nodiscard]] const TokenSet& own_want(VertexId v) const;
+
+  // ---- kLocalPeers ---------------------------------------------------
+  /// Neighbor's possession as known this step (staleness applied).
+  /// `neighbor` must share an arc with `self` in either direction.
+  [[nodiscard]] const TokenSet& peer_possession(VertexId self,
+                                                VertexId neighbor) const;
+
+  // ---- kLocalAggregate -----------------------------------------------
+  [[nodiscard]] std::span<const std::int32_t> aggregate_holders() const;
+  [[nodiscard]] std::span<const std::int32_t> aggregate_need() const;
+
+  // ---- kGlobal ---------------------------------------------------------
+  [[nodiscard]] const std::vector<TokenSet>& global_possession() const;
+  [[nodiscard]] const core::Instance& instance() const;
+  /// All-pairs hop distances (precomputed once per run).
+  [[nodiscard]] const std::vector<std::vector<std::int32_t>>& distances()
+      const;
+
+ private:
+  void require(KnowledgeClass needed) const;
+
+  const core::Instance& instance_;
+  const std::vector<TokenSet>& possession_;
+  const std::vector<TokenSet>& stale_possession_;
+  const Aggregates& aggregates_;
+  const std::vector<std::vector<std::int32_t>>* distances_;
+  KnowledgeClass granted_;
+  std::int64_t step_;
+  std::span<const std::int32_t> effective_capacity_;
+};
+
+}  // namespace ocd::sim

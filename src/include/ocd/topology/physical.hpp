@@ -1,0 +1,68 @@
+// Realistic topologies (§6 open problems):
+//
+// "In our work, we consider only the overlay topology, and not the
+//  physical links making up our logical links.  We are likely ignoring
+//  the reality that many of our logical links share the same physical
+//  link, hence their capacities are not independent.  To properly model
+//  this, we need to take into account physical links and routers, which
+//  do not participate in overlay forwarding."
+//
+// project_overlay builds a router-level physical network, places
+// overlay hosts on routers, routes each logical link along a shortest
+// physical path, and derives:
+//   * per-overlay-arc capacities (min physical capacity en route), and
+//   * CapacityGroups — one per physical arc carrying >= 2 logical links,
+//     capping the *sum* of tokens those links move per timestep.
+// sim::GroupConstrainedPolicy (sim/group_adapter.hpp) enforces the
+// groups on any policy; groups_respected() audits schedules.
+#pragma once
+
+#include <vector>
+
+#include "ocd/core/schedule.hpp"
+#include "ocd/graph/digraph.hpp"
+#include "ocd/topology/random_graph.hpp"
+#include "ocd/util/rng.hpp"
+
+namespace ocd::topology {
+
+/// Overlay arcs sharing one physical arc: their per-timestep total may
+/// not exceed `capacity`.
+struct CapacityGroup {
+  std::vector<ArcId> members;   ///< overlay arc ids
+  std::int32_t capacity = 0;    ///< the shared physical arc's capacity
+  ArcId physical_arc = -1;      ///< id in the physical graph (diagnostic)
+};
+
+struct OverlayProjection {
+  Digraph physical;  ///< routers + links (hosts are a subset of routers)
+  Digraph overlay;   ///< the logical graph the OCD instance runs on
+  /// Physical router hosting each overlay vertex.
+  std::vector<VertexId> host_router;
+  /// Physical arcs traversed by each overlay arc (in path order).
+  std::vector<std::vector<ArcId>> route;
+  /// Sharing constraints (only physical arcs with >= 2 logical users).
+  std::vector<CapacityGroup> groups;
+};
+
+struct PhysicalOptions {
+  std::int32_t routers = 40;
+  double router_edge_probability = 0.12;
+  CapacityRange physical_capacities{6, 30};
+  /// Overlay hosts (placed on distinct routers).  Must be <= routers.
+  std::int32_t hosts = 12;
+  double overlay_edge_probability = 0.4;
+  /// Cap applied to derived overlay capacities (the paper's overlay
+  /// weights live in [3,15]).
+  std::int32_t max_overlay_capacity = 15;
+};
+
+/// Builds the physical network and the projected overlay.  The overlay
+/// is strongly connected; every overlay arc has capacity >= 1.
+OverlayProjection project_overlay(const PhysicalOptions& options, Rng& rng);
+
+/// True when every timestep of `schedule` respects every group.
+bool groups_respected(const std::vector<CapacityGroup>& groups,
+                      const core::Schedule& schedule);
+
+}  // namespace ocd::topology

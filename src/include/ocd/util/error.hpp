@@ -1,0 +1,66 @@
+// Error and contract-checking primitives shared by every ocd module.
+//
+// Following the C++ Core Guidelines (I.5, I.7, E.2): preconditions and
+// invariants are checked with the OCD_EXPECTS / OCD_ENSURES / OCD_ASSERT
+// macros which throw ocd::ContractViolation (so tests can observe them),
+// while recoverable user-facing failures throw ocd::Error subclasses.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace ocd {
+
+/// Base class for all recoverable errors raised by the library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Raised when a caller violates a documented precondition or when an
+/// internal invariant is found broken.
+class ContractViolation : public Error {
+ public:
+  ContractViolation(const char* kind, const char* expr, const char* file,
+                    int line, const std::string& msg);
+
+  [[nodiscard]] const char* expression() const noexcept { return expr_; }
+
+ private:
+  const char* expr_;
+};
+
+namespace detail {
+[[noreturn]] void throw_contract_violation(const char* kind, const char* expr,
+                                           const char* file, int line,
+                                           const std::string& msg);
+}  // namespace detail
+
+}  // namespace ocd
+
+/// Precondition check: callers must satisfy `cond`.
+#define OCD_EXPECTS(cond)                                                \
+  ((cond) ? static_cast<void>(0)                                         \
+          : ::ocd::detail::throw_contract_violation("precondition",     \
+                                                    #cond, __FILE__,    \
+                                                    __LINE__, {}))
+
+/// Postcondition check: the implementation promises `cond` on exit.
+#define OCD_ENSURES(cond)                                                \
+  ((cond) ? static_cast<void>(0)                                         \
+          : ::ocd::detail::throw_contract_violation("postcondition",    \
+                                                    #cond, __FILE__,    \
+                                                    __LINE__, {}))
+
+/// Internal invariant check.
+#define OCD_ASSERT(cond)                                                 \
+  ((cond) ? static_cast<void>(0)                                         \
+          : ::ocd::detail::throw_contract_violation("invariant", #cond, \
+                                                    __FILE__, __LINE__, {}))
+
+/// Invariant check with a formatted explanation.
+#define OCD_ASSERT_MSG(cond, msg)                                        \
+  ((cond) ? static_cast<void>(0)                                         \
+          : ::ocd::detail::throw_contract_violation("invariant", #cond, \
+                                                    __FILE__, __LINE__, \
+                                                    (msg)))

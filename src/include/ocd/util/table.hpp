@@ -1,0 +1,45 @@
+// Console table / CSV writer used by the bench harnesses to print the
+// paper's figure series in a readable, diff-friendly form.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace ocd {
+
+/// A cell is a string, an integer, or a double (printed with fixed
+/// precision).
+using TableCell = std::variant<std::string, std::int64_t, double>;
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends a row; must match the header arity.
+  void add_row(std::vector<TableCell> row);
+
+  [[nodiscard]] std::size_t num_rows() const noexcept { return rows_.size(); }
+  [[nodiscard]] std::size_t num_columns() const noexcept {
+    return headers_.size();
+  }
+
+  /// Aligned, boxed console rendering.
+  void print(std::ostream& out) const;
+
+  /// RFC-4180-ish CSV rendering (quotes cells containing separators).
+  void print_csv(std::ostream& out) const;
+
+  /// Number of fraction digits used when rendering doubles (default 2).
+  void set_precision(int digits);
+
+ private:
+  [[nodiscard]] std::string render_cell(const TableCell& cell) const;
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<TableCell>> rows_;
+  int precision_ = 2;
+};
+
+}  // namespace ocd

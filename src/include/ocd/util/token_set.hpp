@@ -1,0 +1,143 @@
+// TokenSet: a fixed-universe dynamic bitset over token ids.
+//
+// Possession sets p_i(v), have/want sets, per-arc send sets and all
+// aggregate vectors in the simulator are TokenSets.  The universe size m
+// (|T|) is fixed at construction; all binary operations require equal
+// universes, which is enforced with contract checks.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "ocd/util/error.hpp"
+
+namespace ocd {
+
+using TokenId = std::int32_t;
+
+class TokenSet {
+ public:
+  /// Empty set over an empty universe.
+  TokenSet() = default;
+
+  /// Empty set over a universe of `universe` tokens (ids 0..universe-1).
+  explicit TokenSet(std::size_t universe)
+      : universe_(universe), words_((universe + 63) / 64, 0) {}
+
+  /// Full set over a universe of `universe` tokens.
+  static TokenSet full(std::size_t universe);
+
+  /// Set containing exactly the listed tokens.
+  static TokenSet of(std::size_t universe, std::initializer_list<TokenId> ids);
+
+  [[nodiscard]] std::size_t universe_size() const noexcept { return universe_; }
+
+  [[nodiscard]] bool test(TokenId t) const {
+    OCD_EXPECTS(in_universe(t));
+    return (words_[word_of(t)] >> bit_of(t)) & 1ULL;
+  }
+
+  void set(TokenId t) {
+    OCD_EXPECTS(in_universe(t));
+    words_[word_of(t)] |= 1ULL << bit_of(t);
+  }
+
+  void reset(TokenId t) {
+    OCD_EXPECTS(in_universe(t));
+    words_[word_of(t)] &= ~(1ULL << bit_of(t));
+  }
+
+  void clear() noexcept {
+    for (auto& w : words_) w = 0;
+  }
+
+  /// Number of tokens in the set.
+  [[nodiscard]] std::size_t count() const noexcept;
+
+  [[nodiscard]] bool empty() const noexcept;
+  [[nodiscard]] bool any() const noexcept { return !empty(); }
+
+  /// True when every token of this set is also in `other`.
+  [[nodiscard]] bool is_subset_of(const TokenSet& other) const;
+
+  [[nodiscard]] bool intersects(const TokenSet& other) const;
+
+  TokenSet& operator|=(const TokenSet& other);
+  TokenSet& operator&=(const TokenSet& other);
+  /// Set difference: removes every token of `other`.
+  TokenSet& operator-=(const TokenSet& other);
+  TokenSet& operator^=(const TokenSet& other);
+
+  friend TokenSet operator|(TokenSet a, const TokenSet& b) { return a |= b; }
+  friend TokenSet operator&(TokenSet a, const TokenSet& b) { return a &= b; }
+  friend TokenSet operator-(TokenSet a, const TokenSet& b) { return a -= b; }
+  friend TokenSet operator^(TokenSet a, const TokenSet& b) { return a ^= b; }
+
+  bool operator==(const TokenSet& other) const = default;
+
+  /// Smallest token id in the set, or -1 when empty.
+  [[nodiscard]] TokenId first() const noexcept;
+
+  /// Smallest token id >= t in the set, or -1 when none.
+  [[nodiscard]] TokenId next(TokenId t) const;
+
+  /// Smallest token id >= t in the set wrapping around the universe
+  /// (circular scan), or -1 when the set is empty.  Used by the
+  /// round-robin heuristic.
+  [[nodiscard]] TokenId next_circular(TokenId t) const;
+
+  /// Invokes fn(TokenId) for every member in increasing order.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (std::size_t wi = 0; wi < words_.size(); ++wi) {
+      std::uint64_t w = words_[wi];
+      while (w != 0) {
+        const int b = __builtin_ctzll(w);
+        fn(static_cast<TokenId>(wi * 64 + static_cast<std::size_t>(b)));
+        w &= w - 1;
+      }
+    }
+  }
+
+  /// Members as a vector, in increasing order.
+  [[nodiscard]] std::vector<TokenId> to_vector() const;
+
+  /// Keep only the first k members (lowest ids); no-op when count() <= k.
+  void truncate(std::size_t k);
+
+  /// "{0,3,7}" rendering for diagnostics.
+  [[nodiscard]] std::string to_string() const;
+
+  /// FNV-style hash usable in unordered containers and memo tables.
+  [[nodiscard]] std::size_t hash() const noexcept;
+
+  /// Raw word access (read-only) for bulk algorithms.
+  [[nodiscard]] const std::vector<std::uint64_t>& words() const noexcept {
+    return words_;
+  }
+
+ private:
+  [[nodiscard]] bool in_universe(TokenId t) const noexcept {
+    return t >= 0 && static_cast<std::size_t>(t) < universe_;
+  }
+  static std::size_t word_of(TokenId t) noexcept {
+    return static_cast<std::size_t>(t) / 64;
+  }
+  static unsigned bit_of(TokenId t) noexcept {
+    return static_cast<unsigned>(t) % 64;
+  }
+  void check_same_universe(const TokenSet& other) const {
+    OCD_EXPECTS(universe_ == other.universe_);
+  }
+
+  std::size_t universe_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+struct TokenSetHash {
+  std::size_t operator()(const TokenSet& s) const noexcept { return s.hash(); }
+};
+
+}  // namespace ocd

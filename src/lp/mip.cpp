@@ -1,0 +1,176 @@
+#include "ocd/lp/mip.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "ocd/util/stopwatch.hpp"
+
+namespace ocd::lp {
+
+namespace {
+
+/// One open branch-and-bound node: bound overrides for the integer
+/// variables touched so far.  Full bound vectors are copied lazily when
+/// the node is expanded (model sizes here are modest).
+struct Node {
+  std::vector<double> lower;
+  std::vector<double> upper;
+  double parent_bound = -std::numeric_limits<double>::infinity();
+};
+
+/// Index of the most fractional integer variable (fractionality score
+/// min(frac, 1-frac), maximized), or -1 when the solution is integral.
+std::int32_t most_fractional(const LinearProgram& lp,
+                             const std::vector<double>& x, double tol) {
+  std::int32_t best = -1;
+  double best_score = tol;
+  for (std::int32_t j = 0; j < lp.num_variables(); ++j) {
+    if (lp.variable(j).type != VarType::kInteger) continue;
+    const double v = x[static_cast<std::size_t>(j)];
+    const double frac = v - std::floor(v);
+    const double score = std::min(frac, 1.0 - frac);
+    if (score > best_score) {
+      best_score = score;
+      best = j;
+    }
+  }
+  return best;
+}
+
+/// Rounds an LP solution to the nearest integers and keeps it if it is
+/// genuinely feasible — a cheap incumbent heuristic.
+bool try_rounding(const LinearProgram& lp, const std::vector<double>& x,
+                  double tol, std::vector<double>& out) {
+  out = x;
+  for (std::int32_t j = 0; j < lp.num_variables(); ++j) {
+    if (lp.variable(j).type == VarType::kInteger)
+      out[static_cast<std::size_t>(j)] =
+          std::round(out[static_cast<std::size_t>(j)]);
+  }
+  return lp.is_feasible(out, tol * 10, /*check_integrality=*/true);
+}
+
+}  // namespace
+
+MipResult solve_mip(const LinearProgram& lp, const MipOptions& options) {
+  MipResult result;
+  Stopwatch timer;
+
+  auto out_of_budget = [&] {
+    return (options.time_limit_seconds > 0 &&
+            timer.seconds() > options.time_limit_seconds) ||
+           result.nodes_explored >= options.max_nodes;
+  };
+
+  std::vector<double> root_lower;
+  std::vector<double> root_upper;
+  for (const Variable& v : lp.variables()) {
+    root_lower.push_back(v.lower);
+    root_upper.push_back(v.upper);
+  }
+
+  double incumbent = std::numeric_limits<double>::infinity();
+  std::vector<double> incumbent_values;
+
+  std::vector<Node> stack;
+  stack.push_back(Node{std::move(root_lower), std::move(root_upper),
+                       -std::numeric_limits<double>::infinity()});
+
+  double root_bound = -std::numeric_limits<double>::infinity();
+  bool any_lp_solved = false;
+  bool exhausted = true;
+
+  while (!stack.empty()) {
+    if (out_of_budget()) {
+      exhausted = false;
+      break;
+    }
+    Node node = std::move(stack.back());
+    stack.pop_back();
+
+    if (node.parent_bound >= incumbent - options.gap_tol) continue;
+
+    ++result.nodes_explored;
+    const LpSolution relax =
+        solve_lp_with_bounds(lp, node.lower, node.upper, options.lp);
+    result.lp_iterations += relax.iterations;
+
+    if (relax.status == SolveStatus::kInfeasible) continue;
+    if (relax.status == SolveStatus::kUnbounded) {
+      // An unbounded relaxation of a minimization with binary variables
+      // cannot occur in this library's models; report and stop.
+      result.status = SolveStatus::kUnbounded;
+      return result;
+    }
+    if (relax.status == SolveStatus::kIterationLimit) {
+      exhausted = false;
+      continue;
+    }
+    if (!any_lp_solved) {
+      any_lp_solved = true;
+      root_bound = relax.objective;
+    }
+    if (relax.objective >= incumbent - options.gap_tol) continue;
+
+    const std::int32_t branch_var =
+        most_fractional(lp, relax.values, options.integrality_tol);
+    if (branch_var < 0) {
+      // Integral: new incumbent.
+      incumbent = relax.objective;
+      incumbent_values = relax.values;
+      for (auto& v : incumbent_values) {
+        // Snap integer variables exactly.
+        v = std::abs(v - std::round(v)) <= options.integrality_tol * 10
+                ? std::round(v)
+                : v;
+      }
+      continue;
+    }
+
+    // Rounding heuristic to tighten the incumbent early.
+    if (incumbent_values.empty()) {
+      std::vector<double> rounded;
+      if (try_rounding(lp, relax.values, options.integrality_tol, rounded)) {
+        const double obj = lp.objective_value(rounded);
+        if (obj < incumbent) {
+          incumbent = obj;
+          incumbent_values = std::move(rounded);
+        }
+      }
+    }
+
+    const double value = relax.values[static_cast<std::size_t>(branch_var)];
+    const double floor_value = std::floor(value);
+
+    // Explore the side nearer the LP value first (pushed last).
+    Node down{node.lower, node.upper, relax.objective};
+    down.upper[static_cast<std::size_t>(branch_var)] = floor_value;
+    Node up{std::move(node.lower), std::move(node.upper), relax.objective};
+    up.lower[static_cast<std::size_t>(branch_var)] = floor_value + 1.0;
+
+    if (value - floor_value < 0.5) {
+      stack.push_back(std::move(up));
+      stack.push_back(std::move(down));
+    } else {
+      stack.push_back(std::move(down));
+      stack.push_back(std::move(up));
+    }
+  }
+
+  if (incumbent_values.empty()) {
+    result.status = exhausted ? SolveStatus::kInfeasible
+                              : SolveStatus::kIterationLimit;
+    result.best_bound = exhausted ? incumbent : root_bound;
+    return result;
+  }
+
+  result.status = SolveStatus::kOptimal;
+  result.proven_optimal = exhausted;
+  result.objective = incumbent;
+  result.values = std::move(incumbent_values);
+  result.best_bound = exhausted ? incumbent : root_bound;
+  return result;
+}
+
+}  // namespace ocd::lp

@@ -1,0 +1,111 @@
+#include "ocd/reduction/dominating_set.hpp"
+
+#include <algorithm>
+#include <bit>
+
+namespace ocd::reduction {
+
+UndirectedGraph::UndirectedGraph(std::int32_t n)
+    : n_(n), adjacency_(static_cast<std::size_t>(n), 0) {
+  OCD_EXPECTS(n >= 1 && n <= 64);
+}
+
+void UndirectedGraph::add_edge(std::int32_t u, std::int32_t v) {
+  OCD_EXPECTS(u >= 0 && u < n_ && v >= 0 && v < n_ && u != v);
+  adjacency_[static_cast<std::size_t>(u)] |= 1ULL << v;
+  adjacency_[static_cast<std::size_t>(v)] |= 1ULL << u;
+}
+
+bool UndirectedGraph::has_edge(std::int32_t u, std::int32_t v) const {
+  OCD_EXPECTS(u >= 0 && u < n_ && v >= 0 && v < n_);
+  return (adjacency_[static_cast<std::size_t>(u)] >> v) & 1ULL;
+}
+
+std::uint64_t UndirectedGraph::closed_neighborhood(std::int32_t v) const {
+  OCD_EXPECTS(v >= 0 && v < n_);
+  return adjacency_[static_cast<std::size_t>(v)] | (1ULL << v);
+}
+
+namespace {
+
+/// Recursive exact search: cover all vertices with closed
+/// neighborhoods, branching on the first uncovered vertex (one of its
+/// closed neighborhood must join the set).
+void solve(const UndirectedGraph& g, std::uint64_t covered,
+           std::vector<std::int32_t>& current,
+           std::vector<std::int32_t>& best) {
+  const std::uint64_t all = g.num_vertices() == 64
+                                ? ~0ULL
+                                : (1ULL << g.num_vertices()) - 1;
+  if (covered == all) {
+    if (best.empty() || current.size() < best.size()) best = current;
+    return;
+  }
+  if (!best.empty() && current.size() + 1 >= best.size()) return;
+
+  const int uncovered = std::countr_zero(~covered & all);
+  const std::uint64_t candidates =
+      g.closed_neighborhood(static_cast<std::int32_t>(uncovered));
+  for (std::int32_t v = 0; v < g.num_vertices(); ++v) {
+    if (!((candidates >> v) & 1ULL)) continue;
+    current.push_back(v);
+    solve(g, covered | g.closed_neighborhood(v), current, best);
+    current.pop_back();
+  }
+}
+
+}  // namespace
+
+std::vector<std::int32_t> minimum_dominating_set(const UndirectedGraph& g) {
+  std::vector<std::int32_t> best;
+  // Seed the incumbent with the greedy solution to tighten pruning.
+  best = greedy_dominating_set(g);
+  std::vector<std::int32_t> current;
+  solve(g, 0, current, best);
+  OCD_ENSURES(is_dominating_set(g, best));
+  return best;
+}
+
+bool is_dominating_set(const UndirectedGraph& g,
+                       const std::vector<std::int32_t>& set) {
+  std::uint64_t covered = 0;
+  for (std::int32_t v : set) covered |= g.closed_neighborhood(v);
+  const std::uint64_t all =
+      g.num_vertices() == 64 ? ~0ULL : (1ULL << g.num_vertices()) - 1;
+  return covered == all;
+}
+
+std::vector<std::int32_t> greedy_dominating_set(const UndirectedGraph& g) {
+  const std::uint64_t all =
+      g.num_vertices() == 64 ? ~0ULL : (1ULL << g.num_vertices()) - 1;
+  std::uint64_t covered = 0;
+  std::vector<std::int32_t> set;
+  while (covered != all) {
+    std::int32_t best_vertex = -1;
+    int best_gain = -1;
+    for (std::int32_t v = 0; v < g.num_vertices(); ++v) {
+      const int gain =
+          std::popcount(g.closed_neighborhood(v) & ~covered);
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_vertex = v;
+      }
+    }
+    OCD_ASSERT(best_gain > 0);
+    set.push_back(best_vertex);
+    covered |= g.closed_neighborhood(best_vertex);
+  }
+  return set;
+}
+
+UndirectedGraph random_undirected(std::int32_t n, double p, Rng& rng) {
+  UndirectedGraph g(n);
+  for (std::int32_t u = 0; u < n; ++u) {
+    for (std::int32_t v = u + 1; v < n; ++v) {
+      if (rng.chance(p)) g.add_edge(u, v);
+    }
+  }
+  return g;
+}
+
+}  // namespace ocd::reduction

@@ -1,0 +1,66 @@
+#include "ocd/reduction/ds_reduction.hpp"
+
+#include "ocd/core/validate.hpp"
+
+namespace ocd::reduction {
+
+ReducedInstance reduce_dominating_set(const UndirectedGraph& g,
+                                      std::int32_t k) {
+  const std::int32_t n = g.num_vertices();
+  OCD_EXPECTS(k >= 0 && k <= n);
+
+  ReductionLayout layout;
+  layout.n = n;
+  layout.k = k;
+  layout.first_v = 2;
+  layout.first_v_prime = 2 + n;
+
+  // Tokens: 0 plus {1..n-k}.
+  const std::int32_t num_tokens = (n - k) + 1;
+  Digraph graph(2 + 2 * n);
+  for (std::int32_t i = 0; i < n; ++i) {
+    const VertexId vi = layout.first_v + i;
+    graph.add_arc(layout.s, vi, 1);
+    graph.add_arc(vi, layout.t, 1);
+    graph.add_arc(vi, layout.first_v_prime + i, 1);
+  }
+  for (std::int32_t i = 0; i < n; ++i) {
+    for (std::int32_t j = 0; j < n; ++j) {
+      if (i != j && g.has_edge(i, j))
+        graph.add_arc(layout.first_v + i, layout.first_v_prime + j, 1);
+    }
+  }
+
+  core::Instance inst(std::move(graph), num_tokens);
+  inst.set_have(layout.s,
+                TokenSet::full(static_cast<std::size_t>(num_tokens)));
+  for (TokenId token = 1; token < num_tokens; ++token)
+    inst.add_want(layout.t, token);
+  for (std::int32_t i = 0; i < n; ++i)
+    inst.add_want(layout.first_v_prime + i, 0);
+
+  return ReducedInstance{std::move(inst), layout};
+}
+
+std::vector<std::int32_t> extract_dominating_set(
+    const ReducedInstance& reduced, const core::Schedule& schedule) {
+  OCD_EXPECTS(schedule.length() >= 1);
+  const ReductionLayout& layout = reduced.layout;
+  std::vector<std::int32_t> set;
+  // v_i that receive token 0 during the first timestep.  In any valid
+  // 2-step solution these form a dominating set of size <= k (each of
+  // the n-k numbered tokens must transit a distinct v_i, and each v_i
+  // has a single unit-capacity in-arc).
+  const core::Timestep& first = schedule.steps().front();
+  const Digraph& graph = reduced.instance.graph();
+  for (const core::ArcSend& send : first.sends()) {
+    const Arc& arc = graph.arc(send.arc);
+    if (arc.from == layout.s && send.tokens.test(0)) {
+      const std::int32_t index = arc.to - layout.first_v;
+      if (index >= 0 && index < layout.n) set.push_back(index);
+    }
+  }
+  return set;
+}
+
+}  // namespace ocd::reduction

@@ -1,0 +1,165 @@
+#include "ocd/sim/gossip.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace ocd::sim {
+
+GossipState::GossipState(const core::Instance& inst) : instance_(inst) {
+  const auto n = static_cast<std::size_t>(inst.num_vertices());
+  const auto universe = static_cast<std::size_t>(inst.num_tokens());
+  beliefs_.assign(n, std::vector<Belief>(n));
+  for (auto& row : beliefs_) {
+    for (auto& belief : row) belief.tokens = TokenSet(universe);
+  }
+  scratch_ = beliefs_;
+}
+
+void GossipState::advance(const std::vector<TokenSet>& possession,
+                          std::int64_t step) {
+  OCD_EXPECTS(possession.size() == beliefs_.size());
+  const auto n = instance_.num_vertices();
+
+  // Phase 1: every vertex observes itself (ground truth).
+  for (VertexId v = 0; v < n; ++v) {
+    auto& self = beliefs_[static_cast<std::size_t>(v)]
+                         [static_cast<std::size_t>(v)];
+    self.tokens = possession[static_cast<std::size_t>(v)];
+    self.observed_step = step;
+  }
+
+  // Phase 2: synchronous exchange — everyone adopts the freshest entry
+  // among its own and its neighbors' previous-round states.
+  scratch_ = beliefs_;
+  for (VertexId v = 0; v < n; ++v) {
+    auto& mine = scratch_[static_cast<std::size_t>(v)];
+    auto adopt_from = [&](VertexId u) {
+      const auto& theirs = beliefs_[static_cast<std::size_t>(u)];
+      for (VertexId w = 0; w < n; ++w) {
+        const Belief& candidate = theirs[static_cast<std::size_t>(w)];
+        Belief& current = mine[static_cast<std::size_t>(w)];
+        if (candidate.observed_step > current.observed_step)
+          current = candidate;
+      }
+    };
+    // Information flows both ways along an arc (§4.1).
+    for (ArcId a : instance_.graph().out_arcs(v))
+      adopt_from(instance_.graph().arc(a).to);
+    for (ArcId a : instance_.graph().in_arcs(v))
+      adopt_from(instance_.graph().arc(a).from);
+  }
+  beliefs_.swap(scratch_);
+}
+
+const Belief& GossipState::belief(VertexId vertex, VertexId target) const {
+  OCD_EXPECTS(instance_.graph().valid_vertex(vertex));
+  OCD_EXPECTS(instance_.graph().valid_vertex(target));
+  return beliefs_[static_cast<std::size_t>(vertex)]
+                 [static_cast<std::size_t>(target)];
+}
+
+std::int64_t GossipState::age(VertexId vertex, VertexId target,
+                              std::int64_t now) const {
+  const Belief& entry = belief(vertex, target);
+  if (entry.observed_step < 0) return kUnknownAge;
+  return now - entry.observed_step;
+}
+
+// ---------------------------------------------------------------------
+// GossipRarestPolicy
+// ---------------------------------------------------------------------
+void GossipRarestPolicy::reset(const core::Instance& inst,
+                               std::uint64_t seed) {
+  gossip_ = std::make_unique<GossipState>(inst);
+  rng_ = Rng(seed);
+}
+
+void GossipRarestPolicy::plan_step(const StepView& view, StepPlan& plan) {
+  const Digraph& graph = view.graph();
+  const auto n = graph.num_vertices();
+  const auto universe = static_cast<std::size_t>(view.num_tokens());
+
+  // Feed the gossip round with ground-truth self-observations only
+  // (own_possession is a kLocalOnly accessor).
+  std::vector<TokenSet> possession;
+  possession.reserve(static_cast<std::size_t>(n));
+  for (VertexId v = 0; v < n; ++v) possession.push_back(view.own_possession(v));
+  gossip_->advance(possession, view.step());
+
+  // Believed rarity per token: count of vertices believed to hold it.
+  // Every vertex computes this from its OWN beliefs; to keep the
+  // simulation cheap we compute it per receiver below only when needed.
+  std::vector<std::int32_t> believed_holders(universe);
+
+  bool sent = false;
+  for (VertexId v = 0; v < n; ++v) {
+    const TokenSet& mine = view.own_possession(v);
+    const auto in_arcs = graph.in_arcs(v);
+    if (in_arcs.empty()) continue;
+
+    // Believed offers per in-neighbor (stale => under-approximation of
+    // the truth, so every request is satisfiable).
+    std::vector<TokenSet> offered;
+    offered.reserve(in_arcs.size());
+    TokenSet obtainable(universe);
+    for (ArcId a : in_arcs) {
+      TokenSet tokens = gossip_->belief(v, graph.arc(a).from).tokens;
+      tokens -= mine;
+      obtainable |= tokens;
+      offered.push_back(std::move(tokens));
+    }
+    if (obtainable.empty()) continue;
+
+    // v's believed rarity, from its own gossip row.
+    std::fill(believed_holders.begin(), believed_holders.end(), 0);
+    for (VertexId w = 0; w < n; ++w) {
+      gossip_->belief(v, w).tokens.for_each([&](TokenId t) {
+        ++believed_holders[static_cast<std::size_t>(t)];
+      });
+    }
+    std::vector<TokenId> order = obtainable.to_vector();
+    rng_.shuffle(order);
+    std::stable_sort(order.begin(), order.end(), [&](TokenId a, TokenId b) {
+      return believed_holders[static_cast<std::size_t>(a)] <
+             believed_holders[static_cast<std::size_t>(b)];
+    });
+
+    // Wanted tokens first, then flood tokens; one request per token,
+    // arcs chosen by remaining budget.
+    std::vector<std::int32_t> budget;
+    budget.reserve(in_arcs.size());
+    std::int64_t total_budget = 0;
+    for (ArcId a : in_arcs) {
+      budget.push_back(view.capacity(a));
+      total_budget += budget.back();
+    }
+    const TokenSet wanted = view.own_want(v) - mine;
+    for (const bool wanted_pass : {true, false}) {
+      if (total_budget <= 0) break;
+      for (TokenId t : order) {
+        if (total_budget <= 0) break;
+        if (wanted.test(t) != wanted_pass) continue;
+        std::int32_t best = -1;
+        std::int32_t best_budget = 0;
+        for (std::size_t k = 0; k < in_arcs.size(); ++k) {
+          if (!offered[k].test(t)) continue;
+          if (budget[k] > best_budget) {
+            best_budget = budget[k];
+            best = static_cast<std::int32_t>(k);
+          }
+        }
+        if (best < 0) continue;
+        plan.send(in_arcs[static_cast<std::size_t>(best)], t, universe);
+        --budget[static_cast<std::size_t>(best)];
+        --total_budget;
+        sent = true;
+        // Remove t from every offer so it is requested only once.
+        for (auto& offer : offered) offer.reset(t);
+      }
+    }
+  }
+  // Waiting for beliefs to propagate is legitimate idling.
+  if (!sent) plan.mark_idle();
+}
+
+}  // namespace ocd::sim

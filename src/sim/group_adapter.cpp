@@ -1,0 +1,68 @@
+#include "ocd/sim/group_adapter.hpp"
+
+#include <algorithm>
+
+namespace ocd::sim {
+
+GroupConstrainedPolicy::GroupConstrainedPolicy(
+    PolicyPtr inner, std::vector<topology::CapacityGroup> groups)
+    : inner_(std::move(inner)), groups_(std::move(groups)) {
+  OCD_EXPECTS(inner_ != nullptr);
+  name_ = std::string(inner_->name()) + "+groups";
+}
+
+void GroupConstrainedPolicy::reset(const core::Instance& inst,
+                                   std::uint64_t seed) {
+  inner_->reset(inst, seed);
+  dropped_moves_ = 0;
+  rng_ = Rng(seed ^ 0x6701a9a9ULL);
+  arc_groups_.assign(static_cast<std::size_t>(inst.graph().num_arcs()), {});
+  for (std::size_t g = 0; g < groups_.size(); ++g) {
+    for (ArcId member : groups_[g].members) {
+      OCD_EXPECTS(member >= 0 && member < inst.graph().num_arcs());
+      arc_groups_[static_cast<std::size_t>(member)].push_back(
+          static_cast<std::int32_t>(g));
+    }
+  }
+}
+
+void GroupConstrainedPolicy::plan_step(const StepView& view, StepPlan& plan) {
+  StepPlan scratch(view.graph());
+  inner_->plan_step(view, scratch);
+  if (scratch.idle_marked()) plan.mark_idle();
+
+  std::vector<std::int32_t> remaining(groups_.size());
+  for (std::size_t g = 0; g < groups_.size(); ++g)
+    remaining[g] = groups_[g].capacity;
+
+  const core::Timestep step = scratch.take();
+  for (const core::ArcSend& send : step.sends()) {
+    // Allowance across every group this arc belongs to.
+    auto allowed = static_cast<std::int64_t>(send.tokens.count());
+    for (std::int32_t g : arc_groups_[static_cast<std::size_t>(send.arc)])
+      allowed = std::min<std::int64_t>(allowed,
+                                       remaining[static_cast<std::size_t>(g)]);
+    if (allowed <= 0) {
+      dropped_moves_ += static_cast<std::int64_t>(send.tokens.count());
+      continue;
+    }
+    TokenSet trimmed = send.tokens;
+    if (static_cast<std::size_t>(allowed) < trimmed.count()) {
+      // Random survivors: a congested link drops arbitrary packets.
+      const auto pool = trimmed.to_vector();
+      trimmed.clear();
+      for (std::size_t index : rng_.sample_indices(
+               pool.size(), static_cast<std::size_t>(allowed))) {
+        trimmed.set(pool[index]);
+      }
+    }
+    dropped_moves_ += static_cast<std::int64_t>(send.tokens.count()) -
+                      static_cast<std::int64_t>(trimmed.count());
+    for (std::int32_t g : arc_groups_[static_cast<std::size_t>(send.arc)])
+      remaining[static_cast<std::size_t>(g)] -=
+          static_cast<std::int32_t>(trimmed.count());
+    plan.send(send.arc, trimmed);
+  }
+}
+
+}  // namespace ocd::sim

@@ -1,0 +1,40 @@
+#include "ocd/sim/knowledge.hpp"
+
+namespace ocd::sim {
+
+Aggregates compute_aggregates(const core::Instance& inst,
+                              const std::vector<TokenSet>& possession) {
+  OCD_EXPECTS(possession.size() ==
+              static_cast<std::size_t>(inst.num_vertices()));
+  Aggregates agg;
+  agg.holders.assign(static_cast<std::size_t>(inst.num_tokens()), 0);
+  agg.need.assign(static_cast<std::size_t>(inst.num_tokens()), 0);
+  for (VertexId v = 0; v < inst.num_vertices(); ++v) {
+    possession[static_cast<std::size_t>(v)].for_each(
+        [&](TokenId t) { ++agg.holders[static_cast<std::size_t>(t)]; });
+    const TokenSet missing =
+        inst.want(v) - possession[static_cast<std::size_t>(v)];
+    missing.for_each(
+        [&](TokenId t) { ++agg.need[static_cast<std::size_t>(t)]; });
+  }
+  return agg;
+}
+
+SnapshotBuffer::SnapshotBuffer(std::int32_t staleness)
+    : staleness_(staleness) {
+  OCD_EXPECTS(staleness >= 0);
+}
+
+void SnapshotBuffer::push(const std::vector<TokenSet>& possession) {
+  snapshots_.push_back(possession);
+  // Keep staleness_+1 entries: front is the stale view, back the newest.
+  while (snapshots_.size() > static_cast<std::size_t>(staleness_) + 1)
+    snapshots_.pop_front();
+}
+
+const std::vector<TokenSet>& SnapshotBuffer::stale_view() const {
+  OCD_EXPECTS(!snapshots_.empty());
+  return snapshots_.front();
+}
+
+}  // namespace ocd::sim

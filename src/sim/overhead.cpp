@@ -1,0 +1,40 @@
+#include "ocd/sim/overhead.hpp"
+
+#include <bit>
+
+namespace ocd::sim {
+
+std::int64_t knowledge_bits_per_step(const core::Instance& inst,
+                                     KnowledgeClass klass) {
+  const auto n = static_cast<std::int64_t>(inst.num_vertices());
+  const auto m = static_cast<std::int64_t>(inst.num_tokens());
+  const auto arcs = static_cast<std::int64_t>(inst.graph().num_arcs());
+  // Bits for a per-token counter in [0, n].
+  const auto counter_bits = static_cast<std::int64_t>(
+      std::bit_width(static_cast<std::uint64_t>(n) + 1));
+
+  switch (klass) {
+    case KnowledgeClass::kLocalOnly:
+      return 0;
+    case KnowledgeClass::kLocalPeers:
+      // One m-bit possession map per arc (the reverse direction's map
+      // travels on the paired arc, which is counted separately).
+      return arcs * m;
+    case KnowledgeClass::kLocalAggregate:
+      // Peer maps + the (need, holders) aggregate broadcast to each
+      // vertex.
+      return arcs * m + n * (2 * m * counter_bits);
+    case KnowledgeClass::kGlobal:
+      // Everyone receives the full possession matrix.
+      return n * (n * m);
+  }
+  return 0;
+}
+
+std::int64_t knowledge_bits_total(const core::Instance& inst,
+                                  KnowledgeClass klass, std::int64_t steps) {
+  OCD_EXPECTS(steps >= 0);
+  return knowledge_bits_per_step(inst, klass) * steps;
+}
+
+}  // namespace ocd::sim

@@ -1,0 +1,46 @@
+#include "ocd/sim/policy.hpp"
+
+namespace ocd::sim {
+
+StepPlan::StepPlan(const Digraph& graph) : graph_(graph) {}
+
+StepPlan::StepPlan(const Digraph& graph,
+                   std::span<const std::int32_t> effective_capacity)
+    : graph_(graph), effective_capacity_(effective_capacity) {
+  OCD_EXPECTS(effective_capacity.size() ==
+              static_cast<std::size_t>(graph.num_arcs()));
+}
+
+void StepPlan::send(ArcId arc, const TokenSet& tokens) {
+  OCD_EXPECTS(arc >= 0 && arc < graph_.num_arcs());
+  step_.add(arc, tokens);
+}
+
+void StepPlan::send(ArcId arc, TokenId token, std::size_t universe) {
+  OCD_EXPECTS(arc >= 0 && arc < graph_.num_arcs());
+  step_.add(arc, token, universe);
+}
+
+std::int32_t StepPlan::remaining_capacity(ArcId arc) const {
+  OCD_EXPECTS(arc >= 0 && arc < graph_.num_arcs());
+  const std::int32_t capacity =
+      effective_capacity_.empty()
+          ? graph_.arc(arc).capacity
+          : effective_capacity_[static_cast<std::size_t>(arc)];
+  for (const core::ArcSend& send : step_.sends()) {
+    if (send.arc == arc)
+      return capacity - static_cast<std::int32_t>(send.tokens.count());
+  }
+  return capacity;
+}
+
+void Policy::reset(const core::Instance&, std::uint64_t) {}
+
+void Policy::plan_step(const StepView& view, StepPlan& plan) {
+  for (VertexId v = 0; v < view.graph().num_vertices(); ++v)
+    plan_vertex(v, view, plan);
+}
+
+void Policy::plan_vertex(VertexId, const StepView&, StepPlan&) {}
+
+}  // namespace ocd::sim

@@ -1,0 +1,162 @@
+#include "ocd/sim/simulator.hpp"
+
+#include <sstream>
+
+#include "ocd/dynamics/model.hpp"
+#include "ocd/graph/algorithms.hpp"
+#include "ocd/util/stopwatch.hpp"
+
+namespace ocd::sim {
+
+namespace {
+
+/// Per-vertex satisfaction: the instance's want-subset rule, or the
+/// caller's completion override (coding thresholds etc).
+bool vertex_satisfied(const core::Instance& inst, const SimOptions& options,
+                      VertexId v, const TokenSet& possession) {
+  if (options.completion) return options.completion(v, possession);
+  return inst.want(v).is_subset_of(possession);
+}
+
+bool all_satisfied(const core::Instance& inst, const SimOptions& options,
+                   const std::vector<TokenSet>& possession) {
+  for (VertexId v = 0; v < inst.num_vertices(); ++v) {
+    if (!vertex_satisfied(inst, options, v,
+                          possession[static_cast<std::size_t>(v)]))
+      return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+RunResult run(const core::Instance& inst, Policy& policy,
+              const SimOptions& options) {
+  inst.validate();
+  Stopwatch timer;
+  RunResult result;
+  const auto n = static_cast<std::size_t>(inst.num_vertices());
+
+  std::vector<TokenSet> possession(n);
+  for (VertexId v = 0; v < inst.num_vertices(); ++v)
+    possession[static_cast<std::size_t>(v)] = inst.have(v);
+
+  result.stats.sent_by_vertex.assign(n, 0);
+  result.stats.completion_step.assign(n, -1);
+  for (VertexId v = 0; v < inst.num_vertices(); ++v) {
+    if (vertex_satisfied(inst, options, v,
+                         possession[static_cast<std::size_t>(v)]))
+      result.stats.completion_step[static_cast<std::size_t>(v)] = 0;
+  }
+
+  const bool needs_distances =
+      options.precompute_distances ||
+      policy.knowledge_class() == KnowledgeClass::kGlobal;
+  std::vector<std::vector<std::int32_t>> distances;
+  if (needs_distances) distances = all_pairs_distances(inst.graph());
+
+  policy.reset(inst, options.seed);
+  if (options.dynamics != nullptr) options.dynamics->reset(inst, options.seed);
+  SnapshotBuffer snapshots(options.staleness);
+
+  const auto num_arcs = static_cast<std::size_t>(inst.graph().num_arcs());
+  std::vector<std::int32_t> static_capacity(num_arcs);
+  for (ArcId a = 0; a < inst.graph().num_arcs(); ++a)
+    static_capacity[static_cast<std::size_t>(a)] = inst.graph().arc(a).capacity;
+  std::vector<std::int32_t> effective_capacity = static_capacity;
+
+  std::int64_t step = 0;
+  while (step < options.max_steps) {
+    if (all_satisfied(inst, options, possession)) break;
+
+    if (options.dynamics != nullptr) {
+      effective_capacity = static_capacity;
+      options.dynamics->observe(step, inst, possession);
+      options.dynamics->apply(step, inst.graph(), effective_capacity);
+      for (std::int32_t c : effective_capacity) OCD_ASSERT(c >= 0);
+    }
+
+    snapshots.push(possession);
+    const Aggregates aggregates = compute_aggregates(
+        inst, options.stale_aggregates ? snapshots.stale_view() : possession);
+    const StepView view(inst, possession, snapshots.stale_view(), aggregates,
+                        needs_distances ? &distances : nullptr,
+                        policy.knowledge_class(), step, effective_capacity);
+    StepPlan plan(inst.graph(), effective_capacity);
+    policy.plan_step(view, plan);
+    const bool intentional_idle = plan.idle_marked();
+    core::Timestep timestep = plan.take();
+    timestep.compact();
+
+    if (timestep.empty() && !intentional_idle &&
+        options.dynamics == nullptr) {
+      // Stalled policy: wants outstanding but nothing sent.  Under a
+      // dynamics model an empty step can be the network's fault, so
+      // the run continues (bounded by max_steps).
+      result.success = false;
+      result.steps = step;
+      result.stats.wall_seconds = timer.seconds();
+      result.bandwidth = result.stats.total_moves();
+      return result;
+    }
+
+    // Verify and apply simultaneously-delivered sends.  `granted`
+    // tracks first deliveries within the step so that two arcs handing
+    // the same token to one vertex count as one useful + one redundant
+    // move.
+    std::int64_t step_moves = 0;
+    std::vector<TokenSet> next = possession;
+    std::vector<TokenSet> granted(
+        n, TokenSet(static_cast<std::size_t>(inst.num_tokens())));
+    for (const core::ArcSend& send : timestep.sends()) {
+      const Arc& arc = inst.graph().arc(send.arc);
+      const auto count = static_cast<std::int64_t>(send.tokens.count());
+      if (count > effective_capacity[static_cast<std::size_t>(send.arc)]) {
+        std::ostringstream msg;
+        msg << "policy '" << policy.name() << "' exceeded capacity on arc ("
+            << arc.from << "," << arc.to << ") at step " << step;
+        throw Error(msg.str());
+      }
+      if (!send.tokens.is_subset_of(
+              possession[static_cast<std::size_t>(arc.from)])) {
+        std::ostringstream msg;
+        msg << "policy '" << policy.name()
+            << "' sent unpossessed tokens on arc (" << arc.from << ","
+            << arc.to << ") at step " << step;
+        throw Error(msg.str());
+      }
+      step_moves += count;
+      result.stats.sent_by_vertex[static_cast<std::size_t>(arc.from)] += count;
+      const auto to = static_cast<std::size_t>(arc.to);
+      TokenSet fresh = send.tokens;
+      fresh -= possession[to];
+      fresh -= granted[to];
+      granted[to] |= fresh;
+      result.stats.useful_moves += static_cast<std::int64_t>(fresh.count());
+      result.stats.redundant_moves +=
+          count - static_cast<std::int64_t>(fresh.count());
+      next[to] |= send.tokens;
+    }
+    possession = std::move(next);
+    result.stats.moves_per_step.push_back(step_moves);
+    if (options.record_schedule) result.schedule.append(std::move(timestep));
+
+    ++step;
+    for (VertexId v = 0; v < inst.num_vertices(); ++v) {
+      auto& completion =
+          result.stats.completion_step[static_cast<std::size_t>(v)];
+      if (completion < 0 &&
+          vertex_satisfied(inst, options, v,
+                           possession[static_cast<std::size_t>(v)]))
+        completion = step;
+    }
+  }
+
+  result.success = all_satisfied(inst, options, possession);
+  result.steps = step;
+  result.bandwidth = result.stats.total_moves();
+  result.stats.wall_seconds = timer.seconds();
+  return result;
+}
+
+}  // namespace ocd::sim

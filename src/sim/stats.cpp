@@ -1,0 +1,41 @@
+#include "ocd/sim/stats.hpp"
+
+#include <sstream>
+
+namespace ocd::sim {
+
+double RunStats::mean_completion() const {
+  double total = 0.0;
+  std::int64_t counted = 0;
+  for (std::int64_t step : completion_step) {
+    if (step >= 0) {
+      total += static_cast<double>(step);
+      ++counted;
+    }
+  }
+  return counted == 0 ? 0.0 : total / static_cast<double>(counted);
+}
+
+double RunStats::upload_fairness() const {
+  if (sent_by_vertex.empty()) return 0.0;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (std::int64_t sent : sent_by_vertex) {
+    const auto x = static_cast<double>(sent);
+    sum += x;
+    sum_sq += x * x;
+  }
+  if (sum_sq == 0.0) return 0.0;
+  return (sum * sum) /
+         (static_cast<double>(sent_by_vertex.size()) * sum_sq);
+}
+
+std::string RunStats::summary() const {
+  std::ostringstream out;
+  out << "steps=" << moves_per_step.size() << " bandwidth=" << total_moves()
+      << " useful=" << useful_moves << " redundant=" << redundant_moves
+      << " mean_completion=" << mean_completion();
+  return out.str();
+}
+
+}  // namespace ocd::sim

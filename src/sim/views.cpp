@@ -1,0 +1,93 @@
+#include "ocd/sim/views.hpp"
+
+namespace ocd::sim {
+
+const char* to_string(KnowledgeClass k) {
+  switch (k) {
+    case KnowledgeClass::kLocalOnly:
+      return "local-only";
+    case KnowledgeClass::kLocalPeers:
+      return "local-peers";
+    case KnowledgeClass::kLocalAggregate:
+      return "local-aggregate";
+    case KnowledgeClass::kGlobal:
+      return "global";
+  }
+  return "unknown";
+}
+
+StepView::StepView(const core::Instance& instance,
+                   const std::vector<TokenSet>& possession,
+                   const std::vector<TokenSet>& stale_possession,
+                   const Aggregates& aggregates,
+                   const std::vector<std::vector<std::int32_t>>* distances,
+                   KnowledgeClass granted, std::int64_t step,
+                   std::span<const std::int32_t> effective_capacity)
+    : instance_(instance),
+      possession_(possession),
+      stale_possession_(stale_possession),
+      aggregates_(aggregates),
+      distances_(distances),
+      granted_(granted),
+      step_(step),
+      effective_capacity_(effective_capacity) {}
+
+std::int32_t StepView::capacity(ArcId arc) const {
+  OCD_EXPECTS(arc >= 0 && arc < instance_.graph().num_arcs());
+  if (effective_capacity_.empty()) return instance_.graph().arc(arc).capacity;
+  return effective_capacity_[static_cast<std::size_t>(arc)];
+}
+
+void StepView::require(KnowledgeClass needed) const {
+  OCD_EXPECTS(static_cast<int>(granted_) >= static_cast<int>(needed));
+}
+
+const Digraph& StepView::graph() const noexcept { return instance_.graph(); }
+
+std::int32_t StepView::num_tokens() const noexcept {
+  return instance_.num_tokens();
+}
+
+const TokenSet& StepView::own_possession(VertexId v) const {
+  return possession_[static_cast<std::size_t>(v)];
+}
+
+const TokenSet& StepView::own_want(VertexId v) const {
+  return instance_.want(v);
+}
+
+const TokenSet& StepView::peer_possession(VertexId self,
+                                          VertexId neighbor) const {
+  require(KnowledgeClass::kLocalPeers);
+  OCD_EXPECTS(instance_.graph().has_arc(self, neighbor) ||
+              instance_.graph().has_arc(neighbor, self));
+  return stale_possession_[static_cast<std::size_t>(neighbor)];
+}
+
+std::span<const std::int32_t> StepView::aggregate_holders() const {
+  require(KnowledgeClass::kLocalAggregate);
+  return aggregates_.holders;
+}
+
+std::span<const std::int32_t> StepView::aggregate_need() const {
+  require(KnowledgeClass::kLocalAggregate);
+  return aggregates_.need;
+}
+
+const std::vector<TokenSet>& StepView::global_possession() const {
+  require(KnowledgeClass::kGlobal);
+  return possession_;
+}
+
+const core::Instance& StepView::instance() const {
+  require(KnowledgeClass::kGlobal);
+  return instance_;
+}
+
+const std::vector<std::vector<std::int32_t>>& StepView::distances() const {
+  require(KnowledgeClass::kGlobal);
+  OCD_ASSERT(distances_ != nullptr);
+  return *distances_;
+}
+
+}  // namespace ocd::sim

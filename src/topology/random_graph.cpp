@@ -1,0 +1,62 @@
+#include "ocd/topology/random_graph.hpp"
+
+#include <cmath>
+
+#include "ocd/graph/algorithms.hpp"
+
+namespace ocd::topology {
+
+double default_edge_probability(std::int32_t n) {
+  OCD_EXPECTS(n >= 2);
+  return std::min(1.0, 2.0 * std::log(static_cast<double>(n)) /
+                           static_cast<double>(n));
+}
+
+namespace {
+
+std::int32_t draw_capacity(const CapacityRange& range, Rng& rng) {
+  OCD_EXPECTS(range.lo >= 1 && range.lo <= range.hi);
+  return static_cast<std::int32_t>(rng.uniform_int(range.lo, range.hi));
+}
+
+/// Adds arcs u->v and v->u with independent capacities, merging if present.
+void add_bidirectional(Digraph& g, VertexId u, VertexId v,
+                       const CapacityRange& range, Rng& rng) {
+  if (!g.has_arc(u, v)) g.add_arc(u, v, draw_capacity(range, rng));
+  if (!g.has_arc(v, u)) g.add_arc(v, u, draw_capacity(range, rng));
+}
+
+}  // namespace
+
+Digraph random_overlay(std::int32_t n, const RandomGraphOptions& options,
+                       Rng& rng) {
+  OCD_EXPECTS(n >= 2);
+  const double p = options.edge_probability > 0.0
+                       ? options.edge_probability
+                       : default_edge_probability(n);
+  Digraph g(n);
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId v = u + 1; v < n; ++v) {
+      if (rng.chance(p)) add_bidirectional(g, u, v, options.capacities, rng);
+    }
+  }
+  if (options.force_connected && !is_strongly_connected(g)) {
+    // Random Hamiltonian cycle backbone: keeps degree growth O(1) and
+    // guarantees strong connectivity without biasing toward any hub.
+    std::vector<VertexId> order(static_cast<std::size_t>(n));
+    for (VertexId v = 0; v < n; ++v) order[static_cast<std::size_t>(v)] = v;
+    rng.shuffle(order);
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      const VertexId u = order[i];
+      const VertexId v = order[(i + 1) % order.size()];
+      add_bidirectional(g, u, v, options.capacities, rng);
+    }
+  }
+  return g;
+}
+
+Digraph random_overlay(std::int32_t n, Rng& rng) {
+  return random_overlay(n, RandomGraphOptions{}, rng);
+}
+
+}  // namespace ocd::topology

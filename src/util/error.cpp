@@ -1,0 +1,31 @@
+#include "ocd/util/error.hpp"
+
+#include <sstream>
+
+namespace ocd {
+
+namespace {
+std::string format_message(const char* kind, const char* expr,
+                           const char* file, int line,
+                           const std::string& msg) {
+  std::ostringstream out;
+  out << file << ':' << line << ": " << kind << " violated: " << expr;
+  if (!msg.empty()) out << " (" << msg << ')';
+  return out.str();
+}
+}  // namespace
+
+ContractViolation::ContractViolation(const char* kind, const char* expr,
+                                     const char* file, int line,
+                                     const std::string& msg)
+    : Error(format_message(kind, expr, file, line, msg)), expr_(expr) {}
+
+namespace detail {
+void throw_contract_violation(const char* kind, const char* expr,
+                              const char* file, int line,
+                              const std::string& msg) {
+  throw ContractViolation(kind, expr, file, line, msg);
+}
+}  // namespace detail
+
+}  // namespace ocd

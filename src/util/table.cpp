@@ -1,0 +1,91 @@
+#include "ocd/util/table.hpp"
+
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "ocd/util/error.hpp"
+
+namespace ocd {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  OCD_EXPECTS(!headers_.empty());
+}
+
+void Table::add_row(std::vector<TableCell> row) {
+  OCD_EXPECTS(row.size() == headers_.size());
+  rows_.push_back(std::move(row));
+}
+
+void Table::set_precision(int digits) {
+  OCD_EXPECTS(digits >= 0 && digits <= 12);
+  precision_ = digits;
+}
+
+std::string Table::render_cell(const TableCell& cell) const {
+  if (const auto* s = std::get_if<std::string>(&cell)) return *s;
+  if (const auto* i = std::get_if<std::int64_t>(&cell))
+    return std::to_string(*i);
+  std::ostringstream out;
+  out << std::fixed << std::setprecision(precision_) << std::get<double>(cell);
+  return out.str();
+}
+
+void Table::print(std::ostream& out) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    widths[c] = headers_[c].size();
+  std::vector<std::vector<std::string>> rendered;
+  rendered.reserve(rows_.size());
+  for (const auto& row : rows_) {
+    std::vector<std::string> cells;
+    cells.reserve(row.size());
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      cells.push_back(render_cell(row[c]));
+      widths[c] = std::max(widths[c], cells.back().size());
+    }
+    rendered.push_back(std::move(cells));
+  }
+
+  auto rule = [&] {
+    out << '+';
+    for (std::size_t w : widths) out << std::string(w + 2, '-') << '+';
+    out << '\n';
+  };
+  auto line = [&](const std::vector<std::string>& cells) {
+    out << '|';
+    for (std::size_t c = 0; c < cells.size(); ++c)
+      out << ' ' << std::setw(static_cast<int>(widths[c])) << cells[c] << " |";
+    out << '\n';
+  };
+
+  rule();
+  line(headers_);
+  rule();
+  for (const auto& row : rendered) line(row);
+  rule();
+}
+
+void Table::print_csv(std::ostream& out) const {
+  auto emit = [&](const std::string& cell, bool last) {
+    const bool needs_quotes = cell.find_first_of(",\"\n") != std::string::npos;
+    if (needs_quotes) {
+      out << '"';
+      for (char ch : cell) {
+        if (ch == '"') out << '"';
+        out << ch;
+      }
+      out << '"';
+    } else {
+      out << cell;
+    }
+    out << (last ? '\n' : ',');
+  };
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    emit(headers_[c], c + 1 == headers_.size());
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      emit(render_cell(row[c]), c + 1 == row.size());
+}
+
+}  // namespace ocd

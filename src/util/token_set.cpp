@@ -1,0 +1,160 @@
+#include "ocd/util/token_set.hpp"
+
+#include <sstream>
+
+namespace ocd {
+
+TokenSet TokenSet::full(std::size_t universe) {
+  TokenSet s(universe);
+  if (universe == 0) return s;
+  for (auto& w : s.words_) w = ~0ULL;
+  // Mask off bits beyond the universe in the last word.
+  const unsigned rem = universe % 64;
+  if (rem != 0) s.words_.back() = (1ULL << rem) - 1;
+  return s;
+}
+
+TokenSet TokenSet::of(std::size_t universe,
+                      std::initializer_list<TokenId> ids) {
+  TokenSet s(universe);
+  for (TokenId t : ids) s.set(t);
+  return s;
+}
+
+std::size_t TokenSet::count() const noexcept {
+  std::size_t n = 0;
+  for (std::uint64_t w : words_) n += static_cast<std::size_t>(__builtin_popcountll(w));
+  return n;
+}
+
+bool TokenSet::empty() const noexcept {
+  for (std::uint64_t w : words_)
+    if (w != 0) return false;
+  return true;
+}
+
+bool TokenSet::is_subset_of(const TokenSet& other) const {
+  check_same_universe(other);
+  for (std::size_t i = 0; i < words_.size(); ++i)
+    if ((words_[i] & ~other.words_[i]) != 0) return false;
+  return true;
+}
+
+bool TokenSet::intersects(const TokenSet& other) const {
+  check_same_universe(other);
+  for (std::size_t i = 0; i < words_.size(); ++i)
+    if ((words_[i] & other.words_[i]) != 0) return true;
+  return false;
+}
+
+TokenSet& TokenSet::operator|=(const TokenSet& other) {
+  check_same_universe(other);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+  return *this;
+}
+
+TokenSet& TokenSet::operator&=(const TokenSet& other) {
+  check_same_universe(other);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+  return *this;
+}
+
+TokenSet& TokenSet::operator-=(const TokenSet& other) {
+  check_same_universe(other);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= ~other.words_[i];
+  return *this;
+}
+
+TokenSet& TokenSet::operator^=(const TokenSet& other) {
+  check_same_universe(other);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] ^= other.words_[i];
+  return *this;
+}
+
+TokenId TokenSet::first() const noexcept {
+  for (std::size_t wi = 0; wi < words_.size(); ++wi) {
+    if (words_[wi] != 0) {
+      return static_cast<TokenId>(wi * 64 +
+                                  static_cast<std::size_t>(__builtin_ctzll(words_[wi])));
+    }
+  }
+  return -1;
+}
+
+TokenId TokenSet::next(TokenId t) const {
+  if (t < 0) t = 0;
+  if (static_cast<std::size_t>(t) >= universe_) return -1;
+  std::size_t wi = word_of(t);
+  std::uint64_t w = words_[wi] & (~0ULL << bit_of(t));
+  while (true) {
+    if (w != 0) {
+      return static_cast<TokenId>(wi * 64 +
+                                  static_cast<std::size_t>(__builtin_ctzll(w)));
+    }
+    if (++wi >= words_.size()) return -1;
+    w = words_[wi];
+  }
+}
+
+TokenId TokenSet::next_circular(TokenId t) const {
+  if (universe_ == 0) return -1;
+  if (t < 0 || static_cast<std::size_t>(t) >= universe_) t = 0;
+  const TokenId found = next(t);
+  if (found >= 0) return found;
+  return first();
+}
+
+std::vector<TokenId> TokenSet::to_vector() const {
+  std::vector<TokenId> out;
+  out.reserve(count());
+  for_each([&](TokenId t) { out.push_back(t); });
+  return out;
+}
+
+void TokenSet::truncate(std::size_t k) {
+  std::size_t seen = 0;
+  for (std::size_t wi = 0; wi < words_.size(); ++wi) {
+    const auto in_word =
+        static_cast<std::size_t>(__builtin_popcountll(words_[wi]));
+    if (seen + in_word <= k) {
+      seen += in_word;
+      continue;
+    }
+    // Keep only the lowest (k - seen) bits of this word, zero the rest.
+    std::uint64_t w = words_[wi];
+    std::uint64_t kept = 0;
+    for (std::size_t need = k - seen; need > 0; --need) {
+      const std::uint64_t lowest = w & (~w + 1);
+      kept |= lowest;
+      w &= w - 1;
+    }
+    words_[wi] = kept;
+    for (std::size_t wj = wi + 1; wj < words_.size(); ++wj) words_[wj] = 0;
+    return;
+  }
+}
+
+std::string TokenSet::to_string() const {
+  std::ostringstream out;
+  out << '{';
+  bool first_item = true;
+  for_each([&](TokenId t) {
+    if (!first_item) out << ',';
+    out << t;
+    first_item = false;
+  });
+  out << '}';
+  return out.str();
+}
+
+std::size_t TokenSet::hash() const noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL ^ universe_;
+  for (std::uint64_t w : words_) {
+    h ^= w;
+    h *= 0x100000001b3ULL;
+    h ^= h >> 32;
+  }
+  return static_cast<std::size_t>(h);
+}
+
+}  // namespace ocd

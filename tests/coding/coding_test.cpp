@@ -1,0 +1,122 @@
+#include "ocd/coding/coded_instance.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ocd/heuristics/factory.hpp"
+#include "ocd/sim/simulator.hpp"
+#include "ocd/topology/random_graph.hpp"
+
+namespace ocd::coding {
+namespace {
+
+TEST(CodedFile, PiecesLayout) {
+  const CodedFile file{4, 3, 5};
+  const TokenSet pieces = file.pieces(12);
+  EXPECT_EQ(pieces.to_vector(), (std::vector<TokenId>{4, 5, 6, 7, 8}));
+}
+
+TEST(CodedBroadcast, ShapeAndThreshold) {
+  Rng rng(1);
+  Digraph g = topology::random_overlay(10, rng);
+  const CodedInstance coded = coded_broadcast(std::move(g), 8, 1.5, 0);
+  EXPECT_EQ(coded.instance().num_tokens(), 12);  // 8 * 1.5
+  ASSERT_EQ(coded.files().size(), 1u);
+  EXPECT_EQ(coded.files()[0].data, 8);
+  EXPECT_EQ(coded.files()[0].coded, 12);
+
+  // Source is satisfied; others need any 8 of the 12 pieces.
+  EXPECT_TRUE(coded.vertex_satisfied(0, coded.instance().have(0)));
+  TokenSet seven(12);
+  for (TokenId t = 0; t < 7; ++t) seven.set(t);
+  EXPECT_FALSE(coded.vertex_satisfied(1, seven));
+  TokenSet eight_scattered(12);
+  for (TokenId t : {0, 2, 3, 5, 7, 9, 10, 11}) eight_scattered.set(t);
+  EXPECT_TRUE(coded.vertex_satisfied(1, eight_scattered));
+}
+
+TEST(CodedBroadcast, RedundancyOneIsPlainBroadcast) {
+  Rng rng(2);
+  Digraph g = topology::random_overlay(10, rng);
+  const CodedInstance coded = coded_broadcast(std::move(g), 6, 1.0, 0);
+  EXPECT_EQ(coded.instance().num_tokens(), 6);
+  TokenSet five(6);
+  for (TokenId t = 0; t < 5; ++t) five.set(t);
+  EXPECT_FALSE(coded.vertex_satisfied(1, five));
+  EXPECT_TRUE(coded.vertex_satisfied(1, TokenSet::full(6)));
+}
+
+TEST(CodedBroadcast, RejectsBadParameters) {
+  Rng rng(3);
+  Digraph g = topology::random_overlay(6, rng);
+  EXPECT_THROW(coded_broadcast(std::move(g), 4, 0.5, 0), ContractViolation);
+}
+
+TEST(CodedInstance, ValidatesWantedFileIndices) {
+  Digraph g(2);
+  g.add_arc(0, 1, 1);
+  core::Instance inst(std::move(g), 4);
+  EXPECT_THROW(CodedInstance(std::move(inst), {CodedFile{0, 2, 4}},
+                             {{0}, {3}}),  // file 3 does not exist
+               ContractViolation);
+}
+
+TEST(CodedRun, CompletesAtThresholdNotFullSet) {
+  Rng rng(4);
+  Digraph g = topology::random_overlay(15, rng);
+  const CodedInstance coded = coded_broadcast(std::move(g), 10, 2.0, 0);
+
+  auto policy = heuristics::make_policy("local");
+  sim::SimOptions options;
+  options.seed = 5;
+  options.completion = coded.completion_predicate();
+  const auto result = sim::run(coded.instance(), *policy, options);
+  ASSERT_TRUE(result.success);
+
+  // With redundancy 2.0 nobody needs all 20 pieces: useful moves must
+  // be well below the n*m flood volume.
+  const std::int64_t flood_volume =
+      static_cast<std::int64_t>(coded.instance().num_vertices() - 1) *
+      coded.instance().num_tokens();
+  EXPECT_LT(result.stats.useful_moves, flood_volume);
+}
+
+TEST(CodedRun, RedundancyNeverSlowsCompletion) {
+  // Same graph, same seed: with spare pieces available any k-subset
+  // finishes the download, so steps (and per-vertex completion) are
+  // monotone non-increasing in redundancy here.
+  Rng rng(6);
+  const Digraph base = topology::random_overlay(20, rng);
+  std::int64_t prev_steps = -1;
+  for (const double redundancy : {1.0, 1.5, 2.0}) {
+    Digraph g = base;
+    const CodedInstance coded = coded_broadcast(std::move(g), 12, redundancy, 0);
+    auto policy = heuristics::make_policy("local");
+    sim::SimOptions options;
+    options.seed = 9;
+    options.completion = coded.completion_predicate();
+    const auto result = sim::run(coded.instance(), *policy, options);
+    ASSERT_TRUE(result.success) << "redundancy " << redundancy;
+    if (prev_steps >= 0) {
+      EXPECT_LE(result.steps, prev_steps) << "redundancy " << redundancy;
+    }
+    prev_steps = result.steps;
+  }
+}
+
+TEST(CodedRun, CompletionStepsHonorPredicate) {
+  Digraph g(2);
+  g.add_arc(0, 1, 2);
+  const CodedInstance coded = coded_broadcast(std::move(g), 4, 1.5, 0);
+  // 6 coded pieces over a capacity-2 arc; threshold 4 -> 2 steps,
+  // whereas the raw want set (6 pieces) would need 3.
+  auto policy = heuristics::make_policy("round-robin");
+  sim::SimOptions options;
+  options.completion = coded.completion_predicate();
+  const auto result = sim::run(coded.instance(), *policy, options);
+  ASSERT_TRUE(result.success);
+  EXPECT_EQ(result.steps, 2);
+  EXPECT_EQ(result.stats.completion_step[1], 2);
+}
+
+}  // namespace
+}  // namespace ocd::coding

@@ -1,0 +1,132 @@
+#include "ocd/core/bounds.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ocd/core/scenario.hpp"
+#include "ocd/exact/bnb.hpp"
+#include "ocd/topology/random_graph.hpp"
+
+namespace ocd::core {
+namespace {
+
+Instance line_instance(std::int32_t capacity = 1) {
+  Digraph g(3);
+  g.add_arc(0, 1, capacity);
+  g.add_arc(1, 2, capacity);
+  Instance inst(std::move(g), 2);
+  inst.add_have(0, 0);
+  inst.add_have(0, 1);
+  inst.add_want(2, 0);
+  inst.add_want(2, 1);
+  return inst;
+}
+
+TEST(Bounds, BandwidthCountsOutstandingPairs) {
+  const Instance inst = line_instance();
+  EXPECT_EQ(bandwidth_lower_bound(inst), 2);
+}
+
+TEST(Bounds, BandwidthZeroWhenSatisfied) {
+  Digraph g(2);
+  g.add_arc(0, 1, 1);
+  Instance inst(std::move(g), 1);
+  inst.add_have(0, 0);
+  EXPECT_EQ(bandwidth_lower_bound(inst), 0);
+}
+
+TEST(Bounds, DistanceBoundIsHopDistance) {
+  const Instance inst = line_instance();
+  EXPECT_EQ(distance_lower_bound(inst), 2);
+}
+
+TEST(Bounds, DistanceBoundThrowsWhenUnreachable) {
+  Digraph g(2);
+  g.add_arc(0, 1, 1);
+  Instance inst(std::move(g), 1);
+  inst.add_have(1, 0);
+  inst.add_want(0, 0);  // arc points the wrong way
+  EXPECT_THROW(distance_lower_bound(inst), Error);
+}
+
+TEST(Bounds, MakespanAccountsForInCapacity) {
+  // Vertex 2 wants 2 tokens over a capacity-1 tail arc at distance 2:
+  // the M_i(v) bound gives radius 2 + ceil(0/1) combined with the pure
+  // capacity view; the true optimum is 3 (second token trails one step
+  // behind the first).
+  const Instance inst = line_instance(/*capacity=*/1);
+  const auto bound = makespan_lower_bound(inst);
+  EXPECT_GE(bound, 2);
+  const auto exact = exact::focd_min_makespan(inst, 10);
+  ASSERT_TRUE(exact.has_value());
+  EXPECT_EQ(exact->makespan, 3);
+  EXPECT_LE(bound, exact->makespan);
+}
+
+TEST(Bounds, MakespanTightOnWideLink) {
+  const Instance inst = line_instance(/*capacity=*/2);
+  EXPECT_EQ(makespan_lower_bound(inst), 2);
+  const auto exact = exact::focd_min_makespan(inst, 10);
+  ASSERT_TRUE(exact.has_value());
+  EXPECT_EQ(exact->makespan, 2);
+}
+
+TEST(Bounds, OneStepLookahead) {
+  Digraph g(2);
+  g.add_arc(0, 1, 2);
+  Instance inst(std::move(g), 2);
+  inst.add_have(0, 0);
+  inst.add_have(0, 1);
+  inst.add_want(1, 0);
+  inst.add_want(1, 1);
+  std::vector<TokenSet> possession{inst.have(0), inst.have(1)};
+  EXPECT_EQ(one_step_lookahead_bound(inst, possession), 1);
+
+  // Shrink capacity: two tokens cannot cross a 1-capacity arc in a step.
+  Digraph g2(2);
+  g2.add_arc(0, 1, 1);
+  Instance narrow(std::move(g2), 2);
+  narrow.add_have(0, 0);
+  narrow.add_have(0, 1);
+  narrow.add_want(1, 0);
+  narrow.add_want(1, 1);
+  std::vector<TokenSet> possession2{narrow.have(0), narrow.have(1)};
+  EXPECT_EQ(one_step_lookahead_bound(narrow, possession2), 2);
+}
+
+TEST(Bounds, OneStepLookaheadZeroWhenDone) {
+  Digraph g(2);
+  g.add_arc(0, 1, 1);
+  Instance inst(std::move(g), 1);
+  inst.add_have(0, 0);
+  std::vector<TokenSet> possession{inst.have(0), inst.have(1)};
+  EXPECT_EQ(one_step_lookahead_bound(inst, possession), 0);
+}
+
+TEST(Bounds, SerialSteinerUpperBoundAtLeastLower) {
+  Rng rng(9);
+  Digraph g = topology::random_overlay(15, rng);
+  Instance inst = single_source_all_receivers(std::move(g), 4, 0);
+  const auto lower = bandwidth_lower_bound(inst);
+  const auto upper = bandwidth_upper_bound_serial_steiner(inst);
+  EXPECT_GE(upper, lower);
+}
+
+// Property: on small random instances the bounds bracket the exact
+// optimum computed by branch and bound.
+class BoundsSandwich : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BoundsSandwich, LowerBoundsNeverExceedOptimum) {
+  Rng rng(GetParam());
+  const Instance inst = random_small_instance(5, 2, 0.4, rng);
+  const auto exact = exact::focd_min_makespan(inst, 12);
+  ASSERT_TRUE(exact.has_value());
+  EXPECT_LE(makespan_lower_bound(inst), exact->makespan);
+  EXPECT_LE(distance_lower_bound(inst), exact->makespan);
+  EXPECT_LE(bandwidth_lower_bound(inst), exact->schedule.bandwidth());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BoundsSandwich,
+                         ::testing::Range<std::uint64_t>(0, 8));
+
+}  // namespace
+}  // namespace ocd::core

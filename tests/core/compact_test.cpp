@@ -1,0 +1,170 @@
+#include "ocd/core/compact.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ocd/core/prune.hpp"
+#include "ocd/core/scenario.hpp"
+#include "ocd/core/validate.hpp"
+#include "ocd/heuristics/factory.hpp"
+#include "ocd/sim/scripted.hpp"
+#include "ocd/sim/simulator.hpp"
+#include "ocd/topology/random_graph.hpp"
+
+namespace ocd::core {
+namespace {
+
+Instance line_instance() {
+  Digraph g(3);
+  g.add_arc(0, 1, 2);
+  g.add_arc(1, 2, 2);
+  Instance inst(std::move(g), 2);
+  inst.add_have(0, 0);
+  inst.add_have(0, 1);
+  inst.add_want(2, 0);
+  inst.add_want(2, 1);
+  return inst;
+}
+
+TEST(Compact, PullsNeedlesslyLateMovesForward) {
+  const Instance inst = line_instance();
+  // Wasteful schedule: sends one token per step although capacity is 2.
+  Schedule sloppy;
+  Timestep s1;
+  s1.add(0, 0, 2);
+  sloppy.append(std::move(s1));
+  Timestep s2;
+  s2.add(0, 1, 2);
+  sloppy.append(std::move(s2));
+  Timestep s3;
+  s3.add(1, 0, 2);
+  sloppy.append(std::move(s3));
+  Timestep s4;
+  s4.add(1, 1, 2);
+  sloppy.append(std::move(s4));
+  ASSERT_TRUE(is_successful(inst, sloppy));
+
+  const Schedule tight = compact_schedule(inst, sloppy);
+  EXPECT_TRUE(is_successful(inst, tight));
+  EXPECT_EQ(tight.length(), 2);  // both tokens move together
+  EXPECT_EQ(tight.bandwidth(), sloppy.bandwidth());
+}
+
+TEST(Compact, RemovesLeadingIdleSteps) {
+  const Instance inst = line_instance();
+  Schedule delayed;
+  delayed.append(Timestep{});
+  delayed.append(Timestep{});
+  Timestep s1;
+  s1.add(0, TokenSet::of(2, {0, 1}));
+  delayed.append(std::move(s1));
+  Timestep s2;
+  s2.add(1, TokenSet::of(2, {0, 1}));
+  delayed.append(std::move(s2));
+  const Schedule tight = compact_schedule(inst, delayed);
+  EXPECT_EQ(tight.length(), 2);
+  EXPECT_TRUE(is_successful(inst, tight));
+}
+
+TEST(Compact, RespectsPossessionChains) {
+  // The relay hop cannot be compacted below 2 steps.
+  const Instance inst = line_instance();
+  Schedule minimal;
+  Timestep s1;
+  s1.add(0, TokenSet::of(2, {0, 1}));
+  minimal.append(std::move(s1));
+  Timestep s2;
+  s2.add(1, TokenSet::of(2, {0, 1}));
+  minimal.append(std::move(s2));
+  const Schedule same = compact_schedule(inst, minimal);
+  EXPECT_EQ(same.length(), 2);
+}
+
+TEST(Compact, RespectsCapacity) {
+  Digraph g(2);
+  g.add_arc(0, 1, 1);
+  Instance inst(std::move(g), 3);
+  for (TokenId t = 0; t < 3; ++t) {
+    inst.add_have(0, t);
+    inst.add_want(1, t);
+  }
+  Schedule serial;
+  for (TokenId t = 0; t < 3; ++t) {
+    Timestep s;
+    s.add(0, t, 3);
+    serial.append(std::move(s));
+  }
+  const Schedule tight = compact_schedule(inst, serial);
+  EXPECT_EQ(tight.length(), 3);  // capacity 1 forbids speedup
+  EXPECT_TRUE(validate(inst, tight).valid);
+}
+
+TEST(Compact, MergesIdenticalDuplicateMoves) {
+  const Instance inst = line_instance();
+  Schedule dup;
+  Timestep s1;
+  s1.add(0, 0, 2);
+  dup.append(std::move(s1));
+  Timestep s2;
+  s2.add(0, 0, 2);  // same transfer again
+  s2.add(1, 0, 2);
+  dup.append(std::move(s2));
+  const Schedule tight = compact_schedule(inst, dup);
+  EXPECT_LE(tight.bandwidth(), dup.bandwidth());
+  EXPECT_TRUE(validate(inst, tight).valid);
+}
+
+TEST(Compact, EmptyScheduleStaysEmpty) {
+  const Instance inst = line_instance();
+  EXPECT_TRUE(compact_schedule(inst, Schedule{}).empty());
+}
+
+TEST(Compact, TwoPhaseDelayIsCompactedAway) {
+  Rng rng(5);
+  Digraph g = topology::random_overlay(15, rng);
+  const Instance inst = single_source_all_receivers(std::move(g), 6, 0);
+  sim::TwoPhasePolicy policy("global", /*delay=*/4);
+  const auto run = sim::run(inst, policy);
+  ASSERT_TRUE(run.success);
+  const Schedule tight = compact_schedule(inst, run.schedule);
+  EXPECT_EQ(tight.length(), run.steps - 4);
+  EXPECT_TRUE(is_successful(inst, tight));
+}
+
+class CompactProperty : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(CompactProperty, NeverWorseAlwaysValid) {
+  Rng rng(9);
+  Digraph g = topology::random_overlay(20, rng);
+  const Instance inst = single_source_all_receivers(std::move(g), 10, 0);
+  auto policy = heuristics::make_policy(GetParam());
+  const auto run = sim::run(inst, *policy);
+  ASSERT_TRUE(run.success);
+
+  const Schedule compacted = compact_schedule(inst, run.schedule);
+  EXPECT_TRUE(is_successful(inst, compacted));
+  EXPECT_LE(compacted.length(), run.schedule.length());
+  EXPECT_LE(compacted.bandwidth(), run.schedule.bandwidth());
+
+  // Full post-pass: prune then compact dominates both dimensions.
+  const Schedule optimized = optimize_schedule(inst, run.schedule);
+  EXPECT_TRUE(is_successful(inst, optimized));
+  EXPECT_LE(optimized.length(), run.schedule.length());
+  EXPECT_LE(optimized.bandwidth(),
+            prune(inst, run.schedule).bandwidth());
+
+  // Idempotence.
+  const Schedule twice = compact_schedule(inst, compacted);
+  EXPECT_EQ(twice.length(), compacted.length());
+}
+
+INSTANTIATE_TEST_SUITE_P(All, CompactProperty,
+                         ::testing::ValuesIn(heuristics::all_policy_names()),
+                         [](const ::testing::TestParamInfo<std::string>& info) {
+                           std::string name = info.param;
+                           for (char& c : name)
+                             if (c == '-') c = '_';
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace ocd::core

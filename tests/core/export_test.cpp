@@ -1,0 +1,72 @@
+#include "ocd/core/export.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "ocd/core/scenario.hpp"
+#include "ocd/heuristics/factory.hpp"
+#include "ocd/sim/simulator.hpp"
+
+namespace ocd::core {
+namespace {
+
+TEST(Export, DotContainsEveryVertexAndArc) {
+  const Instance inst = figure1_instance();
+  std::ostringstream out;
+  write_dot(inst, out);
+  const std::string dot = out.str();
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  for (VertexId v = 0; v < inst.num_vertices(); ++v) {
+    EXPECT_NE(dot.find("v" + std::to_string(v) + " ["), std::string::npos)
+        << "vertex " << v;
+  }
+  EXPECT_NE(dot.find("v0 -> v1"), std::string::npos);
+  // Source marked as holder, receivers shaded.
+  EXPECT_NE(dot.find("doublecircle"), std::string::npos);
+  EXPECT_NE(dot.find("lightgray"), std::string::npos);
+}
+
+TEST(Export, DotOptionsToggleDecorations) {
+  const Instance inst = figure1_instance();
+  DotOptions plain;
+  plain.show_capacities = false;
+  plain.mark_roles = false;
+  std::ostringstream out;
+  write_dot(inst, out, plain);
+  EXPECT_EQ(out.str().find("doublecircle"), std::string::npos);
+  // Arc lines carry no capacity annotations when disabled.
+  EXPECT_EQ(out.str().find("-> v1 ["), std::string::npos);
+}
+
+TEST(Export, StepDotHighlightsActiveArcs) {
+  const Instance inst = figure1_instance();
+  Schedule schedule;
+  Timestep step;
+  step.add(0, 0, 1);  // s -> w1
+  schedule.append(std::move(step));
+  std::ostringstream out;
+  write_step_dot(inst, schedule, 0, out);
+  const std::string dot = out.str();
+  EXPECT_NE(dot.find("penwidth=2.5"), std::string::npos);
+  EXPECT_NE(dot.find("{0}"), std::string::npos);
+  EXPECT_NE(dot.find("gray70"), std::string::npos);  // inactive arcs
+  EXPECT_THROW(write_step_dot(inst, schedule, 5, out), ContractViolation);
+}
+
+TEST(Export, TraceCsvListsEveryMove) {
+  const Instance inst = figure1_instance();
+  auto policy = heuristics::make_policy("global");
+  const auto run = sim::run(inst, *policy);
+  ASSERT_TRUE(run.success);
+  std::ostringstream out;
+  write_trace_csv(inst, run.schedule, out);
+  const std::string csv = out.str();
+  // Header + one line per move.
+  const auto lines = std::count(csv.begin(), csv.end(), '\n');
+  EXPECT_EQ(lines, 1 + run.schedule.bandwidth());
+  EXPECT_EQ(csv.rfind("step,from,to,token\n", 0), 0u);
+}
+
+}  // namespace
+}  // namespace ocd::core

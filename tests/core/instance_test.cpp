@@ -1,0 +1,112 @@
+#include "ocd/core/instance.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ocd::core {
+namespace {
+
+Digraph line3() {
+  Digraph g(3);
+  g.add_arc(0, 1, 2);
+  g.add_arc(1, 2, 2);
+  return g;
+}
+
+TEST(Instance, ConstructionInitializesEmptySets) {
+  Instance inst(line3(), 4);
+  EXPECT_EQ(inst.num_vertices(), 3);
+  EXPECT_EQ(inst.num_tokens(), 4);
+  for (VertexId v = 0; v < 3; ++v) {
+    EXPECT_TRUE(inst.have(v).empty());
+    EXPECT_TRUE(inst.want(v).empty());
+  }
+  inst.validate();
+}
+
+TEST(Instance, AddHaveWant) {
+  Instance inst(line3(), 4);
+  inst.add_have(0, 2);
+  inst.add_want(2, 2);
+  EXPECT_TRUE(inst.have(0).test(2));
+  EXPECT_TRUE(inst.want(2).test(2));
+  EXPECT_FALSE(inst.have(1).test(2));
+}
+
+TEST(Instance, SetHaveRejectsWrongUniverse) {
+  Instance inst(line3(), 4);
+  EXPECT_THROW(inst.set_have(0, TokenSet(5)), ContractViolation);
+  EXPECT_NO_THROW(inst.set_have(0, TokenSet(4)));
+}
+
+TEST(Instance, TriviallySatisfied) {
+  Instance inst(line3(), 2);
+  EXPECT_TRUE(inst.is_trivially_satisfied());
+  inst.add_want(2, 0);
+  EXPECT_FALSE(inst.is_trivially_satisfied());
+  inst.add_have(2, 0);
+  EXPECT_TRUE(inst.is_trivially_satisfied());
+}
+
+TEST(Instance, SatisfiableFollowsReachability) {
+  Instance inst(line3(), 2);
+  inst.add_have(0, 0);
+  inst.add_want(2, 0);
+  EXPECT_TRUE(inst.is_satisfiable());  // 0 -> 1 -> 2 path exists
+
+  Instance backward(line3(), 2);
+  backward.add_have(2, 0);
+  backward.add_want(0, 0);
+  EXPECT_FALSE(backward.is_satisfiable());  // arcs point the wrong way
+}
+
+TEST(Instance, UnsourcedWantedTokenIsUnsatisfiable) {
+  Instance inst(line3(), 2);
+  inst.add_want(1, 1);  // nobody has token 1
+  EXPECT_FALSE(inst.is_satisfiable());
+}
+
+TEST(Instance, SatisfiableIgnoresAlreadyOwnedWants) {
+  Instance inst(line3(), 1);
+  inst.add_have(2, 0);
+  inst.add_want(2, 0);  // wants what it has; no source needed elsewhere
+  EXPECT_TRUE(inst.is_satisfiable());
+}
+
+TEST(Instance, SourcesOfListsHolders) {
+  Instance inst(line3(), 2);
+  inst.add_have(0, 0);
+  inst.add_have(2, 0);
+  inst.add_have(1, 1);
+  EXPECT_EQ(inst.sources_of(0), (std::vector<VertexId>{0, 2}));
+  EXPECT_EQ(inst.sources_of(1), (std::vector<VertexId>{1}));
+}
+
+TEST(Instance, TotalOutstandingCountsMissingWants) {
+  Instance inst(line3(), 3);
+  inst.add_have(0, 0);
+  inst.add_want(1, 0);
+  inst.add_want(1, 1);
+  inst.add_want(2, 0);
+  inst.add_have(2, 0);  // already satisfied
+  EXPECT_EQ(inst.total_outstanding(), 2);
+}
+
+TEST(Instance, FileBookkeeping) {
+  Instance inst(line3(), 10);
+  const auto f = inst.add_file(2, 4);
+  EXPECT_EQ(f, 0);
+  EXPECT_EQ(inst.files().size(), 1u);
+  const TokenSet tokens = inst.files()[0].tokens(10);
+  EXPECT_EQ(tokens.to_vector(), (std::vector<TokenId>{2, 3, 4, 5}));
+  EXPECT_THROW(inst.add_file(8, 4), ContractViolation);  // overruns universe
+}
+
+TEST(Instance, SummaryMentionsDimensions) {
+  Instance inst(line3(), 4);
+  const std::string s = inst.summary();
+  EXPECT_NE(s.find("n=3"), std::string::npos);
+  EXPECT_NE(s.find("tokens=4"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ocd::core

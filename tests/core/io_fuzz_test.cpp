@@ -1,0 +1,103 @@
+// Round-trip fuzzing of the instance text format over randomized
+// scenarios, and resilience against randomly corrupted inputs (parse
+// errors, never crashes or silent misparses).
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "ocd/core/io.hpp"
+#include "ocd/core/scenario.hpp"
+#include "ocd/topology/random_graph.hpp"
+#include "ocd/topology/transit_stub.hpp"
+
+namespace ocd::core {
+namespace {
+
+Instance random_instance(std::uint64_t seed) {
+  Rng rng(seed);
+  switch (seed % 4) {
+    case 0: {
+      Digraph g = topology::random_overlay(10 + seed % 20, rng);
+      return single_source_all_receivers(std::move(g), 4 + seed % 12, 0);
+    }
+    case 1: {
+      Digraph g = topology::random_overlay(16, rng);
+      return subdivided_files(std::move(g), 12, 3, 0);
+    }
+    case 2: {
+      Digraph g = topology::random_overlay(16, rng);
+      return subdivided_files_random_senders(std::move(g), 12, 4, rng);
+    }
+    default:
+      return random_small_instance(6, 3, 0.5, rng);
+  }
+}
+
+class IoFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(IoFuzz, RoundTripPreservesEverything) {
+  const Instance original = random_instance(GetParam());
+  std::stringstream buffer;
+  save_instance(original, buffer);
+  const Instance loaded = load_instance(buffer);
+
+  ASSERT_EQ(loaded.num_vertices(), original.num_vertices());
+  ASSERT_EQ(loaded.num_tokens(), original.num_tokens());
+  ASSERT_EQ(loaded.graph().num_arcs(), original.graph().num_arcs());
+  for (ArcId a = 0; a < original.graph().num_arcs(); ++a) {
+    EXPECT_EQ(loaded.graph().arc(a).from, original.graph().arc(a).from);
+    EXPECT_EQ(loaded.graph().arc(a).to, original.graph().arc(a).to);
+    EXPECT_EQ(loaded.graph().arc(a).capacity,
+              original.graph().arc(a).capacity);
+  }
+  for (VertexId v = 0; v < original.num_vertices(); ++v) {
+    EXPECT_EQ(loaded.have(v), original.have(v)) << "vertex " << v;
+    EXPECT_EQ(loaded.want(v), original.want(v)) << "vertex " << v;
+  }
+  EXPECT_EQ(loaded.total_outstanding(), original.total_outstanding());
+  EXPECT_EQ(loaded.is_satisfiable(), original.is_satisfiable());
+}
+
+TEST_P(IoFuzz, CorruptedInputNeverCrashes) {
+  const Instance original = random_instance(GetParam());
+  std::stringstream buffer;
+  save_instance(original, buffer);
+  std::string text = buffer.str();
+
+  Rng rng(GetParam() * 31 + 3);
+  for (int trial = 0; trial < 25; ++trial) {
+    std::string corrupted = text;
+    switch (rng.below(4)) {
+      case 0:  // flip a character
+        corrupted[rng.below(corrupted.size())] =
+            static_cast<char>('0' + rng.below(10));
+        break;
+      case 1:  // truncate
+        corrupted.resize(rng.below(corrupted.size()));
+        break;
+      case 2:  // delete a line
+      {
+        const auto pos = corrupted.find('\n', rng.below(corrupted.size()));
+        if (pos != std::string::npos) corrupted.erase(0, pos + 1);
+        break;
+      }
+      default:  // inject garbage
+        corrupted.insert(rng.below(corrupted.size()), "zzz ");
+        break;
+    }
+    std::stringstream in(corrupted);
+    try {
+      const Instance parsed = load_instance(in);
+      // Accepting a mutation is fine only if the result still
+      // self-validates (e.g. a capacity digit changed).
+      parsed.validate();
+    } catch (const Error&) {
+      // Expected for most corruptions.
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IoFuzz, ::testing::Range<std::uint64_t>(0, 12));
+
+}  // namespace
+}  // namespace ocd::core

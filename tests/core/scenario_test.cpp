@@ -1,0 +1,140 @@
+#include "ocd/core/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ocd/topology/random_graph.hpp"
+
+namespace ocd::core {
+namespace {
+
+Digraph small_graph(Rng& rng) {
+  return topology::random_overlay(20, rng);
+}
+
+TEST(Scenario, SingleSourceAllReceivers) {
+  Rng rng(1);
+  const Instance inst =
+      single_source_all_receivers(small_graph(rng), 16, /*source=*/0);
+  EXPECT_EQ(inst.have(0).count(), 16u);
+  EXPECT_TRUE(inst.want(0).empty());
+  for (VertexId v = 1; v < inst.num_vertices(); ++v) {
+    EXPECT_TRUE(inst.have(v).empty());
+    EXPECT_EQ(inst.want(v).count(), 16u);
+  }
+  EXPECT_EQ(inst.files().size(), 1u);
+  EXPECT_TRUE(inst.is_satisfiable());
+}
+
+TEST(Scenario, ReceiverDensityThresholdExtremes) {
+  Rng rng(2);
+  auto zero = single_source_receiver_density(small_graph(rng), 8, 0, 0.0, rng);
+  EXPECT_EQ(zero.num_receivers, 0);
+  EXPECT_EQ(zero.instance.total_outstanding(), 0);
+
+  auto one = single_source_receiver_density(small_graph(rng), 8, 0, 1.0, rng);
+  EXPECT_EQ(one.num_receivers, one.instance.num_vertices() - 1);
+}
+
+TEST(Scenario, ReceiverDensityMonotoneInExpectation) {
+  Rng rng(3);
+  const Digraph g = small_graph(rng);
+  std::int32_t low_total = 0;
+  std::int32_t high_total = 0;
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    Rng r1(seed);
+    Rng r2(seed);
+    Digraph g1 = g;
+    Digraph g2 = g;
+    low_total +=
+        single_source_receiver_density(std::move(g1), 4, 0, 0.2, r1)
+            .num_receivers;
+    high_total +=
+        single_source_receiver_density(std::move(g2), 4, 0, 0.8, r2)
+            .num_receivers;
+  }
+  EXPECT_LT(low_total, high_total);
+}
+
+TEST(Scenario, SubdividedFilesPartitionTokensAndVertices) {
+  Rng rng(4);
+  Digraph g = topology::random_overlay(40, rng);
+  const Instance inst = subdivided_files(std::move(g), 32, 4, /*source=*/0);
+  EXPECT_EQ(inst.files().size(), 4u);
+  // Source holds everything, wants nothing.
+  EXPECT_EQ(inst.have(0).count(), 32u);
+  EXPECT_TRUE(inst.want(0).empty());
+  // Every non-source vertex wants exactly one 8-token file.
+  std::vector<int> group_sizes(4, 0);
+  for (VertexId v = 1; v < inst.num_vertices(); ++v) {
+    EXPECT_EQ(inst.want(v).count(), 8u);
+    const TokenId first = inst.want(v).first();
+    EXPECT_EQ(first % 8, 0);
+    ++group_sizes[static_cast<std::size_t>(first / 8)];
+  }
+  // Groups nearly equal: 39 vertices over 4 groups -> sizes 9..10.
+  for (int size : group_sizes) {
+    EXPECT_GE(size, 9);
+    EXPECT_LE(size, 10);
+  }
+}
+
+TEST(Scenario, SubdividedFilesOneFileEqualsAllReceivers) {
+  Rng rng(5);
+  Digraph g = topology::random_overlay(20, rng);
+  const Instance inst = subdivided_files(std::move(g), 16, 1, 0);
+  for (VertexId v = 1; v < inst.num_vertices(); ++v)
+    EXPECT_EQ(inst.want(v).count(), 16u);
+}
+
+TEST(Scenario, SubdividedFilesRequiresDivisibility) {
+  Rng rng(6);
+  Digraph g = topology::random_overlay(20, rng);
+  EXPECT_THROW(subdivided_files(std::move(g), 10, 3, 0), ContractViolation);
+}
+
+TEST(Scenario, RandomSendersNeverWantTheirOwnFile) {
+  Rng rng(7);
+  Digraph g = topology::random_overlay(40, rng);
+  const Instance inst =
+      subdivided_files_random_senders(std::move(g), 32, 8, rng);
+  for (VertexId v = 0; v < inst.num_vertices(); ++v) {
+    // A sender's haves must not intersect its wants.
+    EXPECT_FALSE(inst.have(v).intersects(inst.want(v)))
+        << "vertex " << v << " wants part of the file it sources";
+  }
+  // Every token has exactly one holder.
+  for (TokenId t = 0; t < inst.num_tokens(); ++t)
+    EXPECT_EQ(inst.sources_of(t).size(), 1u);
+  EXPECT_TRUE(inst.is_satisfiable());
+}
+
+TEST(Scenario, Figure1InstanceShape) {
+  const Instance inst = figure1_instance();
+  EXPECT_EQ(inst.num_vertices(), 7);
+  EXPECT_EQ(inst.num_tokens(), 1);
+  EXPECT_EQ(inst.graph().num_arcs(), 8);
+  EXPECT_TRUE(inst.have(0).test(0));
+  EXPECT_EQ(inst.total_outstanding(), 4);
+  EXPECT_TRUE(inst.is_satisfiable());
+}
+
+TEST(Scenario, AdversarialPathShape) {
+  const Instance inst = adversarial_path(5, 10, 7);
+  EXPECT_EQ(inst.num_vertices(), 6);
+  EXPECT_EQ(inst.have(0).count(), 10u);
+  EXPECT_EQ(inst.want(5).to_vector(), (std::vector<TokenId>{7}));
+  EXPECT_TRUE(inst.is_satisfiable());
+  EXPECT_THROW(adversarial_path(3, 4, 4), ContractViolation);
+}
+
+TEST(Scenario, RandomSmallInstanceIsSatisfiableAndSeeded) {
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    Rng rng(seed);
+    const Instance inst = random_small_instance(5, 3, 0.5, rng);
+    EXPECT_TRUE(inst.is_satisfiable()) << "seed " << seed;
+    EXPECT_GT(inst.total_outstanding(), 0) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace ocd::core

@@ -1,0 +1,93 @@
+#include "ocd/core/schedule.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ocd::core {
+namespace {
+
+TEST(Timestep, AddMergesSendsPerArc) {
+  Timestep step;
+  step.add(3, TokenSet::of(10, {1, 2}));
+  step.add(3, TokenSet::of(10, {2, 5}));
+  ASSERT_EQ(step.sends().size(), 1u);
+  EXPECT_EQ(step.sends()[0].tokens.to_vector(),
+            (std::vector<TokenId>{1, 2, 5}));
+  EXPECT_EQ(step.moves(), 3);
+}
+
+TEST(Timestep, AddSingleToken) {
+  Timestep step;
+  step.add(0, 4, 10);
+  step.add(0, 7, 10);
+  step.add(1, 4, 10);
+  EXPECT_EQ(step.sends().size(), 2u);
+  EXPECT_EQ(step.moves(), 3);
+}
+
+TEST(Timestep, EmptyTokenSetIgnored) {
+  Timestep step;
+  step.add(0, TokenSet(10));
+  EXPECT_TRUE(step.sends().empty());
+  EXPECT_TRUE(step.empty());
+}
+
+TEST(Timestep, CompactRemovesHollowEntries) {
+  Timestep step;
+  step.add(0, 1, 10);
+  step.sends()[0].tokens.reset(1);
+  EXPECT_TRUE(step.empty());
+  step.compact();
+  EXPECT_TRUE(step.sends().empty());
+}
+
+TEST(Timestep, NegativeArcRejected) {
+  Timestep step;
+  EXPECT_THROW(step.add(-1, 0, 10), ContractViolation);
+}
+
+TEST(Schedule, LengthAndBandwidth) {
+  Schedule schedule;
+  Timestep a;
+  a.add(0, TokenSet::of(8, {0, 1}));
+  Timestep b;
+  b.add(1, TokenSet::of(8, {2}));
+  schedule.append(std::move(a));
+  schedule.append(std::move(b));
+  EXPECT_EQ(schedule.length(), 2);
+  EXPECT_EQ(schedule.bandwidth(), 3);
+  EXPECT_FALSE(schedule.empty());
+}
+
+TEST(Schedule, TrimDropsTrailingEmptySteps) {
+  Schedule schedule;
+  Timestep a;
+  a.add(0, 0, 4);
+  schedule.append(std::move(a));
+  schedule.append(Timestep{});
+  schedule.append(Timestep{});
+  EXPECT_EQ(schedule.length(), 3);
+  schedule.trim();
+  EXPECT_EQ(schedule.length(), 1);
+}
+
+TEST(Schedule, TrimKeepsInteriorEmptySteps) {
+  Schedule schedule;
+  schedule.append(Timestep{});
+  Timestep b;
+  b.add(0, 0, 4);
+  schedule.append(std::move(b));
+  schedule.trim();
+  EXPECT_EQ(schedule.length(), 2);  // leading empty step preserved
+}
+
+TEST(Schedule, EmptyScheduleBasics) {
+  Schedule schedule;
+  EXPECT_TRUE(schedule.empty());
+  EXPECT_EQ(schedule.length(), 0);
+  EXPECT_EQ(schedule.bandwidth(), 0);
+  schedule.trim();
+  EXPECT_TRUE(schedule.empty());
+}
+
+}  // namespace
+}  // namespace ocd::core

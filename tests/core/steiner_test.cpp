@@ -1,0 +1,163 @@
+#include "ocd/core/steiner.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ocd/core/bounds.hpp"
+#include "ocd/core/scenario.hpp"
+#include "ocd/core/validate.hpp"
+#include "ocd/topology/random_graph.hpp"
+
+namespace ocd::core {
+namespace {
+
+Digraph star5() {
+  // 0 at the center, arcs 0 -> {1,2,3,4}.
+  Digraph g(5);
+  for (VertexId v = 1; v < 5; ++v) g.add_arc(0, v, 1);
+  return g;
+}
+
+TEST(Steiner, StarTreeUsesOneArcPerTerminal) {
+  const Digraph g = star5();
+  const SteinerTree tree = steiner_tree(g, {0}, {1, 2, 3, 4});
+  EXPECT_EQ(tree.cost(), 4);
+  EXPECT_EQ(tree.height(), 1);
+}
+
+TEST(Steiner, PathTreeDepth) {
+  Digraph g(4);
+  g.add_arc(0, 1, 1);
+  g.add_arc(1, 2, 1);
+  g.add_arc(2, 3, 1);
+  const SteinerTree tree = steiner_tree(g, {0}, {3});
+  EXPECT_EQ(tree.cost(), 3);
+  EXPECT_EQ(tree.height(), 3);
+}
+
+TEST(Steiner, SharedPathReused) {
+  // 0 -> 1 -> {2, 3}: terminals 2 and 3 share the 0->1 arc.
+  Digraph g(4);
+  g.add_arc(0, 1, 1);
+  g.add_arc(1, 2, 1);
+  g.add_arc(1, 3, 1);
+  const SteinerTree tree = steiner_tree(g, {0}, {2, 3});
+  EXPECT_EQ(tree.cost(), 3);
+  EXPECT_EQ(tree.height(), 2);
+}
+
+TEST(Steiner, MultipleRootsActAsOneSource) {
+  Digraph g(4);
+  g.add_arc(0, 2, 1);
+  g.add_arc(1, 3, 1);
+  const SteinerTree tree = steiner_tree(g, {0, 1}, {2, 3});
+  EXPECT_EQ(tree.cost(), 2);
+  EXPECT_EQ(tree.height(), 1);
+}
+
+TEST(Steiner, TerminalAlreadyInRootsCostsNothing) {
+  const Digraph g = star5();
+  const SteinerTree tree = steiner_tree(g, {0}, {0});
+  EXPECT_EQ(tree.cost(), 0);
+}
+
+TEST(Steiner, UnreachableTerminalThrows) {
+  Digraph g(3);
+  g.add_arc(0, 1, 1);
+  EXPECT_THROW(steiner_tree(g, {0}, {2}), Error);
+}
+
+TEST(Steiner, EmptyRootsRejected) {
+  const Digraph g = star5();
+  EXPECT_THROW(steiner_tree(g, {}, {1}), ContractViolation);
+}
+
+TEST(SerialSteiner, ScheduleIsValidAndSuccessful) {
+  Rng rng(4);
+  Digraph g = topology::random_overlay(12, rng);
+  const Instance inst = single_source_all_receivers(std::move(g), 3, 0);
+  const Schedule schedule = serial_steiner_schedule(inst);
+  EXPECT_TRUE(is_successful(inst, schedule));
+}
+
+TEST(SerialSteiner, BandwidthMatchesSteinerCosts) {
+  Rng rng(4);
+  Digraph g = topology::random_overlay(12, rng);
+  const Instance inst = single_source_all_receivers(std::move(g), 3, 0);
+  const Schedule schedule = serial_steiner_schedule(inst);
+  EXPECT_EQ(schedule.bandwidth(),
+            bandwidth_upper_bound_serial_steiner(inst));
+}
+
+TEST(SerialSteiner, SingleTokenToAllUsesExactlyNMinusOneMoves) {
+  // Every vertex wants the token: the Steiner tree is a spanning tree,
+  // whose cost n-1 is also the optimal bandwidth.
+  Rng rng(8);
+  Digraph g = topology::random_overlay(10, rng);
+  const Instance inst = single_source_all_receivers(std::move(g), 1, 0);
+  const Schedule schedule = serial_steiner_schedule(inst);
+  EXPECT_EQ(schedule.bandwidth(), 9);
+}
+
+TEST(SerialSteiner, Figure1BandwidthOptimal) {
+  // On the Figure-1 instance the serial Steiner schedule achieves the
+  // minimum bandwidth of 4 (the s->w1->w2->{w3,w4} tree).
+  const Instance inst = figure1_instance();
+  const Schedule schedule = serial_steiner_schedule(inst);
+  EXPECT_TRUE(is_successful(inst, schedule));
+  EXPECT_EQ(schedule.bandwidth(), 4);
+  EXPECT_EQ(schedule.length(), 3);
+}
+
+
+TEST(SteinerPacking, SameBandwidthShorterSchedule) {
+  Rng rng(11);
+  Digraph g = topology::random_overlay(18, rng);
+  const Instance inst = single_source_all_receivers(std::move(g), 6, 0);
+  const Schedule serial = serial_steiner_schedule(inst);
+  const Schedule packed = steiner_packing_schedule(inst);
+  EXPECT_TRUE(is_successful(inst, packed));
+  EXPECT_EQ(packed.bandwidth(), serial.bandwidth());
+  EXPECT_LT(packed.length(), serial.length());
+}
+
+TEST(SteinerPacking, RespectsCapacities) {
+  // Narrow source link: packing cannot exceed capacity 2 per step.
+  Digraph g(3);
+  g.add_arc(0, 1, 2);
+  g.add_arc(1, 2, 2);
+  Instance inst(std::move(g), 6);
+  for (TokenId t = 0; t < 6; ++t) {
+    inst.add_have(0, t);
+    inst.add_want(2, t);
+  }
+  const Schedule packed = steiner_packing_schedule(inst);
+  EXPECT_TRUE(is_successful(inst, packed));
+  EXPECT_TRUE(validate(inst, packed).valid);
+  // 6 tokens over a capacity-2 relay chain: 3 batches + pipeline = 4.
+  EXPECT_EQ(packed.length(), 4);
+}
+
+TEST(SteinerPacking, TrivialAndUnsourcedCases) {
+  Digraph g(2);
+  g.add_arc(0, 1, 1);
+  Instance trivial(std::move(g), 1);
+  trivial.add_have(0, 0);
+  EXPECT_TRUE(steiner_packing_schedule(trivial).empty());
+
+  Digraph g2(2);
+  g2.add_arc(0, 1, 1);
+  Instance broken(std::move(g2), 1);
+  broken.add_want(1, 0);  // no holder anywhere
+  EXPECT_THROW(steiner_packing_schedule(broken), Error);
+}
+
+TEST(SteinerPacking, Figure1FourMovesThreeSteps) {
+  const Instance inst = figure1_instance();
+  const Schedule packed = steiner_packing_schedule(inst);
+  EXPECT_TRUE(is_successful(inst, packed));
+  EXPECT_EQ(packed.bandwidth(), 4);
+  EXPECT_EQ(packed.length(), 3);
+}
+
+}  // namespace
+}  // namespace ocd::core

@@ -1,0 +1,96 @@
+#include "ocd/exact/hybrid.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ocd/core/bounds.hpp"
+#include "ocd/core/scenario.hpp"
+#include "ocd/core/validate.hpp"
+
+namespace ocd::exact {
+namespace {
+
+TEST(Hybrid, SlackOneIsTimeOptimalBandwidth) {
+  const core::Instance inst = core::figure1_instance();
+  const auto result = solve_hybrid(inst, 1.0);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->optimal_makespan, 2);
+  EXPECT_EQ(result->horizon, 2);
+  EXPECT_EQ(result->bandwidth, 6);
+  EXPECT_TRUE(core::is_successful(inst, result->schedule));
+}
+
+TEST(Hybrid, SlackUnlocksBandwidthOptimum) {
+  const core::Instance inst = core::figure1_instance();
+  const auto result = solve_hybrid(inst, 1.5);  // horizon = 3
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->horizon, 3);
+  EXPECT_EQ(result->bandwidth, 4);
+}
+
+TEST(Hybrid, RejectsSlackBelowOne) {
+  const core::Instance inst = core::figure1_instance();
+  EXPECT_THROW(solve_hybrid(inst, 0.5), ContractViolation);
+}
+
+TEST(Hybrid, TrivialInstance) {
+  Digraph g(2);
+  g.add_arc(0, 1, 1);
+  core::Instance inst(std::move(g), 1);
+  inst.add_have(0, 0);
+  const auto result = solve_hybrid(inst, 2.0);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->bandwidth, 0);
+  EXPECT_EQ(result->optimal_makespan, 0);
+}
+
+TEST(Hybrid, UnsatisfiableReturnsNullopt) {
+  Digraph g(2);
+  g.add_arc(0, 1, 1);
+  core::Instance inst(std::move(g), 1);
+  inst.add_have(1, 0);
+  inst.add_want(0, 0);
+  EXPECT_FALSE(solve_hybrid(inst, 2.0).has_value());
+}
+
+TEST(Hybrid, FrontierIsMonotone) {
+  const core::Instance inst = core::figure1_instance();
+  const auto frontier = bandwidth_time_frontier(inst, 5, 2);
+  ASSERT_GE(frontier.size(), 2u);
+  EXPECT_EQ(frontier.front().horizon, 2);
+  EXPECT_EQ(frontier.front().bandwidth, 6);
+  for (std::size_t i = 1; i < frontier.size(); ++i) {
+    EXPECT_EQ(frontier[i].horizon, frontier[i - 1].horizon + 1);
+    EXPECT_LE(frontier[i].bandwidth, frontier[i - 1].bandwidth);
+    EXPECT_TRUE(core::is_successful(inst, frontier[i].schedule));
+  }
+  EXPECT_EQ(frontier.back().bandwidth, 4);
+}
+
+TEST(Hybrid, FrontierStopsAtBandwidthFloor) {
+  // Figure 1's bandwidth floor is 4 (4 outstanding wants); the frontier
+  // must not keep probing horizons after reaching it.
+  const core::Instance inst = core::figure1_instance();
+  const auto frontier = bandwidth_time_frontier(inst, 10, 3);
+  ASSERT_FALSE(frontier.empty());
+  EXPECT_EQ(frontier.back().bandwidth, core::bandwidth_lower_bound(inst));
+  EXPECT_LE(frontier.size(), 3u);
+}
+
+class HybridRandom : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(HybridRandom, FrontierValidOnRandomInstances) {
+  Rng rng(GetParam());
+  const auto inst = core::random_small_instance(4, 2, 0.5, rng);
+  const auto frontier = bandwidth_time_frontier(inst, 4, 2);
+  for (const auto& point : frontier) {
+    EXPECT_TRUE(core::is_successful(inst, point.schedule));
+    EXPECT_LE(point.schedule.length(), point.horizon);
+    EXPECT_GE(point.bandwidth, core::bandwidth_lower_bound(inst));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HybridRandom,
+                         ::testing::Range<std::uint64_t>(0, 6));
+
+}  // namespace
+}  // namespace ocd::exact

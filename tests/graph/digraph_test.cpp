@@ -1,0 +1,81 @@
+#include "ocd/graph/digraph.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ocd {
+namespace {
+
+TEST(Digraph, EmptyGraph) {
+  Digraph g;
+  EXPECT_EQ(g.num_vertices(), 0);
+  EXPECT_EQ(g.num_arcs(), 0);
+}
+
+TEST(Digraph, AddArcBuildsAdjacency) {
+  Digraph g(3);
+  const ArcId a = g.add_arc(0, 1, 5);
+  const ArcId b = g.add_arc(1, 2, 7);
+  EXPECT_EQ(g.num_arcs(), 2);
+  EXPECT_EQ(g.arc(a).from, 0);
+  EXPECT_EQ(g.arc(a).to, 1);
+  EXPECT_EQ(g.arc(a).capacity, 5);
+  EXPECT_EQ(g.out_arcs(0).size(), 1u);
+  EXPECT_EQ(g.out_arcs(0)[0], a);
+  EXPECT_EQ(g.in_arcs(2).size(), 1u);
+  EXPECT_EQ(g.in_arcs(2)[0], b);
+  EXPECT_TRUE(g.out_arcs(2).empty());
+}
+
+TEST(Digraph, RejectsSelfArcsAndDuplicates) {
+  Digraph g(2);
+  EXPECT_THROW(g.add_arc(0, 0, 1), ContractViolation);
+  g.add_arc(0, 1, 1);
+  EXPECT_THROW(g.add_arc(0, 1, 2), ContractViolation);
+}
+
+TEST(Digraph, RejectsInvalidCapacityOrVertex) {
+  Digraph g(2);
+  EXPECT_THROW(g.add_arc(0, 1, 0), ContractViolation);
+  EXPECT_THROW(g.add_arc(0, 2, 1), ContractViolation);
+  EXPECT_THROW(g.add_arc(-1, 1, 1), ContractViolation);
+}
+
+TEST(Digraph, AddOrMergeAccumulatesCapacity) {
+  Digraph g(2);
+  const ArcId a = g.add_or_merge_arc(0, 1, 3);
+  const ArcId b = g.add_or_merge_arc(0, 1, 4);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(g.num_arcs(), 1);
+  EXPECT_EQ(g.arc(a).capacity, 7);
+}
+
+TEST(Digraph, FindArcDistinguishesDirections) {
+  Digraph g(2);
+  const ArcId fwd = g.add_arc(0, 1, 1);
+  EXPECT_EQ(g.find_arc(0, 1), fwd);
+  EXPECT_EQ(g.find_arc(1, 0), -1);
+  EXPECT_TRUE(g.has_arc(0, 1));
+  EXPECT_FALSE(g.has_arc(1, 0));
+}
+
+TEST(Digraph, NeighborsAndCapacities) {
+  Digraph g(4);
+  g.add_arc(0, 1, 3);
+  g.add_arc(0, 2, 4);
+  g.add_arc(3, 0, 10);
+  EXPECT_EQ(g.out_neighbors(0), (std::vector<VertexId>{1, 2}));
+  EXPECT_EQ(g.in_neighbors(0), (std::vector<VertexId>{3}));
+  EXPECT_EQ(g.out_capacity(0), 7);
+  EXPECT_EQ(g.in_capacity(0), 10);
+  EXPECT_EQ(g.in_capacity(3), 0);
+}
+
+TEST(Digraph, ArcAccessOutOfRangeThrows) {
+  Digraph g(2);
+  g.add_arc(0, 1, 1);
+  EXPECT_THROW((void)g.arc(1), ContractViolation);
+  EXPECT_THROW((void)g.arc(-1), ContractViolation);
+}
+
+}  // namespace
+}  // namespace ocd

@@ -1,0 +1,91 @@
+// Theorem 4: no c-competitive on-line algorithm exists for FOCD.  The
+// proof's adversarial family — two maximally separated vertices, the
+// receiver wanting one of many tokens — makes every local-knowledge
+// heuristic pay for not knowing *which* token matters.  We verify the
+// mechanism empirically: the optimum is the path length L regardless of
+// the universe size m, while local heuristics on a unit-capacity path
+// need extra steps that grow with m.
+#include <gtest/gtest.h>
+
+#include "ocd/core/bounds.hpp"
+#include "ocd/core/scenario.hpp"
+#include "ocd/heuristics/factory.hpp"
+#include "ocd/sim/simulator.hpp"
+
+namespace ocd {
+namespace {
+
+std::int64_t optimal_makespan_on_path(std::int32_t length) {
+  // The prescient schedule sends the wanted token immediately: L steps.
+  return length;
+}
+
+TEST(Competitive, PrescientOptimumIsPathLength) {
+  const auto inst = core::adversarial_path(6, 8, 3);
+  EXPECT_EQ(core::distance_lower_bound(inst), 6);
+  EXPECT_EQ(core::makespan_lower_bound(inst), 6);
+}
+
+TEST(Competitive, RoundRobinPaysForTokenBlindness) {
+  // Round robin pushes tokens in circular order; with the wanted token
+  // in the middle of a large universe it arrives late.
+  const std::int32_t length = 4;
+  for (const std::int32_t m : {4, 16, 64}) {
+    const auto inst = core::adversarial_path(length, m, m - 1);
+    auto policy = heuristics::make_policy("round-robin");
+    const auto run = sim::run(inst, *policy);
+    ASSERT_TRUE(run.success) << "m=" << m;
+    // Competitive ratio grows with m: at least m/(something small).
+    EXPECT_GE(run.steps, optimal_makespan_on_path(length) + m / 4)
+        << "m=" << m;
+  }
+}
+
+TEST(Competitive, RatioGrowsWithUniverseForRoundRobin) {
+  const std::int32_t length = 4;
+  double prev_ratio = 0.0;
+  for (const std::int32_t m : {8, 32, 128}) {
+    const auto inst = core::adversarial_path(length, m, m - 1);
+    auto policy = heuristics::make_policy("round-robin");
+    const auto run = sim::run(inst, *policy);
+    ASSERT_TRUE(run.success);
+    const double ratio = static_cast<double>(run.steps) /
+                         static_cast<double>(optimal_makespan_on_path(length));
+    EXPECT_GT(ratio, prev_ratio);
+    prev_ratio = ratio;
+  }
+  EXPECT_GT(prev_ratio, 4.0);  // no constant c bounds the family
+}
+
+TEST(Competitive, WantAwareHeuristicsBeatBlindFlooding) {
+  // Heuristics that see wants (even only as aggregates) prioritize the
+  // wanted token and stay near the optimum even for large universes.
+  const std::int32_t length = 5;
+  const std::int32_t m = 64;
+  const auto inst = core::adversarial_path(length, m, 17);
+
+  auto local = heuristics::make_policy("local");
+  const auto local_run = sim::run(inst, *local);
+  ASSERT_TRUE(local_run.success);
+
+  auto rr = heuristics::make_policy("round-robin");
+  const auto rr_run = sim::run(inst, *rr);
+  ASSERT_TRUE(rr_run.success);
+
+  EXPECT_LT(local_run.steps, rr_run.steps);
+  EXPECT_LE(local_run.steps, length + 2);
+}
+
+TEST(Competitive, GlobalKnowledgeAchievesOptimum) {
+  const std::int32_t length = 5;
+  const auto inst = core::adversarial_path(length, 32, 9);
+  auto policy = heuristics::make_policy("bandwidth");
+  const auto run = sim::run(inst, *policy);
+  ASSERT_TRUE(run.success);
+  EXPECT_EQ(run.steps, length);
+  // And it moves only the wanted token: bandwidth = path length.
+  EXPECT_EQ(run.bandwidth, length);
+}
+
+}  // namespace
+}  // namespace ocd

@@ -1,0 +1,146 @@
+// Full-pipeline integration: generate topology -> build workload -> run
+// heuristic -> validate -> prune -> compare against bounds and (on small
+// instances) exact optima.  These are miniature versions of the bench
+// pipelines, asserted rather than printed.
+#include <gtest/gtest.h>
+
+#include "ocd/core/bounds.hpp"
+#include "ocd/core/encoding.hpp"
+#include "ocd/core/prune.hpp"
+#include "ocd/core/scenario.hpp"
+#include "ocd/core/validate.hpp"
+#include "ocd/exact/ip_solver.hpp"
+#include "ocd/heuristics/factory.hpp"
+#include "ocd/sim/simulator.hpp"
+#include "ocd/topology/random_graph.hpp"
+#include "ocd/topology/transit_stub.hpp"
+
+namespace ocd {
+namespace {
+
+TEST(EndToEnd, MiniFigure2Pipeline) {
+  // Graph-size sweep in miniature: moves roughly flat, bandwidth grows.
+  std::vector<std::int64_t> bandwidths;
+  for (const std::int32_t n : {15, 30, 60}) {
+    Rng rng(100 + static_cast<std::uint64_t>(n));
+    Digraph g = topology::random_overlay(n, rng);
+    const auto inst = core::single_source_all_receivers(std::move(g), 20, 0);
+    auto policy = heuristics::make_policy("global");
+    const auto run = sim::run(inst, *policy);
+    ASSERT_TRUE(run.success) << "n=" << n;
+    bandwidths.push_back(run.bandwidth);
+  }
+  // Bandwidth grows with n (roughly linearly: delivering m tokens to
+  // each of n-1 receivers costs >= m(n-1)).
+  EXPECT_LT(bandwidths[0], bandwidths[1]);
+  EXPECT_LT(bandwidths[1], bandwidths[2]);
+}
+
+TEST(EndToEnd, MiniFigure4ReceiverDensity) {
+  // Bandwidth heuristic consumes less bandwidth than flooding at low
+  // receiver density; flooding stays roughly flat.
+  Rng graph_rng(55);
+  const Digraph base = topology::random_overlay(40, graph_rng);
+
+  auto run_policy = [&](const std::string& name, double threshold,
+                        std::uint64_t seed) {
+    Rng rng(seed);
+    Digraph g = base;
+    auto built = core::single_source_receiver_density(std::move(g), 16, 0,
+                                                      threshold, rng);
+    auto policy = heuristics::make_policy(name);
+    const auto run = sim::run(built.instance, *policy);
+    EXPECT_TRUE(run.success);
+    return run.bandwidth;
+  };
+
+  const auto bw_low = run_policy("bandwidth", 0.2, 7);
+  const auto bw_high = run_policy("bandwidth", 1.0, 7);
+  const auto flood_low = run_policy("random", 0.2, 7);
+  EXPECT_LT(bw_low, bw_high);
+  EXPECT_LT(bw_low, flood_low);
+}
+
+TEST(EndToEnd, MiniFigure5FileSubdivision) {
+  // With more files (each vertex wanting a smaller slice), the
+  // bandwidth heuristic's consumption falls; flooding stays high.
+  Rng graph_rng(66);
+  const Digraph base = topology::random_overlay(32, graph_rng);
+
+  auto run_policy = [&](const std::string& name, std::int32_t files) {
+    Digraph g = base;
+    const auto inst = core::subdivided_files(std::move(g), 32, files, 0);
+    auto policy = heuristics::make_policy(name);
+    const auto run = sim::run(inst, *policy);
+    EXPECT_TRUE(run.success);
+    return run.bandwidth;
+  };
+
+  const auto bw_1 = run_policy("bandwidth", 1);
+  const auto bw_8 = run_policy("bandwidth", 8);
+  EXPECT_LT(bw_8, bw_1);
+
+  const auto flood_1 = run_policy("random", 1);
+  const auto flood_8 = run_policy("random", 8);
+  // Flooding does not exploit the subdivision nearly as much.
+  const double flood_drop =
+      static_cast<double>(flood_1 - flood_8) / static_cast<double>(flood_1);
+  const double bw_drop =
+      static_cast<double>(bw_1 - bw_8) / static_cast<double>(bw_1);
+  EXPECT_GT(bw_drop, flood_drop * 0.8);
+}
+
+TEST(EndToEnd, HeuristicNeverBeatsExactOptimum) {
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    Rng rng(seed);
+    const auto inst = core::random_small_instance(5, 2, 0.5, rng);
+    const auto exact_result = exact::min_makespan_ip(inst, 10);
+    ASSERT_TRUE(exact_result.has_value());
+    for (const auto& name : heuristics::all_policy_names()) {
+      auto policy = heuristics::make_policy(name);
+      const auto run = sim::run(inst, *policy);
+      ASSERT_TRUE(run.success) << name << " seed=" << seed;
+      EXPECT_GE(run.steps, exact_result->makespan) << name;
+    }
+  }
+}
+
+TEST(EndToEnd, TransitStubPipelineWithEncodingRoundTrip) {
+  Rng rng(77);
+  topology::TransitStubOptions opt;
+  Digraph g = topology::transit_stub(opt, rng);
+  const std::int32_t arcs = g.num_arcs();
+  const auto inst = core::single_source_all_receivers(std::move(g), 10, 0);
+  auto policy = heuristics::make_policy("local");
+  const auto run = sim::run(inst, *policy);
+  ASSERT_TRUE(run.success);
+
+  const auto pruned = core::prune(inst, run.schedule);
+  EXPECT_TRUE(core::is_successful(inst, pruned));
+  EXPECT_GE(pruned.bandwidth(), core::bandwidth_lower_bound(inst));
+
+  const auto bytes = core::encode_schedule(pruned, arcs, 10);
+  const auto decoded = core::decode_schedule(bytes);
+  EXPECT_EQ(decoded.bandwidth(), pruned.bandwidth());
+  EXPECT_TRUE(core::is_successful(inst, decoded));
+}
+
+TEST(EndToEnd, PrunedFloodMatchesBandwidthHeuristicScale) {
+  // §5.2: "the pruned bandwidth of the heuristics is roughly optimal".
+  Rng rng(88);
+  Digraph g = topology::random_overlay(30, rng);
+  auto built = core::single_source_receiver_density(std::move(g), 12, 0,
+                                                    0.3, rng);
+  const core::Instance& inst = built.instance;
+  auto flood = heuristics::make_policy("random");
+  const auto flood_run = sim::run(inst, *flood);
+  ASSERT_TRUE(flood_run.success);
+  const auto pruned_bw = core::prune(inst, flood_run.schedule).bandwidth();
+  const auto lower = core::bandwidth_lower_bound(inst);
+  EXPECT_GE(pruned_bw, lower);
+  EXPECT_LE(pruned_bw, lower * 4);  // same order of magnitude
+  EXPECT_LT(pruned_bw, flood_run.bandwidth);
+}
+
+}  // namespace
+}  // namespace ocd

@@ -1,0 +1,120 @@
+// Mutation fuzzing of the validator: schedules produced by the
+// simulator are valid by construction; random mutations that break the
+// model's constraints must be caught by core::validate, and harmless
+// mutations must not be.  This pins the validator as the source of
+// truth the rest of the library leans on.
+#include <gtest/gtest.h>
+
+#include "ocd/core/scenario.hpp"
+#include "ocd/core/validate.hpp"
+#include "ocd/heuristics/factory.hpp"
+#include "ocd/sim/simulator.hpp"
+#include "ocd/topology/random_graph.hpp"
+
+namespace ocd::core {
+namespace {
+
+struct Fixture {
+  Instance instance;
+  Schedule schedule;
+};
+
+Fixture make_fixture(std::uint64_t seed) {
+  Rng rng(seed);
+  Digraph g = topology::random_overlay(12, rng);
+  Instance inst = single_source_all_receivers(std::move(g), 6, 0);
+  auto policy = heuristics::make_policy("local");
+  sim::SimOptions options;
+  options.seed = seed;
+  auto run = sim::run(inst, *policy, options);
+  EXPECT_TRUE(run.success);
+  return Fixture{std::move(inst), std::move(run.schedule)};
+}
+
+class MutationFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MutationFuzz, OverfillingAnArcIsCaught) {
+  auto fixture = make_fixture(GetParam());
+  Rng rng(GetParam() * 7 + 1);
+  // Pick a random send and inflate it past its arc capacity.
+  auto& steps = fixture.schedule.steps();
+  for (int attempt = 0; attempt < 200; ++attempt) {
+    auto& step = steps[rng.below(steps.size())];
+    if (step.sends().empty()) continue;
+    auto& send = step.sends()[rng.below(step.sends().size())];
+    const Arc& arc = fixture.instance.graph().arc(send.arc);
+    // Fill the send with every token: exceeds capacity unless the arc
+    // is enormous.
+    if (fixture.instance.num_tokens() <= arc.capacity) continue;
+    send.tokens = TokenSet::full(
+        static_cast<std::size_t>(fixture.instance.num_tokens()));
+    const auto result = validate(fixture.instance, fixture.schedule);
+    // Either capacity or possession must trip (the sender may also lack
+    // some of the injected tokens).
+    EXPECT_FALSE(result.valid);
+    return;
+  }
+  GTEST_SKIP() << "no mutable send found";
+}
+
+TEST_P(MutationFuzz, SendingBeforePossessionIsCaught) {
+  auto fixture = make_fixture(GetParam());
+  Rng rng(GetParam() * 13 + 5);
+  // Move a late send to timestep 0; unless the sender is the source,
+  // possession must fail.
+  auto& steps = fixture.schedule.steps();
+  if (steps.size() < 2) GTEST_SKIP();
+  for (int attempt = 0; attempt < 200; ++attempt) {
+    const std::size_t late = 1 + rng.below(steps.size() - 1);
+    if (steps[late].sends().empty()) continue;
+    const auto send =
+        steps[late].sends()[rng.below(steps[late].sends().size())];
+    const Arc& arc = fixture.instance.graph().arc(send.arc);
+    if (send.tokens.is_subset_of(fixture.instance.have(arc.from)))
+      continue;  // source vertex: the move is legal at step 0 too
+    steps[0].add(send.arc, send.tokens);
+    const auto result = validate(fixture.instance, fixture.schedule);
+    EXPECT_FALSE(result.valid);
+    EXPECT_NE(result.violation.find("possession"), std::string::npos);
+    return;
+  }
+  GTEST_SKIP() << "no movable send found";
+}
+
+TEST_P(MutationFuzz, DeletingADeliveryBreaksSuccessNotValidity) {
+  auto fixture = make_fixture(GetParam());
+  // Remove the last step entirely: the schedule stays valid but some
+  // want must now be unmet (the run stopped exactly at success).
+  auto& steps = fixture.schedule.steps();
+  ASSERT_FALSE(steps.empty());
+  steps.pop_back();
+  const auto result = validate(fixture.instance, fixture.schedule);
+  EXPECT_TRUE(result.valid);
+  EXPECT_FALSE(result.successful);
+}
+
+TEST_P(MutationFuzz, ReorderingWithinAStepIsHarmless) {
+  auto fixture = make_fixture(GetParam());
+  for (auto& step : fixture.schedule.steps()) {
+    auto& sends = step.sends();
+    std::reverse(sends.begin(), sends.end());
+  }
+  const auto result = validate(fixture.instance, fixture.schedule);
+  EXPECT_TRUE(result.valid);
+  EXPECT_TRUE(result.successful);
+}
+
+TEST_P(MutationFuzz, AppendingEmptyStepsIsHarmless) {
+  auto fixture = make_fixture(GetParam());
+  fixture.schedule.append(Timestep{});
+  fixture.schedule.append(Timestep{});
+  const auto result = validate(fixture.instance, fixture.schedule);
+  EXPECT_TRUE(result.valid);
+  EXPECT_TRUE(result.successful);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MutationFuzz,
+                         ::testing::Range<std::uint64_t>(0, 8));
+
+}  // namespace
+}  // namespace ocd::core

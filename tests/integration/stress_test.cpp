@@ -1,0 +1,138 @@
+// Cross-feature stress: combinations of subsystems that production use
+// would hit together — coding under churn, group constraints over
+// transit-stub topologies with stale knowledge, two-phase under jitter,
+// and the full offline post-pass on everything that completes.
+#include <gtest/gtest.h>
+
+#include "ocd/coding/coded_instance.hpp"
+#include "ocd/core/compact.hpp"
+#include "ocd/core/prune.hpp"
+#include "ocd/core/scenario.hpp"
+#include "ocd/core/validate.hpp"
+#include "ocd/dynamics/model.hpp"
+#include "ocd/heuristics/factory.hpp"
+#include "ocd/sim/group_adapter.hpp"
+#include "ocd/sim/scripted.hpp"
+#include "ocd/sim/simulator.hpp"
+#include "ocd/topology/physical.hpp"
+#include "ocd/topology/transit_stub.hpp"
+
+namespace ocd {
+namespace {
+
+TEST(Stress, CodedDownloadSurvivesLinkChurn) {
+  Rng rng(41);
+  topology::TransitStubOptions ts;
+  Digraph g = topology::transit_stub(ts, rng);
+  const auto coded = coding::coded_broadcast(std::move(g), 16, 1.5, 0);
+
+  dynamics::LinkChurn churn(0.15, 3);
+  auto policy = heuristics::make_policy("local");
+  sim::SimOptions options;
+  options.seed = 8;
+  options.dynamics = &churn;
+  options.completion = coded.completion_predicate();
+  options.max_steps = 10'000;
+  const auto result = sim::run(coded.instance(), *policy, options);
+  EXPECT_TRUE(result.success);
+}
+
+TEST(Stress, GroupConstrainedStaleKnowledgeSwarm) {
+  Rng rng(42);
+  topology::PhysicalOptions phys;
+  phys.routers = 35;
+  phys.hosts = 10;
+  auto projection = topology::project_overlay(phys, rng);
+  const auto groups = projection.groups;
+  core::Instance inst = core::subdivided_files_random_senders(
+      std::move(projection.overlay), 12, 3, rng);
+
+  sim::GroupConstrainedPolicy policy(heuristics::make_policy("local"),
+                                     groups);
+  sim::SimOptions options;
+  options.seed = 9;
+  options.staleness = 2;
+  options.stale_aggregates = true;
+  options.max_steps = 20'000;
+  const auto result = sim::run(inst, policy, options);
+  ASSERT_TRUE(result.success);
+  EXPECT_TRUE(topology::groups_respected(groups, result.schedule));
+}
+
+TEST(Stress, TwoPhaseUnderCapacityJitter) {
+  Rng rng(43);
+  Digraph g = topology::random_overlay(18, rng);
+  const auto inst = core::single_source_all_receivers(std::move(g), 10, 0);
+
+  // The offline plan assumes static capacities; jitter may shrink them
+  // below the planned sends, which the simulator must reject loudly —
+  // OR the plan happens to fit.  Use min_capacity = full capacity floor
+  // 3 and plan with global (sends bounded by current capacities)... we
+  // instead verify the *detection*: with severe jitter the replay of a
+  // static plan either completes or throws a capacity error; it must
+  // never silently corrupt state.
+  sim::TwoPhasePolicy policy("global", /*delay=*/2);
+  dynamics::CapacityJitter jitter(0.9, /*min_capacity=*/1);
+  sim::SimOptions options;
+  options.seed = 10;
+  options.dynamics = &jitter;
+  options.max_steps = 10'000;
+  try {
+    const auto result = sim::run(inst, policy, options);
+    if (result.success) {
+      EXPECT_GT(result.bandwidth, 0);
+    }
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("capacity"), std::string::npos);
+  }
+}
+
+TEST(Stress, OfflinePostPassOnEveryScenario) {
+  Rng rng(44);
+  const std::vector<core::Instance> instances = [&] {
+    std::vector<core::Instance> out;
+    Digraph g1 = topology::random_overlay(25, rng);
+    out.push_back(core::single_source_all_receivers(std::move(g1), 12, 0));
+    Digraph g2 = topology::random_overlay(25, rng);
+    out.push_back(core::subdivided_files(std::move(g2), 12, 4, 0));
+    Digraph g3 = topology::random_overlay(25, rng);
+    out.push_back(
+        core::subdivided_files_random_senders(std::move(g3), 12, 3, rng));
+    return out;
+  }();
+
+  for (std::size_t i = 0; i < instances.size(); ++i) {
+    for (const auto& name : heuristics::all_policy_names()) {
+      auto policy = heuristics::make_policy(name);
+      sim::SimOptions options;
+      options.seed = 50 + i;
+      const auto result = sim::run(instances[i], *policy, options);
+      ASSERT_TRUE(result.success) << name << " scenario " << i;
+      const auto optimized =
+          core::optimize_schedule(instances[i], result.schedule);
+      EXPECT_TRUE(core::is_successful(instances[i], optimized))
+          << name << " scenario " << i;
+      EXPECT_LE(optimized.length(), result.schedule.length());
+      EXPECT_LE(optimized.bandwidth(), result.schedule.bandwidth());
+    }
+  }
+}
+
+TEST(Stress, ScriptedReplayOfOptimizedScheduleMatches) {
+  Rng rng(45);
+  Digraph g = topology::random_overlay(20, rng);
+  const auto inst = core::single_source_all_receivers(std::move(g), 8, 0);
+  auto policy = heuristics::make_policy("global");
+  const auto original = sim::run(inst, *policy);
+  ASSERT_TRUE(original.success);
+
+  const auto optimized = core::optimize_schedule(inst, original.schedule);
+  sim::ScriptedPolicy replay(optimized);
+  const auto replayed = sim::run(inst, replay);
+  ASSERT_TRUE(replayed.success);
+  EXPECT_EQ(replayed.steps, optimized.length());
+  EXPECT_EQ(replayed.bandwidth, optimized.bandwidth());
+}
+
+}  // namespace
+}  // namespace ocd

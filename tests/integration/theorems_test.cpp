@@ -1,0 +1,115 @@
+// End-to-end checks of the paper's formal statements.
+#include <gtest/gtest.h>
+
+#include "ocd/core/bounds.hpp"
+#include "ocd/core/prune.hpp"
+#include "ocd/core/scenario.hpp"
+#include "ocd/core/validate.hpp"
+#include "ocd/exact/bnb.hpp"
+#include "ocd/graph/algorithms.hpp"
+#include "ocd/exact/ip_solver.hpp"
+#include "ocd/heuristics/factory.hpp"
+#include "ocd/sim/simulator.hpp"
+#include "ocd/topology/random_graph.hpp"
+
+namespace ocd {
+namespace {
+
+// Theorem 1: a satisfiable FOCD instance is satisfiable in m(n-1)
+// moves — equivalently, a pruned successful schedule never delivers
+// more than m(n-1) tokens.
+class Theorem1 : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(Theorem1, PrunedMovesWithinBound) {
+  Rng rng(GetParam());
+  Digraph g = topology::random_overlay(12, rng);
+  const core::Instance inst =
+      core::single_source_all_receivers(std::move(g), 5, 0);
+  for (const auto& name : heuristics::all_policy_names()) {
+    auto policy = heuristics::make_policy(name);
+    const auto run = sim::run(inst, *policy);
+    ASSERT_TRUE(run.success) << name;
+    const auto pruned = core::prune(inst, run.schedule);
+    const std::int64_t bound =
+        static_cast<std::int64_t>(inst.num_tokens()) *
+        (inst.num_vertices() - 1);
+    EXPECT_LE(pruned.bandwidth(), bound) << name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Theorem1, ::testing::Values(1, 2, 3));
+
+// Theorem 1 corollary: the instance is satisfiable in at most m(n-1)
+// timesteps.
+TEST(Theorem1Corollary, MakespanWithinMoveBound) {
+  Rng rng(7);
+  const core::Instance inst = core::random_small_instance(5, 2, 0.5, rng);
+  const std::int64_t bound =
+      static_cast<std::int64_t>(inst.num_tokens()) * (inst.num_vertices() - 1);
+  const auto result =
+      exact::focd_min_makespan(inst, static_cast<std::int32_t>(bound));
+  ASSERT_TRUE(result.has_value());
+  EXPECT_LE(result->makespan, bound);
+}
+
+// Figure 1: minimizing time and bandwidth are at odds.
+TEST(Figure1, TimeBandwidthTension) {
+  const core::Instance inst = core::figure1_instance();
+
+  // Minimum time is 2 steps (BnB) and any 2-step schedule needs 6 moves
+  // (IP with horizon 2 minimizes bandwidth).
+  const auto fastest = exact::focd_min_makespan(inst, 4);
+  ASSERT_TRUE(fastest.has_value());
+  EXPECT_EQ(fastest->makespan, 2);
+  const auto fast_bw = exact::solve_eocd(inst, 2);
+  ASSERT_TRUE(fast_bw.has_value());
+  EXPECT_EQ(fast_bw->bandwidth, 6);
+
+  // Minimum bandwidth is 4, achievable in 3 steps but not 2.
+  const auto slow_bw = exact::solve_eocd(inst, 3);
+  ASSERT_TRUE(slow_bw.has_value());
+  EXPECT_EQ(slow_bw->bandwidth, 4);
+  const auto slower_bw = exact::solve_eocd(inst, 4);
+  ASSERT_TRUE(slower_bw.has_value());
+  EXPECT_EQ(slower_bw->bandwidth, 4);  // 4 is the global optimum
+}
+
+// §4.2: an online algorithm can always finish within an additive factor
+// of the diameter (flood knowledge first, then act optimally).  We check
+// the weaker, mechanically verifiable claim that our heuristics finish
+// within optimal + diameter on small instances.
+class DiameterAdditive : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DiameterAdditive, InformedHeuristicsWithinOptimumPlusDiameter) {
+  Rng rng(GetParam());
+  const core::Instance inst = core::random_small_instance(5, 2, 0.5, rng);
+  const auto exact_result = exact::focd_min_makespan(inst, 10);
+  ASSERT_TRUE(exact_result.has_value());
+  const auto diam = diameter(inst.graph());
+  ASSERT_NE(diam, kUnreachable);
+
+  for (const auto& name : {"global", "bandwidth", "local"}) {
+    auto policy = heuristics::make_policy(name);
+    const auto run = sim::run(inst, *policy);
+    ASSERT_TRUE(run.success) << name;
+    EXPECT_LE(run.steps, exact_result->makespan + diam + 1) << name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DiameterAdditive,
+                         ::testing::Range<std::uint64_t>(0, 6));
+
+// The minimum-bandwidth optimum equals per-token Steiner distribution:
+// our serial Steiner schedule's bandwidth must match the IP optimum on
+// instances small enough to solve exactly (single token => Steiner tree
+// = shortest-path tree subsets, heuristic exact on these sizes).
+TEST(SteinerEquivalence, SingleTokenBandwidthOptimum) {
+  const core::Instance inst = core::figure1_instance();
+  const auto ip = exact::solve_eocd(inst, 6);
+  ASSERT_TRUE(ip.has_value());
+  EXPECT_EQ(ip->bandwidth, 4);
+  EXPECT_EQ(core::bandwidth_upper_bound_serial_steiner(inst), 4);
+}
+
+}  // namespace
+}  // namespace ocd

@@ -1,0 +1,186 @@
+#include "ocd/lp/mip.hpp"
+
+#include <gtest/gtest.h>
+
+#include <bitset>
+
+#include "ocd/util/rng.hpp"
+
+namespace ocd::lp {
+namespace {
+
+TEST(Mip, PureLpPassesThrough) {
+  LinearProgram lp;
+  const auto x = lp.add_variable(0, 4, -1);
+  lp.add_constraint({{x, 1.0}}, Relation::kLessEqual, 2.5);
+  const auto result = solve_mip(lp);
+  ASSERT_EQ(result.status, SolveStatus::kOptimal);
+  EXPECT_TRUE(result.proven_optimal);
+  EXPECT_NEAR(result.objective, -2.5, 1e-7);
+}
+
+TEST(Mip, IntegralityForcesRounding) {
+  // max x (x integer) s.t. x <= 2.5  ->  x = 2.
+  LinearProgram lp;
+  const auto x = lp.add_variable(0, 10, -1, VarType::kInteger);
+  lp.add_constraint({{x, 1.0}}, Relation::kLessEqual, 2.5);
+  const auto result = solve_mip(lp);
+  ASSERT_EQ(result.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(result.values[0], 2.0, 1e-9);
+  EXPECT_NEAR(result.objective, -2.0, 1e-9);
+}
+
+TEST(Mip, KnapsackAgainstBruteForce) {
+  // 0/1 knapsack: weights, values; capacity 10.
+  const std::vector<double> weight{3, 4, 5, 6};
+  const std::vector<double> value{4, 5, 6, 7};
+  LinearProgram lp;
+  std::vector<Term> row;
+  for (std::size_t i = 0; i < weight.size(); ++i) {
+    const auto x = lp.add_binary(-value[i]);
+    row.push_back({x, weight[i]});
+  }
+  lp.add_constraint(row, Relation::kLessEqual, 10);
+  const auto result = solve_mip(lp);
+  ASSERT_EQ(result.status, SolveStatus::kOptimal);
+  EXPECT_TRUE(result.proven_optimal);
+
+  double best = 0;
+  for (unsigned mask = 0; mask < 16; ++mask) {
+    double w = 0;
+    double v = 0;
+    for (std::size_t i = 0; i < 4; ++i) {
+      if ((mask >> i) & 1u) {
+        w += weight[i];
+        v += value[i];
+      }
+    }
+    if (w <= 10) best = std::max(best, v);
+  }
+  EXPECT_NEAR(-result.objective, best, 1e-7);
+}
+
+TEST(Mip, RandomKnapsacksMatchBruteForce) {
+  Rng rng(31337);
+  for (int trial = 0; trial < 15; ++trial) {
+    const int n = 6 + static_cast<int>(rng.below(5));  // 6..10 items
+    std::vector<double> weight(static_cast<std::size_t>(n));
+    std::vector<double> value(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      weight[static_cast<std::size_t>(i)] =
+          1 + static_cast<double>(rng.below(9));
+      value[static_cast<std::size_t>(i)] =
+          1 + static_cast<double>(rng.below(19));
+    }
+    const double capacity = 2 + static_cast<double>(rng.below(20));
+
+    LinearProgram lp;
+    std::vector<Term> row;
+    for (int i = 0; i < n; ++i) {
+      const auto x = lp.add_binary(-value[static_cast<std::size_t>(i)]);
+      row.push_back({x, weight[static_cast<std::size_t>(i)]});
+    }
+    lp.add_constraint(row, Relation::kLessEqual, capacity);
+    const auto result = solve_mip(lp);
+    ASSERT_EQ(result.status, SolveStatus::kOptimal) << "trial " << trial;
+    ASSERT_TRUE(result.proven_optimal) << "trial " << trial;
+
+    double best = 0;
+    for (unsigned mask = 0; mask < (1u << n); ++mask) {
+      double w = 0;
+      double v = 0;
+      for (int i = 0; i < n; ++i) {
+        if ((mask >> i) & 1u) {
+          w += weight[static_cast<std::size_t>(i)];
+          v += value[static_cast<std::size_t>(i)];
+        }
+      }
+      if (w <= capacity) best = std::max(best, v);
+    }
+    EXPECT_NEAR(-result.objective, best, 1e-6) << "trial " << trial;
+  }
+}
+
+TEST(Mip, SetCover) {
+  // Universe {0..4}; sets: {0,1},{1,2,3},{3,4},{0,4},{2}; min cover = 2
+  // ({1,2,3} + {0,4}).
+  const std::vector<std::vector<int>> sets{{0, 1}, {1, 2, 3}, {3, 4}, {0, 4},
+                                           {2}};
+  LinearProgram lp;
+  std::vector<std::int32_t> x;
+  for (std::size_t s = 0; s < sets.size(); ++s) x.push_back(lp.add_binary(1));
+  for (int e = 0; e < 5; ++e) {
+    std::vector<Term> row;
+    for (std::size_t s = 0; s < sets.size(); ++s) {
+      for (int member : sets[s]) {
+        if (member == e) row.push_back({x[s], 1.0});
+      }
+    }
+    lp.add_constraint(std::move(row), Relation::kGreaterEqual, 1);
+  }
+  const auto result = solve_mip(lp);
+  ASSERT_EQ(result.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(result.objective, 2.0, 1e-7);
+}
+
+TEST(Mip, InfeasibleIntegerProgram) {
+  // 2x = 3 with x integer in [0, 5].
+  LinearProgram lp;
+  const auto x = lp.add_variable(0, 5, 0, VarType::kInteger);
+  lp.add_constraint({{x, 2.0}}, Relation::kEqual, 3);
+  const auto result = solve_mip(lp);
+  EXPECT_EQ(result.status, SolveStatus::kInfeasible);
+}
+
+TEST(Mip, AssignmentProblemIsIntegralAtRoot) {
+  // 3x3 assignment; LP relaxation is integral (totally unimodular), so
+  // few nodes should be explored.
+  const double cost[3][3] = {{4, 2, 8}, {4, 3, 7}, {3, 1, 6}};
+  LinearProgram lp;
+  std::int32_t x[3][3];
+  for (int i = 0; i < 3; ++i)
+    for (int j = 0; j < 3; ++j) x[i][j] = lp.add_binary(cost[i][j]);
+  for (int i = 0; i < 3; ++i) {
+    lp.add_constraint({{x[i][0], 1.0}, {x[i][1], 1.0}, {x[i][2], 1.0}},
+                      Relation::kEqual, 1);
+    lp.add_constraint({{x[0][i], 1.0}, {x[1][i], 1.0}, {x[2][i], 1.0}},
+                      Relation::kEqual, 1);
+  }
+  const auto result = solve_mip(lp);
+  ASSERT_EQ(result.status, SolveStatus::kOptimal);
+  // Optimal assignment: (0,1)=2,(1,2)=7,(2,0)=3 -> 12 ... check brute:
+  // permutations: 4+3+6=13, 4+7+1=12, 2+4+6=12, 2+7+3=12, 8+4+1=13,
+  // 8+3+3=14 -> minimum 12.
+  EXPECT_NEAR(result.objective, 12.0, 1e-7);
+}
+
+TEST(Mip, NodeBudgetReportsIterationLimit) {
+  // A small hard-ish parity problem with an absurd 1-node budget.
+  LinearProgram lp;
+  std::vector<Term> row;
+  for (int i = 0; i < 10; ++i) row.push_back({lp.add_binary(-1), 1.0});
+  lp.add_constraint(row, Relation::kLessEqual, 5.5);
+  MipOptions options;
+  options.max_nodes = 1;
+  const auto result = solve_mip(lp, options);
+  // Either it found the (easy) incumbent at the root or it reports the
+  // budget; it must not claim proven optimality.
+  if (result.status == SolveStatus::kOptimal) {
+    EXPECT_FALSE(result.proven_optimal);
+  } else {
+    EXPECT_EQ(result.status, SolveStatus::kIterationLimit);
+  }
+}
+
+TEST(Mip, BestBoundNeverExceedsIncumbent) {
+  LinearProgram lp;
+  std::vector<Term> row;
+  for (int i = 0; i < 8; ++i) row.push_back({lp.add_binary(-(1 + i % 3)), 2.0 + i});
+  lp.add_constraint(row, Relation::kLessEqual, 17);
+  const auto result = solve_mip(lp);
+  ASSERT_EQ(result.status, SolveStatus::kOptimal);
+  EXPECT_LE(result.best_bound, result.objective + 1e-6);
+}
+
+}  // namespace
+}  // namespace ocd::lp

@@ -1,0 +1,109 @@
+// Randomized cross-validation of the simplex against an independent
+// geometric reference solver for two-variable LPs: the optimum of a
+// bounded feasible 2-D LP lies on a vertex of the feasible polygon, so
+// enumerating all constraint-pair intersections (plus box corners)
+// yields the exact optimum to compare against.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <optional>
+
+#include "ocd/lp/simplex.hpp"
+#include "ocd/util/rng.hpp"
+
+namespace ocd::lp {
+namespace {
+
+struct Line {
+  // ax + by <= c
+  double a;
+  double b;
+  double c;
+};
+
+struct TwoVarLp {
+  double cx;
+  double cy;
+  double box = 10.0;  // 0 <= x, y <= box
+  std::vector<Line> rows;
+};
+
+bool feasible(const TwoVarLp& lp, double x, double y, double tol = 1e-7) {
+  if (x < -tol || y < -tol || x > lp.box + tol || y > lp.box + tol)
+    return false;
+  for (const Line& row : lp.rows) {
+    if (row.a * x + row.b * y > row.c + tol) return false;
+  }
+  return true;
+}
+
+/// Exact optimum by vertex enumeration; nullopt when infeasible.
+std::optional<double> reference_optimum(const TwoVarLp& lp) {
+  std::vector<Line> all = lp.rows;
+  all.push_back({-1, 0, 0});       // x >= 0
+  all.push_back({0, -1, 0});       // y >= 0
+  all.push_back({1, 0, lp.box});   // x <= box
+  all.push_back({0, 1, lp.box});   // y <= box
+
+  std::optional<double> best;
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    for (std::size_t j = i + 1; j < all.size(); ++j) {
+      const double det = all[i].a * all[j].b - all[j].a * all[i].b;
+      if (std::abs(det) < 1e-9) continue;
+      const double x = (all[i].c * all[j].b - all[j].c * all[i].b) / det;
+      const double y = (all[i].a * all[j].c - all[j].a * all[i].c) / det;
+      if (!feasible(lp, x, y)) continue;
+      const double value = lp.cx * x + lp.cy * y;
+      if (!best.has_value() || value < *best) best = value;
+    }
+  }
+  return best;
+}
+
+LinearProgram to_program(const TwoVarLp& lp) {
+  LinearProgram program;
+  const auto x = program.add_variable(0, lp.box, lp.cx);
+  const auto y = program.add_variable(0, lp.box, lp.cy);
+  for (const Line& row : lp.rows) {
+    program.add_constraint({{x, row.a}, {y, row.b}}, Relation::kLessEqual,
+                           row.c);
+  }
+  return program;
+}
+
+class SimplexReference : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SimplexReference, MatchesVertexEnumeration) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 40; ++trial) {
+    TwoVarLp lp;
+    lp.cx = rng.uniform_real() * 4 - 2;
+    lp.cy = rng.uniform_real() * 4 - 2;
+    const int rows = 1 + static_cast<int>(rng.below(5));
+    for (int r = 0; r < rows; ++r) {
+      lp.rows.push_back({rng.uniform_real() * 4 - 2,
+                         rng.uniform_real() * 4 - 2,
+                         rng.uniform_real() * 12 - 2});
+    }
+
+    const auto reference = reference_optimum(lp);
+    const auto solved = solve_lp(to_program(lp));
+    if (!reference.has_value()) {
+      EXPECT_EQ(solved.status, SolveStatus::kInfeasible)
+          << "trial " << trial;
+    } else {
+      ASSERT_EQ(solved.status, SolveStatus::kOptimal) << "trial " << trial;
+      EXPECT_NEAR(solved.objective, *reference, 1e-5)
+          << "trial " << trial << " cx=" << lp.cx << " cy=" << lp.cy;
+      EXPECT_TRUE(feasible(lp, solved.values[0], solved.values[1]))
+          << "trial " << trial;
+    }
+    lp.rows.clear();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimplexReference,
+                         ::testing::Range<std::uint64_t>(100, 108));
+
+}  // namespace
+}  // namespace ocd::lp

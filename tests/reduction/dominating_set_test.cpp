@@ -1,0 +1,102 @@
+#include "ocd/reduction/dominating_set.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ocd::reduction {
+namespace {
+
+UndirectedGraph path(std::int32_t n) {
+  UndirectedGraph g(n);
+  for (std::int32_t v = 0; v + 1 < n; ++v) g.add_edge(v, v + 1);
+  return g;
+}
+
+UndirectedGraph star(std::int32_t n) {
+  UndirectedGraph g(n);
+  for (std::int32_t v = 1; v < n; ++v) g.add_edge(0, v);
+  return g;
+}
+
+TEST(DominatingSet, ClosedNeighborhood) {
+  const UndirectedGraph g = path(4);
+  EXPECT_EQ(g.closed_neighborhood(0), 0b0011ULL);
+  EXPECT_EQ(g.closed_neighborhood(1), 0b0111ULL);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_FALSE(g.has_edge(0, 2));
+}
+
+TEST(DominatingSet, StarNeedsOnlyCenter) {
+  const auto set = minimum_dominating_set(star(8));
+  EXPECT_EQ(set.size(), 1u);
+  EXPECT_EQ(set[0], 0);
+}
+
+TEST(DominatingSet, PathDominationNumber) {
+  // gamma(P_n) = ceil(n/3).
+  EXPECT_EQ(minimum_dominating_set(path(3)).size(), 1u);
+  EXPECT_EQ(minimum_dominating_set(path(4)).size(), 2u);
+  EXPECT_EQ(minimum_dominating_set(path(6)).size(), 2u);
+  EXPECT_EQ(minimum_dominating_set(path(7)).size(), 3u);
+}
+
+TEST(DominatingSet, EdgelessGraphNeedsEveryVertex) {
+  const UndirectedGraph g(5);
+  EXPECT_EQ(minimum_dominating_set(g).size(), 5u);
+}
+
+TEST(DominatingSet, SingleVertex) {
+  const UndirectedGraph g(1);
+  EXPECT_EQ(minimum_dominating_set(g).size(), 1u);
+}
+
+TEST(DominatingSet, IsDominatingSetChecker) {
+  const UndirectedGraph g = path(5);
+  EXPECT_TRUE(is_dominating_set(g, {1, 3}));
+  EXPECT_FALSE(is_dominating_set(g, {0}));
+  EXPECT_TRUE(is_dominating_set(g, {0, 1, 2, 3, 4}));
+  EXPECT_FALSE(is_dominating_set(g, {}));
+}
+
+TEST(DominatingSet, GreedyIsValidAndAtLeastOptimal) {
+  Rng rng(5);
+  for (int trial = 0; trial < 10; ++trial) {
+    const UndirectedGraph g = random_undirected(12, 0.3, rng);
+    const auto greedy = greedy_dominating_set(g);
+    const auto exact = minimum_dominating_set(g);
+    EXPECT_TRUE(is_dominating_set(g, greedy));
+    EXPECT_TRUE(is_dominating_set(g, exact));
+    EXPECT_GE(greedy.size(), exact.size());
+  }
+}
+
+TEST(DominatingSet, ExactMatchesBruteForceOnTinyGraphs) {
+  Rng rng(9);
+  for (int trial = 0; trial < 15; ++trial) {
+    const std::int32_t n = 4 + static_cast<std::int32_t>(rng.below(4));
+    const UndirectedGraph g = random_undirected(n, 0.35, rng);
+    const auto exact = minimum_dominating_set(g);
+    // Brute force over all subsets.
+    std::size_t best = static_cast<std::size_t>(n);
+    for (std::uint64_t mask = 1; mask < (1ULL << n); ++mask) {
+      std::vector<std::int32_t> set;
+      for (std::int32_t v = 0; v < n; ++v)
+        if ((mask >> v) & 1ULL) set.push_back(v);
+      if (set.size() < best && is_dominating_set(g, set)) best = set.size();
+    }
+    EXPECT_EQ(exact.size(), best) << "trial " << trial << " n=" << n;
+  }
+}
+
+TEST(DominatingSet, RejectsOversizedUniverse) {
+  EXPECT_THROW(UndirectedGraph(65), ContractViolation);
+  EXPECT_THROW(UndirectedGraph(0), ContractViolation);
+}
+
+TEST(DominatingSet, RejectsBadEdges) {
+  UndirectedGraph g(3);
+  EXPECT_THROW(g.add_edge(0, 0), ContractViolation);
+  EXPECT_THROW(g.add_edge(0, 3), ContractViolation);
+}
+
+}  // namespace
+}  // namespace ocd::reduction

@@ -1,0 +1,100 @@
+#include "ocd/reduction/ds_reduction.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ocd/core/validate.hpp"
+#include "ocd/exact/bnb.hpp"
+
+namespace ocd::reduction {
+namespace {
+
+UndirectedGraph path(std::int32_t n) {
+  UndirectedGraph g(n);
+  for (std::int32_t v = 0; v + 1 < n; ++v) g.add_edge(v, v + 1);
+  return g;
+}
+
+TEST(Reduction, InstanceShape) {
+  const UndirectedGraph g = path(4);
+  const auto reduced = reduce_dominating_set(g, 2);
+  const core::Instance& inst = reduced.instance;
+  EXPECT_EQ(inst.num_vertices(), 2 + 2 * 4);
+  EXPECT_EQ(inst.num_tokens(), (4 - 2) + 1);
+  // s holds everything.
+  EXPECT_EQ(inst.have(reduced.layout.s).count(),
+            static_cast<std::size_t>(inst.num_tokens()));
+  // t wants tokens 1..n-k.
+  EXPECT_FALSE(inst.want(reduced.layout.t).test(0));
+  EXPECT_TRUE(inst.want(reduced.layout.t).test(1));
+  // Every v'_i wants token 0.
+  for (std::int32_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(inst.want(reduced.layout.first_v_prime + i).to_vector(),
+              (std::vector<TokenId>{0}));
+  }
+  // Arc counts: n*(s->v_i) + n*(v_i->t) + n*(v_i->v'_i) + 2|E|.
+  EXPECT_EQ(inst.graph().num_arcs(), 3 * 4 + 2 * 3);
+}
+
+TEST(Reduction, PathWithSufficientKIsTwoStepFeasible) {
+  // gamma(P_4) = 2, so k = 2 works and k = 1 does not.
+  const UndirectedGraph g = path(4);
+  const auto yes = reduce_dominating_set(g, 2);
+  const auto no = reduce_dominating_set(g, 1);
+  EXPECT_TRUE(exact::dfocd_feasible(yes.instance, 2));
+  EXPECT_FALSE(exact::dfocd_feasible(no.instance, 2));
+}
+
+TEST(Reduction, ExtractedSetDominates) {
+  const UndirectedGraph g = path(6);  // gamma = 2
+  const auto reduced = reduce_dominating_set(g, 2);
+  core::Schedule witness;
+  ASSERT_TRUE(exact::dfocd_feasible(reduced.instance, 2, {}, &witness));
+  ASSERT_TRUE(core::is_successful(reduced.instance, witness));
+  const auto set = extract_dominating_set(reduced, witness);
+  EXPECT_LE(set.size(), 2u);
+  EXPECT_TRUE(is_dominating_set(g, set));
+}
+
+TEST(Reduction, StarGraphNeedsOneDominator) {
+  UndirectedGraph g(5);
+  for (std::int32_t v = 1; v < 5; ++v) g.add_edge(0, v);
+  EXPECT_TRUE(exact::dfocd_feasible(reduce_dominating_set(g, 1).instance, 2));
+  // k = 0 means every numbered token transits and nobody can carry 0.
+  EXPECT_FALSE(exact::dfocd_feasible(reduce_dominating_set(g, 0).instance, 2));
+}
+
+TEST(Reduction, EdgelessGraphRequiresAllVertices) {
+  const UndirectedGraph g(3);
+  // Only a dominating set of size 3 exists.
+  EXPECT_FALSE(exact::dfocd_feasible(reduce_dominating_set(g, 2).instance, 2));
+  EXPECT_TRUE(exact::dfocd_feasible(reduce_dominating_set(g, 3).instance, 2));
+}
+
+// ----------------------------------------------------------------------
+// The equivalence theorem on random graphs: for every k,
+//   DS(G) <= k  ⟺  the reduced instance is 2-step feasible.
+// ----------------------------------------------------------------------
+class ReductionEquivalence : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ReductionEquivalence, MatchesExactDominatingSet) {
+  Rng rng(GetParam());
+  const std::int32_t n = 4 + static_cast<std::int32_t>(rng.below(2));  // 4-5
+  const UndirectedGraph g = random_undirected(n, 0.4, rng);
+  const auto gamma =
+      static_cast<std::int32_t>(minimum_dominating_set(g).size());
+  for (std::int32_t k = 0; k <= n; ++k) {
+    const auto reduced = reduce_dominating_set(g, k);
+    exact::BnbOptions options;
+    options.max_nodes = 50'000'000;
+    options.max_plans_per_step = 50'000'000;
+    const bool feasible = exact::dfocd_feasible(reduced.instance, 2, options);
+    EXPECT_EQ(feasible, k >= gamma)
+        << "n=" << n << " k=" << k << " gamma=" << gamma;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReductionEquivalence,
+                         ::testing::Range<std::uint64_t>(0, 6));
+
+}  // namespace
+}  // namespace ocd::reduction

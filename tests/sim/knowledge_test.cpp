@@ -1,0 +1,122 @@
+#include "ocd/sim/knowledge.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ocd/sim/views.hpp"
+
+namespace ocd::sim {
+namespace {
+
+core::Instance two_vertex_instance() {
+  Digraph g(2);
+  g.add_arc(0, 1, 1);
+  g.add_arc(1, 0, 1);
+  core::Instance inst(std::move(g), 3);
+  inst.add_have(0, 0);
+  inst.add_have(0, 1);
+  inst.add_want(1, 0);
+  inst.add_want(1, 2);  // note: token 2 has no holder
+  inst.add_have(1, 2);  // ...make it held so aggregates are clean
+  return inst;
+}
+
+TEST(Aggregates, CountsHoldersAndNeed) {
+  const core::Instance inst = two_vertex_instance();
+  std::vector<TokenSet> possession{inst.have(0), inst.have(1)};
+  const Aggregates agg = compute_aggregates(inst, possession);
+  EXPECT_EQ(agg.holders[0], 1);
+  EXPECT_EQ(agg.holders[1], 1);
+  EXPECT_EQ(agg.holders[2], 1);
+  EXPECT_EQ(agg.need[0], 1);  // vertex 1 wants 0, lacks it
+  EXPECT_EQ(agg.need[1], 0);
+  EXPECT_EQ(agg.need[2], 0);  // wanted but already held
+}
+
+TEST(Aggregates, NeedDropsAsPossessionGrows) {
+  const core::Instance inst = two_vertex_instance();
+  std::vector<TokenSet> possession{inst.have(0), inst.have(1)};
+  possession[1].set(0);
+  const Aggregates agg = compute_aggregates(inst, possession);
+  EXPECT_EQ(agg.need[0], 0);
+  EXPECT_EQ(agg.holders[0], 2);
+}
+
+TEST(SnapshotBuffer, ZeroStalenessReturnsLatest) {
+  SnapshotBuffer buffer(0);
+  std::vector<TokenSet> a{TokenSet::of(2, {0})};
+  std::vector<TokenSet> b{TokenSet::of(2, {0, 1})};
+  buffer.push(a);
+  EXPECT_EQ(buffer.stale_view()[0].count(), 1u);
+  buffer.push(b);
+  EXPECT_EQ(buffer.stale_view()[0].count(), 2u);
+}
+
+TEST(SnapshotBuffer, StalenessLagsByK) {
+  SnapshotBuffer buffer(2);
+  for (int i = 1; i <= 5; ++i) {
+    std::vector<TokenSet> snap{TokenSet(10)};
+    for (int t = 0; t < i; ++t) snap[0].set(t);
+    buffer.push(snap);
+    // After pushing snapshot i, the stale view is snapshot max(1, i-2).
+    const auto expect = static_cast<std::size_t>(std::max(1, i - 2));
+    EXPECT_EQ(buffer.stale_view()[0].count(), expect) << "i=" << i;
+  }
+}
+
+TEST(SnapshotBuffer, EmptyBufferThrows) {
+  SnapshotBuffer buffer(1);
+  EXPECT_THROW((void)buffer.stale_view(), ContractViolation);
+  EXPECT_THROW(SnapshotBuffer(-1), ContractViolation);
+}
+
+TEST(StepView, AccessorsGatedByKnowledgeClass) {
+  const core::Instance inst = two_vertex_instance();
+  std::vector<TokenSet> possession{inst.have(0), inst.have(1)};
+  const Aggregates agg = compute_aggregates(inst, possession);
+
+  const StepView local(inst, possession, possession, agg, nullptr,
+                       KnowledgeClass::kLocalOnly, 0);
+  EXPECT_NO_THROW((void)local.own_possession(0));
+  EXPECT_NO_THROW((void)local.own_want(1));
+  EXPECT_THROW((void)local.peer_possession(0, 1), ContractViolation);
+  EXPECT_THROW((void)local.aggregate_need(), ContractViolation);
+  EXPECT_THROW((void)local.global_possession(), ContractViolation);
+
+  const StepView peers(inst, possession, possession, agg, nullptr,
+                       KnowledgeClass::kLocalPeers, 0);
+  EXPECT_NO_THROW((void)peers.peer_possession(0, 1));
+  EXPECT_THROW((void)peers.aggregate_holders(), ContractViolation);
+
+  const StepView aggregate(inst, possession, possession, agg, nullptr,
+                           KnowledgeClass::kLocalAggregate, 0);
+  EXPECT_NO_THROW((void)aggregate.aggregate_holders());
+  EXPECT_THROW((void)aggregate.instance(), ContractViolation);
+
+  const StepView global(inst, possession, possession, agg, nullptr,
+                        KnowledgeClass::kGlobal, 0);
+  EXPECT_NO_THROW((void)global.global_possession());
+  EXPECT_NO_THROW((void)global.instance());
+}
+
+TEST(StepView, PeerAccessRequiresAdjacency) {
+  Digraph g(3);
+  g.add_arc(0, 1, 1);  // 2 is isolated from 0
+  core::Instance inst(std::move(g), 1);
+  std::vector<TokenSet> possession{TokenSet(1), TokenSet(1), TokenSet(1)};
+  const Aggregates agg = compute_aggregates(inst, possession);
+  const StepView view(inst, possession, possession, agg, nullptr,
+                      KnowledgeClass::kLocalPeers, 0);
+  EXPECT_NO_THROW((void)view.peer_possession(0, 1));
+  EXPECT_NO_THROW((void)view.peer_possession(1, 0));  // reverse direction ok
+  EXPECT_THROW((void)view.peer_possession(0, 2), ContractViolation);
+}
+
+TEST(StepView, ToStringOfKnowledgeClasses) {
+  EXPECT_STREQ(to_string(KnowledgeClass::kLocalOnly), "local-only");
+  EXPECT_STREQ(to_string(KnowledgeClass::kLocalPeers), "local-peers");
+  EXPECT_STREQ(to_string(KnowledgeClass::kLocalAggregate), "local-aggregate");
+  EXPECT_STREQ(to_string(KnowledgeClass::kGlobal), "global");
+}
+
+}  // namespace
+}  // namespace ocd::sim

@@ -1,0 +1,89 @@
+#include "ocd/sim/overhead.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ocd/core/scenario.hpp"
+#include "ocd/heuristics/factory.hpp"
+#include "ocd/topology/random_graph.hpp"
+
+namespace ocd::sim {
+namespace {
+
+core::Instance sample_instance() {
+  Digraph g(4);
+  g.add_arc(0, 1, 2);
+  g.add_arc(1, 0, 2);
+  g.add_arc(1, 2, 2);
+  g.add_arc(2, 3, 2);
+  core::Instance inst(std::move(g), 8);
+  inst.add_have(0, 0);
+  inst.add_want(3, 0);
+  return inst;
+}
+
+TEST(Overhead, LocalOnlyIsFree) {
+  const auto inst = sample_instance();
+  EXPECT_EQ(knowledge_bits_per_step(inst, KnowledgeClass::kLocalOnly), 0);
+}
+
+TEST(Overhead, PeerMapsCountPerArc) {
+  const auto inst = sample_instance();
+  // 4 arcs x 8 tokens.
+  EXPECT_EQ(knowledge_bits_per_step(inst, KnowledgeClass::kLocalPeers),
+            4 * 8);
+}
+
+TEST(Overhead, AggregateAddsBroadcastCounters) {
+  const auto inst = sample_instance();
+  // counter_bits = bit_width(5) = 3; 4 vertices x 2 x 8 x 3 = 192.
+  EXPECT_EQ(knowledge_bits_per_step(inst, KnowledgeClass::kLocalAggregate),
+            4 * 8 + 4 * (2 * 8 * 3));
+}
+
+TEST(Overhead, GlobalIsFullMatrixPerVertex) {
+  const auto inst = sample_instance();
+  EXPECT_EQ(knowledge_bits_per_step(inst, KnowledgeClass::kGlobal),
+            4 * (4 * 8));
+}
+
+TEST(Overhead, StrictlyOrderedByClass) {
+  Rng rng(1);
+  Digraph g = topology::random_overlay(30, rng);
+  const auto inst = core::single_source_all_receivers(std::move(g), 40, 0);
+  const auto local = knowledge_bits_per_step(inst, KnowledgeClass::kLocalOnly);
+  const auto peers = knowledge_bits_per_step(inst, KnowledgeClass::kLocalPeers);
+  const auto agg =
+      knowledge_bits_per_step(inst, KnowledgeClass::kLocalAggregate);
+  const auto global = knowledge_bits_per_step(inst, KnowledgeClass::kGlobal);
+  EXPECT_LT(local, peers);
+  EXPECT_LT(peers, agg);
+  EXPECT_LT(agg, global);
+}
+
+TEST(Overhead, TotalScalesWithSteps) {
+  const auto inst = sample_instance();
+  const auto per_step =
+      knowledge_bits_per_step(inst, KnowledgeClass::kLocalPeers);
+  EXPECT_EQ(knowledge_bits_total(inst, KnowledgeClass::kLocalPeers, 7),
+            7 * per_step);
+  EXPECT_EQ(knowledge_bits_total(inst, KnowledgeClass::kLocalPeers, 0), 0);
+  EXPECT_THROW(knowledge_bits_total(inst, KnowledgeClass::kLocalPeers, -1),
+               ContractViolation);
+}
+
+TEST(Overhead, EveryPolicyClassHasAPrice) {
+  const auto inst = sample_instance();
+  for (const auto& name : heuristics::all_policy_names()) {
+    const auto policy = heuristics::make_policy(name);
+    const auto bits =
+        knowledge_bits_per_step(inst, policy->knowledge_class());
+    if (name == "round-robin") {
+      EXPECT_EQ(bits, 0) << name;
+    } else {
+      EXPECT_GT(bits, 0) << name;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ocd::sim

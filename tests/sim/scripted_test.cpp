@@ -1,0 +1,131 @@
+#include "ocd/sim/scripted.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ocd/core/scenario.hpp"
+#include "ocd/core/validate.hpp"
+#include "ocd/exact/bnb.hpp"
+#include "ocd/graph/algorithms.hpp"
+#include "ocd/heuristics/factory.hpp"
+#include "ocd/sim/simulator.hpp"
+#include "ocd/topology/random_graph.hpp"
+
+namespace ocd::sim {
+namespace {
+
+core::Instance line_instance() {
+  Digraph g(3);
+  g.add_arc(0, 1, 1);
+  g.add_arc(1, 2, 1);
+  core::Instance inst(std::move(g), 1);
+  inst.add_have(0, 0);
+  inst.add_want(2, 0);
+  return inst;
+}
+
+TEST(Scripted, ReplaysExactSolverSchedule) {
+  const core::Instance inst = line_instance();
+  const auto exact = exact::focd_min_makespan(inst, 5);
+  ASSERT_TRUE(exact.has_value());
+  ScriptedPolicy policy(exact->schedule);
+  const auto result = run(inst, policy);
+  EXPECT_TRUE(result.success);
+  EXPECT_EQ(result.steps, exact->makespan);
+  EXPECT_EQ(result.bandwidth, exact->schedule.bandwidth());
+}
+
+TEST(Scripted, ExhaustedScriptIdlesWithoutStallError) {
+  // Script satisfies nothing; the run should terminate at max_steps as
+  // idle (not throw, not report a stall at step 0 ... it does report
+  // failure, which is correct).
+  const core::Instance inst = line_instance();
+  ScriptedPolicy policy{core::Schedule{}};
+  SimOptions options;
+  options.max_steps = 5;
+  const auto result = run(inst, policy, options);
+  EXPECT_FALSE(result.success);
+  EXPECT_EQ(result.steps, 5);  // idled through the budget
+}
+
+TEST(Scripted, PartialScriptLeavesWantsOutstanding) {
+  const core::Instance inst = line_instance();
+  core::Schedule half;
+  core::Timestep step;
+  step.add(0, 0, 1);
+  half.append(std::move(step));
+  ScriptedPolicy policy(std::move(half));
+  SimOptions options;
+  options.max_steps = 4;
+  const auto result = run(inst, policy, options);
+  EXPECT_FALSE(result.success);
+  EXPECT_EQ(result.bandwidth, 1);
+}
+
+TEST(TwoPhase, CompletesWithinPlanPlusDelay) {
+  Rng rng(5);
+  Digraph g = topology::random_overlay(20, rng);
+  const auto inst = core::single_source_all_receivers(std::move(g), 8, 0);
+  const auto diam = diameter(inst.graph());
+
+  TwoPhasePolicy policy("global");
+  const auto result = run(inst, policy);
+  ASSERT_TRUE(result.success);
+  EXPECT_EQ(policy.delay(), diam);
+  EXPECT_EQ(result.steps, policy.delay() + policy.planned_length());
+  // First `delay` steps move nothing.
+  for (std::int32_t i = 0; i < policy.delay(); ++i)
+    EXPECT_EQ(result.stats.moves_per_step[static_cast<std::size_t>(i)], 0);
+}
+
+TEST(TwoPhase, ExplicitDelayHonored) {
+  const core::Instance inst = line_instance();
+  TwoPhasePolicy policy("global", /*delay=*/3);
+  const auto result = run(inst, policy);
+  ASSERT_TRUE(result.success);
+  EXPECT_EQ(policy.delay(), 3);
+  EXPECT_EQ(result.steps, 3 + policy.planned_length());
+}
+
+TEST(TwoPhase, ZeroDelayEqualsInnerPolicy) {
+  Rng rng(6);
+  Digraph g = topology::random_overlay(15, rng);
+  const auto inst = core::single_source_all_receivers(std::move(g), 6, 0);
+
+  TwoPhasePolicy two_phase("local", /*delay=*/0);
+  SimOptions options;
+  options.seed = 3;
+  const auto a = run(inst, two_phase, options);
+
+  auto inner = heuristics::make_policy("local");
+  const auto b = run(inst, *inner, options);
+
+  ASSERT_TRUE(a.success);
+  ASSERT_TRUE(b.success);
+  EXPECT_EQ(a.steps, b.steps);
+  EXPECT_EQ(a.bandwidth, b.bandwidth);
+}
+
+TEST(TwoPhase, AdditiveDiameterBoundAgainstOptimum) {
+  // §4.2: optimal + diameter is always achievable.  With the exact
+  // schedule as the inner plan this is exact; with global-greedy as
+  // planner we still verify steps <= planner_length + diameter.
+  Rng rng(7);
+  const auto inst = core::random_small_instance(5, 2, 0.5, rng);
+  const auto exact = exact::focd_min_makespan(inst, 10);
+  ASSERT_TRUE(exact.has_value());
+  const auto diam = diameter(inst.graph());
+
+  ScriptedPolicy oracle(exact->schedule);
+  TwoPhasePolicy two_phase("global");
+  const auto oracle_run = run(inst, oracle);
+  const auto two_run = run(inst, two_phase);
+  ASSERT_TRUE(oracle_run.success);
+  ASSERT_TRUE(two_run.success);
+  EXPECT_EQ(oracle_run.steps, exact->makespan);
+  EXPECT_EQ(two_run.steps, two_phase.delay() + two_phase.planned_length());
+  EXPECT_LE(two_run.steps,
+            two_phase.planned_length() + static_cast<std::int64_t>(diam));
+}
+
+}  // namespace
+}  // namespace ocd::sim

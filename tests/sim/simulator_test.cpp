@@ -1,0 +1,199 @@
+#include "ocd/sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ocd/core/scenario.hpp"
+#include "ocd/core/validate.hpp"
+#include "ocd/heuristics/round_robin.hpp"
+#include "ocd/topology/random_graph.hpp"
+
+namespace ocd::sim {
+namespace {
+
+core::Instance line_instance() {
+  Digraph g(3);
+  g.add_arc(0, 1, 1);
+  g.add_arc(1, 2, 1);
+  core::Instance inst(std::move(g), 1);
+  inst.add_have(0, 0);
+  inst.add_want(2, 0);
+  return inst;
+}
+
+/// Sends nothing: must be reported as a stall, not loop forever.
+class SilentPolicy final : public Policy {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "silent"; }
+  [[nodiscard]] KnowledgeClass knowledge_class() const override {
+    return KnowledgeClass::kLocalOnly;
+  }
+};
+
+/// Deliberately violates capacity.
+class OverCapacityPolicy final : public Policy {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "overcap"; }
+  [[nodiscard]] KnowledgeClass knowledge_class() const override {
+    return KnowledgeClass::kLocalOnly;
+  }
+  void plan_vertex(VertexId self, const StepView& view,
+                   StepPlan& plan) override {
+    if (self != 0) return;
+    for (ArcId a : view.graph().out_arcs(self)) {
+      TokenSet two(static_cast<std::size_t>(view.num_tokens()));
+      two.set(0);
+      two.set(1);
+      plan.send(a, two);
+    }
+  }
+};
+
+/// Sends a token it does not possess.
+class GhostSenderPolicy final : public Policy {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "ghost"; }
+  [[nodiscard]] KnowledgeClass knowledge_class() const override {
+    return KnowledgeClass::kLocalOnly;
+  }
+  void plan_vertex(VertexId self, const StepView& view,
+                   StepPlan& plan) override {
+    if (self != 1) return;
+    for (ArcId a : view.graph().out_arcs(self))
+      plan.send(a, 0, static_cast<std::size_t>(view.num_tokens()));
+  }
+};
+
+/// Exceeds its declared knowledge class.
+class PeekingPolicy final : public Policy {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "peeking"; }
+  [[nodiscard]] KnowledgeClass knowledge_class() const override {
+    return KnowledgeClass::kLocalOnly;
+  }
+  void plan_vertex(VertexId self, const StepView& view,
+                   StepPlan& plan) override {
+    (void)view.global_possession();  // not allowed for kLocalOnly
+    (void)self;
+    (void)plan;
+  }
+};
+
+TEST(Simulator, RoundRobinCompletesLine) {
+  const core::Instance inst = line_instance();
+  heuristics::RoundRobinPolicy policy;
+  const auto result = run(inst, policy);
+  EXPECT_TRUE(result.success);
+  EXPECT_EQ(result.steps, 2);
+  EXPECT_TRUE(core::is_successful(inst, result.schedule));
+}
+
+TEST(Simulator, StalledPolicyReportsFailure) {
+  const core::Instance inst = line_instance();
+  SilentPolicy policy;
+  const auto result = run(inst, policy);
+  EXPECT_FALSE(result.success);
+  EXPECT_EQ(result.steps, 0);
+}
+
+TEST(Simulator, TrivialInstanceFinishesInZeroSteps) {
+  Digraph g(2);
+  g.add_arc(0, 1, 1);
+  core::Instance inst(std::move(g), 1);
+  inst.add_have(0, 0);
+  SilentPolicy policy;
+  const auto result = run(inst, policy);
+  EXPECT_TRUE(result.success);
+  EXPECT_EQ(result.steps, 0);
+  EXPECT_EQ(result.bandwidth, 0);
+}
+
+TEST(Simulator, CapacityViolationThrows) {
+  Digraph g(2);
+  g.add_arc(0, 1, 1);
+  core::Instance inst(std::move(g), 2);
+  inst.add_have(0, 0);
+  inst.add_have(0, 1);
+  inst.add_want(1, 0);
+  OverCapacityPolicy policy;
+  EXPECT_THROW(run(inst, policy), Error);
+}
+
+TEST(Simulator, PossessionViolationThrows) {
+  const core::Instance inst = line_instance();
+  GhostSenderPolicy policy;
+  EXPECT_THROW(run(inst, policy), Error);
+}
+
+TEST(Simulator, KnowledgeClassEnforced) {
+  const core::Instance inst = line_instance();
+  PeekingPolicy policy;
+  EXPECT_THROW(run(inst, policy), ContractViolation);
+}
+
+TEST(Simulator, MaxStepsBoundsRun) {
+  Rng rng(2);
+  Digraph g = topology::random_overlay(20, rng);
+  core::Instance inst = core::single_source_all_receivers(std::move(g), 50, 0);
+  heuristics::RoundRobinPolicy policy;
+  SimOptions options;
+  options.max_steps = 2;
+  const auto result = run(inst, policy, options);
+  EXPECT_FALSE(result.success);
+  EXPECT_EQ(result.steps, 2);
+}
+
+TEST(Simulator, RecordedScheduleValidatesAndMatchesCounters) {
+  Rng rng(3);
+  Digraph g = topology::random_overlay(15, rng);
+  core::Instance inst = core::single_source_all_receivers(std::move(g), 8, 0);
+  heuristics::RoundRobinPolicy policy;
+  const auto result = run(inst, policy);
+  ASSERT_TRUE(result.success);
+  const auto validation = core::validate(inst, result.schedule);
+  EXPECT_TRUE(validation.valid);
+  EXPECT_TRUE(validation.successful);
+  EXPECT_EQ(result.schedule.bandwidth(), result.bandwidth);
+  EXPECT_EQ(result.schedule.length(), result.steps);
+}
+
+TEST(Simulator, ScheduleRecordingCanBeDisabled) {
+  const core::Instance inst = line_instance();
+  heuristics::RoundRobinPolicy policy;
+  SimOptions options;
+  options.record_schedule = false;
+  const auto result = run(inst, policy, options);
+  EXPECT_TRUE(result.success);
+  EXPECT_TRUE(result.schedule.empty());
+  EXPECT_GT(result.bandwidth, 0);
+}
+
+TEST(Simulator, CompletionStepsAreMonotoneSensible) {
+  const core::Instance inst = line_instance();
+  heuristics::RoundRobinPolicy policy;
+  const auto result = run(inst, policy);
+  ASSERT_TRUE(result.success);
+  // Vertices 0 and 1 have empty wants -> completed at step 0; vertex 2
+  // completes when the token arrives (step 2).
+  EXPECT_EQ(result.stats.completion_step[0], 0);
+  EXPECT_EQ(result.stats.completion_step[1], 0);
+  EXPECT_EQ(result.stats.completion_step[2], 2);
+}
+
+TEST(Simulator, UsefulAndRedundantMovesSumToBandwidth) {
+  Rng rng(4);
+  Digraph g = topology::random_overlay(12, rng);
+  core::Instance inst = core::single_source_all_receivers(std::move(g), 6, 0);
+  heuristics::RoundRobinPolicy policy;
+  const auto result = run(inst, policy);
+  ASSERT_TRUE(result.success);
+  EXPECT_EQ(result.stats.useful_moves + result.stats.redundant_moves,
+            result.bandwidth);
+  // Round robin on a dense graph re-sends: expect some redundancy.
+  EXPECT_GT(result.stats.redundant_moves, 0);
+  // Useful moves = total possession growth <= n * m.
+  EXPECT_LE(result.stats.useful_moves,
+            static_cast<std::int64_t>(inst.num_vertices()) * inst.num_tokens());
+}
+
+}  // namespace
+}  // namespace ocd::sim

@@ -1,0 +1,108 @@
+#include "ocd/sim/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ocd/core/scenario.hpp"
+#include "ocd/heuristics/factory.hpp"
+#include "ocd/sim/simulator.hpp"
+#include "ocd/topology/random_graph.hpp"
+
+namespace ocd::sim {
+namespace {
+
+TEST(Stats, MeanCompletionIgnoresNeverFinished) {
+  RunStats stats;
+  stats.completion_step = {0, 4, -1, 8};
+  EXPECT_DOUBLE_EQ(stats.mean_completion(), 4.0);
+}
+
+TEST(Stats, MeanCompletionEmpty) {
+  RunStats stats;
+  EXPECT_DOUBLE_EQ(stats.mean_completion(), 0.0);
+  stats.completion_step = {-1, -1};
+  EXPECT_DOUBLE_EQ(stats.mean_completion(), 0.0);
+}
+
+TEST(Stats, JainIndexExtremes) {
+  RunStats stats;
+  stats.sent_by_vertex = {5, 5, 5, 5};
+  EXPECT_DOUBLE_EQ(stats.upload_fairness(), 1.0);
+  stats.sent_by_vertex = {20, 0, 0, 0};
+  EXPECT_DOUBLE_EQ(stats.upload_fairness(), 0.25);  // 1/n
+  stats.sent_by_vertex = {0, 0};
+  EXPECT_DOUBLE_EQ(stats.upload_fairness(), 0.0);
+  stats.sent_by_vertex.clear();
+  EXPECT_DOUBLE_EQ(stats.upload_fairness(), 0.0);
+}
+
+TEST(Stats, SummaryMentionsKeyNumbers) {
+  RunStats stats;
+  stats.moves_per_step = {3, 2};
+  stats.useful_moves = 4;
+  stats.redundant_moves = 1;
+  stats.completion_step = {2};
+  const std::string s = stats.summary();
+  EXPECT_NE(s.find("steps=2"), std::string::npos);
+  EXPECT_NE(s.find("bandwidth=5"), std::string::npos);
+}
+
+TEST(Stats, UploadAccountingMatchesBandwidth) {
+  Rng rng(3);
+  Digraph g = topology::random_overlay(18, rng);
+  const core::Instance inst =
+      core::single_source_all_receivers(std::move(g), 10, 0);
+  auto policy = heuristics::make_policy("local");
+  const auto result = run(inst, *policy);
+  ASSERT_TRUE(result.success);
+  std::int64_t total = 0;
+  for (std::int64_t sent : result.stats.sent_by_vertex) total += sent;
+  EXPECT_EQ(total, result.bandwidth);
+  EXPECT_GT(result.stats.sent_by_vertex[0], 0);  // the source uploads
+  EXPECT_GT(result.stats.upload_fairness(), 0.0);
+  EXPECT_LE(result.stats.upload_fairness(), 1.0);
+}
+
+TEST(Stats, PeerSharingIsFairerThanClientServer) {
+  // A star forces the hub to upload everything; a well-connected mesh
+  // spreads contribution.  Jain's index should reflect it.
+  Digraph star(6);
+  for (VertexId v = 1; v < 6; ++v) {
+    star.add_arc(0, v, 4);
+    star.add_arc(v, 0, 4);
+  }
+  const core::Instance star_inst =
+      core::single_source_all_receivers(std::move(star), 8, 0);
+  auto star_policy = heuristics::make_policy("local");
+  const auto star_run = run(star_inst, *star_policy);
+  ASSERT_TRUE(star_run.success);
+
+  Rng rng(4);
+  topology::RandomGraphOptions options;
+  options.edge_probability = 0.9;
+  Digraph mesh = topology::random_overlay(6, options, rng);
+  const core::Instance mesh_inst =
+      core::single_source_all_receivers(std::move(mesh), 8, 0);
+  auto mesh_policy = heuristics::make_policy("local");
+  const auto mesh_run = run(mesh_inst, *mesh_policy);
+  ASSERT_TRUE(mesh_run.success);
+
+  EXPECT_GT(mesh_run.stats.upload_fairness(),
+            star_run.stats.upload_fairness());
+}
+
+TEST(Simulator, StaleAggregatesStillComplete) {
+  Rng rng(5);
+  Digraph g = topology::random_overlay(20, rng);
+  const core::Instance inst =
+      core::single_source_all_receivers(std::move(g), 12, 0);
+  auto policy = heuristics::make_policy("local");
+  SimOptions options;
+  options.seed = 2;
+  options.staleness = 3;
+  options.stale_aggregates = true;
+  const auto result = run(inst, *policy, options);
+  EXPECT_TRUE(result.success);
+}
+
+}  // namespace
+}  // namespace ocd::sim

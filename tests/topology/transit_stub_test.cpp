@@ -1,0 +1,89 @@
+#include "ocd/topology/transit_stub.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ocd/graph/algorithms.hpp"
+
+namespace ocd::topology {
+namespace {
+
+TEST(TransitStub, TotalVerticesFormula) {
+  TransitStubOptions opt;
+  opt.transit_domains = 2;
+  opt.transit_nodes_per_domain = 4;
+  opt.stub_domains_per_transit_node = 2;
+  opt.stub_nodes_per_domain = 3;
+  EXPECT_EQ(opt.total_vertices(), 8 + 8 * 2 * 3);
+}
+
+TEST(TransitStub, GeneratedGraphMatchesDeclaredSize) {
+  Rng rng(1);
+  TransitStubOptions opt;
+  const Digraph g = transit_stub(opt, rng);
+  EXPECT_EQ(g.num_vertices(), opt.total_vertices());
+}
+
+TEST(TransitStub, StronglyConnected) {
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    Rng rng(seed);
+    TransitStubOptions opt;
+    opt.transit_domains = 3;
+    const Digraph g = transit_stub(opt, rng);
+    EXPECT_TRUE(is_strongly_connected(g)) << "seed " << seed;
+  }
+}
+
+TEST(TransitStub, CapacitiesWithinRange) {
+  Rng rng(2);
+  TransitStubOptions opt;
+  const Digraph g = transit_stub(opt, rng);
+  for (const Arc& arc : g.arcs()) {
+    EXPECT_GE(arc.capacity, 3);
+    EXPECT_LE(arc.capacity, 15);
+  }
+}
+
+TEST(TransitStub, BidirectionalArcs) {
+  Rng rng(3);
+  TransitStubOptions opt;
+  const Digraph g = transit_stub(opt, rng);
+  for (const Arc& arc : g.arcs()) EXPECT_TRUE(g.has_arc(arc.to, arc.from));
+}
+
+TEST(TransitStub, SingleDomainDegenerate) {
+  Rng rng(4);
+  TransitStubOptions opt;
+  opt.transit_domains = 1;
+  opt.transit_nodes_per_domain = 1;
+  opt.stub_domains_per_transit_node = 1;
+  opt.stub_nodes_per_domain = 2;
+  const Digraph g = transit_stub(opt, rng);
+  EXPECT_EQ(g.num_vertices(), 3);
+  EXPECT_TRUE(is_strongly_connected(g));
+}
+
+TEST(TransitStub, RejectsInvalidOptions) {
+  Rng rng(1);
+  TransitStubOptions opt;
+  opt.transit_domains = 0;
+  EXPECT_THROW(transit_stub(opt, rng), ContractViolation);
+}
+
+class TransitStubSizeSweep : public ::testing::TestWithParam<std::int32_t> {};
+
+TEST_P(TransitStubSizeSweep, SizeForApproximatesTarget) {
+  const std::int32_t target = GetParam();
+  const TransitStubOptions opt = transit_stub_options_for_size(target);
+  const double actual = opt.total_vertices();
+  EXPECT_GT(actual, target * 0.5);
+  EXPECT_LT(actual, target * 1.8);
+  Rng rng(static_cast<std::uint64_t>(target));
+  const Digraph g = transit_stub(opt, rng);
+  EXPECT_TRUE(is_strongly_connected(g));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, TransitStubSizeSweep,
+                         ::testing::Values(20, 50, 100, 200, 400, 1000));
+
+}  // namespace
+}  // namespace ocd::topology

@@ -1,0 +1,59 @@
+#include "ocd/util/error.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+namespace ocd {
+namespace {
+
+TEST(Error, ContractViolationCarriesLocationAndKind) {
+  try {
+    OCD_EXPECTS(1 == 2);
+    FAIL() << "expected throw";
+  } catch (const ContractViolation& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("precondition"), std::string::npos);
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+    EXPECT_NE(what.find("error_test.cpp"), std::string::npos);
+    EXPECT_STREQ(e.expression(), "1 == 2");
+  }
+}
+
+TEST(Error, EnsuresReportsPostcondition) {
+  try {
+    OCD_ENSURES(false);
+    FAIL() << "expected throw";
+  } catch (const ContractViolation& e) {
+    EXPECT_NE(std::string(e.what()).find("postcondition"), std::string::npos);
+  }
+}
+
+TEST(Error, AssertMsgIncludesMessage) {
+  try {
+    OCD_ASSERT_MSG(false, "extra context 42");
+    FAIL() << "expected throw";
+  } catch (const ContractViolation& e) {
+    EXPECT_NE(std::string(e.what()).find("extra context 42"),
+              std::string::npos);
+  }
+}
+
+TEST(Error, PassingChecksDoNotThrow) {
+  EXPECT_NO_THROW(OCD_EXPECTS(true));
+  EXPECT_NO_THROW(OCD_ENSURES(2 + 2 == 4));
+  EXPECT_NO_THROW(OCD_ASSERT(true));
+}
+
+TEST(Error, ContractViolationIsAnOcdError) {
+  try {
+    OCD_ASSERT(false);
+  } catch (const Error& e) {
+    SUCCEED();
+    return;
+  }
+  FAIL() << "ContractViolation must derive from ocd::Error";
+}
+
+}  // namespace
+}  // namespace ocd

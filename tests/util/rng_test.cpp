@@ -1,0 +1,129 @@
+#include "ocd/util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace ocd {
+namespace {
+
+TEST(Rng, DeterministicForEqualSeeds) {
+  Rng a(12345);
+  Rng b(12345);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += a.next() == b.next();
+  EXPECT_LT(equal, 4);
+}
+
+TEST(Rng, UniformIntStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_int(3, 15);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 15);
+  }
+}
+
+TEST(Rng, UniformIntCoversWholeRange) {
+  Rng rng(7);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.uniform_int(0, 9));
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(Rng, UniformIntSingleton) {
+  Rng rng(3);
+  EXPECT_EQ(rng.uniform_int(5, 5), 5);
+}
+
+TEST(Rng, BelowRejectsZero) {
+  Rng rng(1);
+  EXPECT_THROW(rng.below(0), ContractViolation);
+}
+
+TEST(Rng, BelowIsRoughlyUniform) {
+  Rng rng(99);
+  std::array<int, 4> histogram{};
+  constexpr int kDraws = 40000;
+  for (int i = 0; i < kDraws; ++i) ++histogram[rng.below(4)];
+  for (int count : histogram) {
+    EXPECT_GT(count, kDraws / 4 - kDraws / 20);
+    EXPECT_LT(count, kDraws / 4 + kDraws / 20);
+  }
+}
+
+TEST(Rng, UniformRealInUnitInterval) {
+  Rng rng(17);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.uniform_real();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(4);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+    EXPECT_FALSE(rng.chance(-0.5));
+    EXPECT_TRUE(rng.chance(1.5));
+  }
+}
+
+TEST(Rng, ShufflePermutes) {
+  Rng rng(11);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  const std::vector<int> original = v;
+  rng.shuffle(v);
+  EXPECT_TRUE(std::is_permutation(v.begin(), v.end(), original.begin()));
+}
+
+TEST(Rng, SampleIndicesDistinctAndInRange) {
+  Rng rng(23);
+  const auto sample = rng.sample_indices(50, 20);
+  EXPECT_EQ(sample.size(), 20u);
+  std::set<std::size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 20u);
+  for (std::size_t idx : sample) EXPECT_LT(idx, 50u);
+}
+
+TEST(Rng, SampleIndicesFullPopulation) {
+  Rng rng(23);
+  const auto sample = rng.sample_indices(5, 5);
+  std::set<std::size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 5u);
+}
+
+TEST(Rng, SampleIndicesRejectsOversample) {
+  Rng rng(1);
+  EXPECT_THROW(rng.sample_indices(3, 4), ContractViolation);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng parent(5);
+  Rng child = parent.split();
+  // The child stream must differ from the parent's continued stream.
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += parent.next() == child.next();
+  EXPECT_LT(equal, 4);
+}
+
+TEST(SplitMix64, KnownFirstOutputsDiffer) {
+  SplitMix64 a(0);
+  SplitMix64 b(1);
+  EXPECT_NE(a.next(), b.next());
+}
+
+}  // namespace
+}  // namespace ocd

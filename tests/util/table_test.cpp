@@ -1,0 +1,73 @@
+#include "ocd/util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "ocd/util/error.hpp"
+
+namespace ocd {
+namespace {
+
+TEST(Table, RequiresHeaders) {
+  EXPECT_THROW(Table({}), ContractViolation);
+}
+
+TEST(Table, RowArityMustMatch) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({std::int64_t{1}}), ContractViolation);
+  t.add_row({std::int64_t{1}, std::string("x")});
+  EXPECT_EQ(t.num_rows(), 1u);
+  EXPECT_EQ(t.num_columns(), 2u);
+}
+
+TEST(Table, PrintAlignsColumns) {
+  Table t({"name", "value"});
+  t.add_row({std::string("alpha"), std::int64_t{1}});
+  t.add_row({std::string("b"), std::int64_t{12345}});
+  std::ostringstream out;
+  t.print(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("alpha"), std::string::npos);
+  EXPECT_NE(text.find("12345"), std::string::npos);
+  // Every line has equal width (box drawing).
+  std::istringstream lines(text);
+  std::string line;
+  std::size_t width = 0;
+  while (std::getline(lines, line)) {
+    if (width == 0) width = line.size();
+    EXPECT_EQ(line.size(), width);
+  }
+}
+
+TEST(Table, CsvEscapesSpecialCharacters) {
+  Table t({"name"});
+  t.add_row({std::string("has,comma")});
+  t.add_row({std::string("has\"quote")});
+  std::ostringstream out;
+  t.print_csv(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("\"has,comma\""), std::string::npos);
+  EXPECT_NE(text.find("\"has\"\"quote\""), std::string::npos);
+}
+
+TEST(Table, DoublePrecisionConfigurable) {
+  Table t({"x"});
+  t.set_precision(4);
+  t.add_row({3.14159265});
+  std::ostringstream out;
+  t.print_csv(out);
+  EXPECT_NE(out.str().find("3.1416"), std::string::npos);
+  EXPECT_THROW(t.set_precision(-1), ContractViolation);
+}
+
+TEST(Table, CsvHeaderFirst) {
+  Table t({"h1", "h2"});
+  t.add_row({std::int64_t{1}, std::int64_t{2}});
+  std::ostringstream out;
+  t.print_csv(out);
+  EXPECT_EQ(out.str().substr(0, 6), "h1,h2\n");
+}
+
+}  // namespace
+}  // namespace ocd

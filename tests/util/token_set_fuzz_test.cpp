@@ -1,0 +1,111 @@
+// Differential fuzzing: TokenSet against std::set<TokenId> as the
+// reference model, over long random operation sequences.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "ocd/util/rng.hpp"
+#include "ocd/util/token_set.hpp"
+
+namespace ocd {
+namespace {
+
+std::set<TokenId> to_reference(const TokenSet& s) {
+  std::set<TokenId> out;
+  s.for_each([&](TokenId t) { out.insert(t); });
+  return out;
+}
+
+bool matches(const TokenSet& s, const std::set<TokenId>& reference) {
+  if (s.count() != reference.size()) return false;
+  for (TokenId t : reference) {
+    if (!s.test(t)) return false;
+  }
+  return true;
+}
+
+class TokenSetFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TokenSetFuzz, LongOperationSequencesMatchReferenceModel) {
+  Rng rng(GetParam());
+  const std::size_t universe = 1 + rng.below(300);
+
+  TokenSet a(universe);
+  TokenSet b(universe);
+  std::set<TokenId> ref_a;
+  std::set<TokenId> ref_b;
+
+  for (int op = 0; op < 400; ++op) {
+    const auto t = static_cast<TokenId>(rng.below(universe));
+    switch (rng.below(8)) {
+      case 0:
+        a.set(t);
+        ref_a.insert(t);
+        break;
+      case 1:
+        a.reset(t);
+        ref_a.erase(t);
+        break;
+      case 2:
+        b.set(t);
+        ref_b.insert(t);
+        break;
+      case 3: {  // a |= b
+        a |= b;
+        ref_a.insert(ref_b.begin(), ref_b.end());
+        break;
+      }
+      case 4: {  // a &= b
+        a &= b;
+        std::set<TokenId> out;
+        std::set_intersection(ref_a.begin(), ref_a.end(), ref_b.begin(),
+                              ref_b.end(), std::inserter(out, out.begin()));
+        ref_a = std::move(out);
+        break;
+      }
+      case 5: {  // a -= b
+        a -= b;
+        for (TokenId x : ref_b) ref_a.erase(x);
+        break;
+      }
+      case 6: {  // a ^= b
+        a ^= b;
+        std::set<TokenId> out;
+        std::set_symmetric_difference(ref_a.begin(), ref_a.end(),
+                                      ref_b.begin(), ref_b.end(),
+                                      std::inserter(out, out.begin()));
+        ref_a = std::move(out);
+        break;
+      }
+      default: {  // truncate a
+        const std::size_t k = rng.below(universe + 1);
+        a.truncate(k);
+        while (ref_a.size() > k) ref_a.erase(std::prev(ref_a.end()));
+        break;
+      }
+    }
+
+    ASSERT_TRUE(matches(a, ref_a)) << "op " << op;
+    ASSERT_TRUE(matches(b, ref_b)) << "op " << op;
+    ASSERT_EQ(to_reference(a), ref_a) << "op " << op;
+
+    // Derived queries agree with the model.
+    ASSERT_EQ(a.empty(), ref_a.empty());
+    ASSERT_EQ(a.first(), ref_a.empty() ? -1 : *ref_a.begin());
+    if (!ref_a.empty()) {
+      const auto probe = static_cast<TokenId>(rng.below(universe));
+      const auto it = ref_a.lower_bound(probe);
+      ASSERT_EQ(a.next(probe), it == ref_a.end() ? -1 : *it);
+    }
+    const bool ref_subset = std::includes(ref_b.begin(), ref_b.end(),
+                                          ref_a.begin(), ref_a.end());
+    ASSERT_EQ(a.is_subset_of(b), ref_subset);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TokenSetFuzz,
+                         ::testing::Range<std::uint64_t>(0, 10));
+
+}  // namespace
+}  // namespace ocd

@@ -1,0 +1,157 @@
+#include "ocd/util/token_set.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace ocd {
+namespace {
+
+TEST(TokenSet, DefaultIsEmptyWithEmptyUniverse) {
+  TokenSet s;
+  EXPECT_EQ(s.universe_size(), 0u);
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.first(), -1);
+}
+
+TEST(TokenSet, SetTestReset) {
+  TokenSet s(100);
+  EXPECT_FALSE(s.test(42));
+  s.set(42);
+  EXPECT_TRUE(s.test(42));
+  EXPECT_EQ(s.count(), 1u);
+  s.reset(42);
+  EXPECT_FALSE(s.test(42));
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(TokenSet, OutOfUniverseAccessThrows) {
+  TokenSet s(10);
+  EXPECT_THROW((void)s.test(10), ContractViolation);
+  EXPECT_THROW(s.set(-1), ContractViolation);
+  EXPECT_THROW(s.reset(100), ContractViolation);
+}
+
+TEST(TokenSet, FullCoversExactlyTheUniverse) {
+  for (std::size_t universe : {1u, 63u, 64u, 65u, 127u, 128u, 200u}) {
+    const TokenSet s = TokenSet::full(universe);
+    EXPECT_EQ(s.count(), universe) << "universe=" << universe;
+    EXPECT_TRUE(s.test(static_cast<TokenId>(universe - 1)));
+  }
+}
+
+TEST(TokenSet, FullOfEmptyUniverse) {
+  const TokenSet s = TokenSet::full(0);
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(TokenSet, OfBuildsListedTokens) {
+  const TokenSet s = TokenSet::of(10, {1, 3, 7});
+  EXPECT_EQ(s.count(), 3u);
+  EXPECT_TRUE(s.test(1));
+  EXPECT_TRUE(s.test(3));
+  EXPECT_TRUE(s.test(7));
+  EXPECT_FALSE(s.test(0));
+}
+
+TEST(TokenSet, UnionIntersectionDifference) {
+  const TokenSet a = TokenSet::of(130, {0, 64, 129});
+  const TokenSet b = TokenSet::of(130, {64, 100});
+  EXPECT_EQ((a | b).count(), 4u);
+  EXPECT_EQ((a & b).count(), 1u);
+  EXPECT_TRUE((a & b).test(64));
+  EXPECT_EQ((a - b).count(), 2u);
+  EXPECT_FALSE((a - b).test(64));
+  EXPECT_EQ((a ^ b).count(), 3u);
+}
+
+TEST(TokenSet, MixedUniverseOperationsThrow) {
+  TokenSet a(10);
+  const TokenSet b(20);
+  EXPECT_THROW(a |= b, ContractViolation);
+  EXPECT_THROW(a &= b, ContractViolation);
+  EXPECT_THROW(a -= b, ContractViolation);
+  EXPECT_THROW((void)a.is_subset_of(b), ContractViolation);
+}
+
+TEST(TokenSet, SubsetAndIntersects) {
+  const TokenSet a = TokenSet::of(70, {1, 65});
+  const TokenSet b = TokenSet::of(70, {1, 2, 65});
+  EXPECT_TRUE(a.is_subset_of(b));
+  EXPECT_FALSE(b.is_subset_of(a));
+  EXPECT_TRUE(a.is_subset_of(a));
+  EXPECT_TRUE(a.intersects(b));
+  EXPECT_FALSE(a.intersects(TokenSet(70)));
+  EXPECT_TRUE(TokenSet(70).is_subset_of(a));
+}
+
+TEST(TokenSet, FirstAndNext) {
+  const TokenSet s = TokenSet::of(200, {5, 64, 199});
+  EXPECT_EQ(s.first(), 5);
+  EXPECT_EQ(s.next(0), 5);
+  EXPECT_EQ(s.next(5), 5);
+  EXPECT_EQ(s.next(6), 64);
+  EXPECT_EQ(s.next(65), 199);
+  EXPECT_EQ(s.next(199), 199);
+  EXPECT_EQ(TokenSet(200).next(0), -1);
+}
+
+TEST(TokenSet, NextCircularWrapsAround) {
+  const TokenSet s = TokenSet::of(100, {10, 50});
+  EXPECT_EQ(s.next_circular(0), 10);
+  EXPECT_EQ(s.next_circular(11), 50);
+  EXPECT_EQ(s.next_circular(51), 10);  // wraps
+  EXPECT_EQ(s.next_circular(99), 10);
+  EXPECT_EQ(TokenSet(100).next_circular(3), -1);
+}
+
+TEST(TokenSet, ForEachVisitsInOrder) {
+  const TokenSet s = TokenSet::of(150, {149, 0, 64, 63});
+  std::vector<TokenId> seen;
+  s.for_each([&](TokenId t) { seen.push_back(t); });
+  EXPECT_EQ(seen, (std::vector<TokenId>{0, 63, 64, 149}));
+  EXPECT_EQ(s.to_vector(), seen);
+}
+
+TEST(TokenSet, TruncateKeepsLowestIds) {
+  TokenSet s = TokenSet::of(200, {1, 5, 70, 130, 131});
+  s.truncate(3);
+  EXPECT_EQ(s.to_vector(), (std::vector<TokenId>{1, 5, 70}));
+  s.truncate(10);  // no-op when under the limit
+  EXPECT_EQ(s.count(), 3u);
+  s.truncate(0);
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(TokenSet, EqualityAndHash) {
+  const TokenSet a = TokenSet::of(90, {1, 88});
+  const TokenSet b = TokenSet::of(90, {1, 88});
+  const TokenSet c = TokenSet::of(90, {1, 87});
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(a.hash(), b.hash());
+  // Not guaranteed in general, but a collision between these two tiny
+  // sets would indicate a broken mixer.
+  EXPECT_NE(a.hash(), c.hash());
+}
+
+TEST(TokenSet, ToStringRendersSortedMembers) {
+  EXPECT_EQ(TokenSet::of(10, {3, 1}).to_string(), "{1,3}");
+  EXPECT_EQ(TokenSet(10).to_string(), "{}");
+}
+
+TEST(TokenSet, CountAcrossWordBoundaries) {
+  TokenSet s(256);
+  std::set<TokenId> reference;
+  for (TokenId t = 0; t < 256; t += 7) {
+    s.set(t);
+    reference.insert(t);
+  }
+  EXPECT_EQ(s.count(), reference.size());
+  const auto v = s.to_vector();
+  EXPECT_TRUE(std::equal(v.begin(), v.end(), reference.begin()));
+}
+
+}  // namespace
+}  // namespace ocd
