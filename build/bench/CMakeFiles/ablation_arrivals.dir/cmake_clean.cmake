@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_arrivals.dir/ablation_arrivals.cpp.o"
+  "CMakeFiles/ablation_arrivals.dir/ablation_arrivals.cpp.o.d"
+  "ablation_arrivals"
+  "ablation_arrivals.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_arrivals.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

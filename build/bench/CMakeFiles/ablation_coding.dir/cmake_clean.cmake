@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_coding.dir/ablation_coding.cpp.o"
+  "CMakeFiles/ablation_coding.dir/ablation_coding.cpp.o.d"
+  "ablation_coding"
+  "ablation_coding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_coding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_competitive.dir/ablation_competitive.cpp.o"
+  "CMakeFiles/ablation_competitive.dir/ablation_competitive.cpp.o.d"
+  "ablation_competitive"
+  "ablation_competitive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_competitive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_graph_size_random.dir/fig2_graph_size_random.cpp.o"
+  "CMakeFiles/fig2_graph_size_random.dir/fig2_graph_size_random.cpp.o.d"
+  "fig2_graph_size_random"
+  "fig2_graph_size_random.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_graph_size_random.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_graph_size_ts.dir/fig3_graph_size_ts.cpp.o"
+  "CMakeFiles/fig3_graph_size_ts.dir/fig3_graph_size_ts.cpp.o.d"
+  "fig3_graph_size_ts"
+  "fig3_graph_size_ts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_graph_size_ts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_num_files.dir/fig5_num_files.cpp.o"
+  "CMakeFiles/fig5_num_files.dir/fig5_num_files.cpp.o.d"
+  "fig5_num_files"
+  "fig5_num_files.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_num_files.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

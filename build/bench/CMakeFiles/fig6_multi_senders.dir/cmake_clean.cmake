@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_multi_senders.dir/fig6_multi_senders.cpp.o"
+  "CMakeFiles/fig6_multi_senders.dir/fig6_multi_senders.cpp.o.d"
+  "fig6_multi_senders"
+  "fig6_multi_senders.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_multi_senders.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_reduction.dir/fig7_reduction.cpp.o"
+  "CMakeFiles/fig7_reduction.dir/fig7_reduction.cpp.o.d"
+  "fig7_reduction"
+  "fig7_reduction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

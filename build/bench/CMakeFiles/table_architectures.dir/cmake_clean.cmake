@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_architectures.dir/table_architectures.cpp.o"
+  "CMakeFiles/table_architectures.dir/table_architectures.cpp.o.d"
+  "table_architectures"
+  "table_architectures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_architectures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

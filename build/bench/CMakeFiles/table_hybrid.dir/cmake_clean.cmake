@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_hybrid.dir/table_hybrid.cpp.o"
+  "CMakeFiles/table_hybrid.dir/table_hybrid.cpp.o.d"
+  "table_hybrid"
+  "table_hybrid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_hybrid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_optimality_gap.dir/table_optimality_gap.cpp.o"
+  "CMakeFiles/table_optimality_gap.dir/table_optimality_gap.cpp.o.d"
+  "table_optimality_gap"
+  "table_optimality_gap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_optimality_gap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/file_swarm.dir/file_swarm.cpp.o"
+  "CMakeFiles/file_swarm.dir/file_swarm.cpp.o.d"
+  "file_swarm"
+  "file_swarm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/file_swarm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ocd_cli.dir/ocd_cli.cpp.o"
+  "CMakeFiles/ocd_cli.dir/ocd_cli.cpp.o.d"
+  "ocd_cli"
+  "ocd_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ocd_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optimal_planner.dir/optimal_planner.cpp.o"
+  "CMakeFiles/optimal_planner.dir/optimal_planner.cpp.o.d"
+  "optimal_planner"
+  "optimal_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optimal_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

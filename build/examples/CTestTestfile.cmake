@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;7;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_file_swarm "/root/repo/build/examples/file_swarm" "60" "3")
+set_tests_properties(example_file_swarm PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;8;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_optimal_planner "/root/repo/build/examples/optimal_planner")
+set_tests_properties(example_optimal_planner PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;9;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_np_hardness "/root/repo/build/examples/np_hardness")
+set_tests_properties(example_np_hardness PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;10;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_visualize "/root/repo/build/examples/visualize" "/root/repo/build/examples/viz_out")
+set_tests_properties(example_visualize PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;11;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_cli "/root/repo/build/examples/ocd_cli" "--n" "25" "--tokens" "12" "--policy" "local" "--optimize")
+set_tests_properties(example_cli PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;12;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_cli_dynamics "/root/repo/build/examples/ocd_cli" "--n" "25" "--tokens" "12" "--policy" "random" "--dynamics" "jitter")
+set_tests_properties(example_cli_dynamics PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;13;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_cli_architectures "/root/repo/build/examples/ocd_cli" "--n" "25" "--tokens" "12" "--policy" "splitstream-forest")
+set_tests_properties(example_cli_architectures PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;15;add_test;/root/repo/examples/CMakeLists.txt;0;")

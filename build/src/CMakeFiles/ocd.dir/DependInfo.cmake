@@ -1,0 +1,66 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/coding/coded_instance.cpp" "src/CMakeFiles/ocd.dir/coding/coded_instance.cpp.o" "gcc" "src/CMakeFiles/ocd.dir/coding/coded_instance.cpp.o.d"
+  "/root/repo/src/core/bounds.cpp" "src/CMakeFiles/ocd.dir/core/bounds.cpp.o" "gcc" "src/CMakeFiles/ocd.dir/core/bounds.cpp.o.d"
+  "/root/repo/src/core/compact.cpp" "src/CMakeFiles/ocd.dir/core/compact.cpp.o" "gcc" "src/CMakeFiles/ocd.dir/core/compact.cpp.o.d"
+  "/root/repo/src/core/encoding.cpp" "src/CMakeFiles/ocd.dir/core/encoding.cpp.o" "gcc" "src/CMakeFiles/ocd.dir/core/encoding.cpp.o.d"
+  "/root/repo/src/core/export.cpp" "src/CMakeFiles/ocd.dir/core/export.cpp.o" "gcc" "src/CMakeFiles/ocd.dir/core/export.cpp.o.d"
+  "/root/repo/src/core/instance.cpp" "src/CMakeFiles/ocd.dir/core/instance.cpp.o" "gcc" "src/CMakeFiles/ocd.dir/core/instance.cpp.o.d"
+  "/root/repo/src/core/io.cpp" "src/CMakeFiles/ocd.dir/core/io.cpp.o" "gcc" "src/CMakeFiles/ocd.dir/core/io.cpp.o.d"
+  "/root/repo/src/core/prune.cpp" "src/CMakeFiles/ocd.dir/core/prune.cpp.o" "gcc" "src/CMakeFiles/ocd.dir/core/prune.cpp.o.d"
+  "/root/repo/src/core/scenario.cpp" "src/CMakeFiles/ocd.dir/core/scenario.cpp.o" "gcc" "src/CMakeFiles/ocd.dir/core/scenario.cpp.o.d"
+  "/root/repo/src/core/schedule.cpp" "src/CMakeFiles/ocd.dir/core/schedule.cpp.o" "gcc" "src/CMakeFiles/ocd.dir/core/schedule.cpp.o.d"
+  "/root/repo/src/core/steiner.cpp" "src/CMakeFiles/ocd.dir/core/steiner.cpp.o" "gcc" "src/CMakeFiles/ocd.dir/core/steiner.cpp.o.d"
+  "/root/repo/src/core/validate.cpp" "src/CMakeFiles/ocd.dir/core/validate.cpp.o" "gcc" "src/CMakeFiles/ocd.dir/core/validate.cpp.o.d"
+  "/root/repo/src/dynamics/model.cpp" "src/CMakeFiles/ocd.dir/dynamics/model.cpp.o" "gcc" "src/CMakeFiles/ocd.dir/dynamics/model.cpp.o.d"
+  "/root/repo/src/dynamics/sessions.cpp" "src/CMakeFiles/ocd.dir/dynamics/sessions.cpp.o" "gcc" "src/CMakeFiles/ocd.dir/dynamics/sessions.cpp.o.d"
+  "/root/repo/src/exact/bnb.cpp" "src/CMakeFiles/ocd.dir/exact/bnb.cpp.o" "gcc" "src/CMakeFiles/ocd.dir/exact/bnb.cpp.o.d"
+  "/root/repo/src/exact/hybrid.cpp" "src/CMakeFiles/ocd.dir/exact/hybrid.cpp.o" "gcc" "src/CMakeFiles/ocd.dir/exact/hybrid.cpp.o.d"
+  "/root/repo/src/exact/ip_builder.cpp" "src/CMakeFiles/ocd.dir/exact/ip_builder.cpp.o" "gcc" "src/CMakeFiles/ocd.dir/exact/ip_builder.cpp.o.d"
+  "/root/repo/src/exact/ip_solver.cpp" "src/CMakeFiles/ocd.dir/exact/ip_solver.cpp.o" "gcc" "src/CMakeFiles/ocd.dir/exact/ip_solver.cpp.o.d"
+  "/root/repo/src/graph/algorithms.cpp" "src/CMakeFiles/ocd.dir/graph/algorithms.cpp.o" "gcc" "src/CMakeFiles/ocd.dir/graph/algorithms.cpp.o.d"
+  "/root/repo/src/graph/digraph.cpp" "src/CMakeFiles/ocd.dir/graph/digraph.cpp.o" "gcc" "src/CMakeFiles/ocd.dir/graph/digraph.cpp.o.d"
+  "/root/repo/src/heuristics/architectures.cpp" "src/CMakeFiles/ocd.dir/heuristics/architectures.cpp.o" "gcc" "src/CMakeFiles/ocd.dir/heuristics/architectures.cpp.o.d"
+  "/root/repo/src/heuristics/bandwidth_saver.cpp" "src/CMakeFiles/ocd.dir/heuristics/bandwidth_saver.cpp.o" "gcc" "src/CMakeFiles/ocd.dir/heuristics/bandwidth_saver.cpp.o.d"
+  "/root/repo/src/heuristics/factory.cpp" "src/CMakeFiles/ocd.dir/heuristics/factory.cpp.o" "gcc" "src/CMakeFiles/ocd.dir/heuristics/factory.cpp.o.d"
+  "/root/repo/src/heuristics/global_greedy.cpp" "src/CMakeFiles/ocd.dir/heuristics/global_greedy.cpp.o" "gcc" "src/CMakeFiles/ocd.dir/heuristics/global_greedy.cpp.o.d"
+  "/root/repo/src/heuristics/random_useful.cpp" "src/CMakeFiles/ocd.dir/heuristics/random_useful.cpp.o" "gcc" "src/CMakeFiles/ocd.dir/heuristics/random_useful.cpp.o.d"
+  "/root/repo/src/heuristics/rarest_random.cpp" "src/CMakeFiles/ocd.dir/heuristics/rarest_random.cpp.o" "gcc" "src/CMakeFiles/ocd.dir/heuristics/rarest_random.cpp.o.d"
+  "/root/repo/src/heuristics/round_robin.cpp" "src/CMakeFiles/ocd.dir/heuristics/round_robin.cpp.o" "gcc" "src/CMakeFiles/ocd.dir/heuristics/round_robin.cpp.o.d"
+  "/root/repo/src/lp/mip.cpp" "src/CMakeFiles/ocd.dir/lp/mip.cpp.o" "gcc" "src/CMakeFiles/ocd.dir/lp/mip.cpp.o.d"
+  "/root/repo/src/lp/model.cpp" "src/CMakeFiles/ocd.dir/lp/model.cpp.o" "gcc" "src/CMakeFiles/ocd.dir/lp/model.cpp.o.d"
+  "/root/repo/src/lp/simplex.cpp" "src/CMakeFiles/ocd.dir/lp/simplex.cpp.o" "gcc" "src/CMakeFiles/ocd.dir/lp/simplex.cpp.o.d"
+  "/root/repo/src/reduction/dominating_set.cpp" "src/CMakeFiles/ocd.dir/reduction/dominating_set.cpp.o" "gcc" "src/CMakeFiles/ocd.dir/reduction/dominating_set.cpp.o.d"
+  "/root/repo/src/reduction/ds_reduction.cpp" "src/CMakeFiles/ocd.dir/reduction/ds_reduction.cpp.o" "gcc" "src/CMakeFiles/ocd.dir/reduction/ds_reduction.cpp.o.d"
+  "/root/repo/src/sim/gossip.cpp" "src/CMakeFiles/ocd.dir/sim/gossip.cpp.o" "gcc" "src/CMakeFiles/ocd.dir/sim/gossip.cpp.o.d"
+  "/root/repo/src/sim/group_adapter.cpp" "src/CMakeFiles/ocd.dir/sim/group_adapter.cpp.o" "gcc" "src/CMakeFiles/ocd.dir/sim/group_adapter.cpp.o.d"
+  "/root/repo/src/sim/knowledge.cpp" "src/CMakeFiles/ocd.dir/sim/knowledge.cpp.o" "gcc" "src/CMakeFiles/ocd.dir/sim/knowledge.cpp.o.d"
+  "/root/repo/src/sim/overhead.cpp" "src/CMakeFiles/ocd.dir/sim/overhead.cpp.o" "gcc" "src/CMakeFiles/ocd.dir/sim/overhead.cpp.o.d"
+  "/root/repo/src/sim/policy.cpp" "src/CMakeFiles/ocd.dir/sim/policy.cpp.o" "gcc" "src/CMakeFiles/ocd.dir/sim/policy.cpp.o.d"
+  "/root/repo/src/sim/scripted.cpp" "src/CMakeFiles/ocd.dir/sim/scripted.cpp.o" "gcc" "src/CMakeFiles/ocd.dir/sim/scripted.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/CMakeFiles/ocd.dir/sim/simulator.cpp.o" "gcc" "src/CMakeFiles/ocd.dir/sim/simulator.cpp.o.d"
+  "/root/repo/src/sim/stats.cpp" "src/CMakeFiles/ocd.dir/sim/stats.cpp.o" "gcc" "src/CMakeFiles/ocd.dir/sim/stats.cpp.o.d"
+  "/root/repo/src/sim/views.cpp" "src/CMakeFiles/ocd.dir/sim/views.cpp.o" "gcc" "src/CMakeFiles/ocd.dir/sim/views.cpp.o.d"
+  "/root/repo/src/topology/physical.cpp" "src/CMakeFiles/ocd.dir/topology/physical.cpp.o" "gcc" "src/CMakeFiles/ocd.dir/topology/physical.cpp.o.d"
+  "/root/repo/src/topology/random_graph.cpp" "src/CMakeFiles/ocd.dir/topology/random_graph.cpp.o" "gcc" "src/CMakeFiles/ocd.dir/topology/random_graph.cpp.o.d"
+  "/root/repo/src/topology/transit_stub.cpp" "src/CMakeFiles/ocd.dir/topology/transit_stub.cpp.o" "gcc" "src/CMakeFiles/ocd.dir/topology/transit_stub.cpp.o.d"
+  "/root/repo/src/util/error.cpp" "src/CMakeFiles/ocd.dir/util/error.cpp.o" "gcc" "src/CMakeFiles/ocd.dir/util/error.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "src/CMakeFiles/ocd.dir/util/rng.cpp.o" "gcc" "src/CMakeFiles/ocd.dir/util/rng.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "src/CMakeFiles/ocd.dir/util/table.cpp.o" "gcc" "src/CMakeFiles/ocd.dir/util/table.cpp.o.d"
+  "/root/repo/src/util/token_set.cpp" "src/CMakeFiles/ocd.dir/util/token_set.cpp.o" "gcc" "src/CMakeFiles/ocd.dir/util/token_set.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,72 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/coding/coding_test.cpp" "tests/CMakeFiles/ocd_tests.dir/coding/coding_test.cpp.o" "gcc" "tests/CMakeFiles/ocd_tests.dir/coding/coding_test.cpp.o.d"
+  "/root/repo/tests/core/bounds_test.cpp" "tests/CMakeFiles/ocd_tests.dir/core/bounds_test.cpp.o" "gcc" "tests/CMakeFiles/ocd_tests.dir/core/bounds_test.cpp.o.d"
+  "/root/repo/tests/core/compact_test.cpp" "tests/CMakeFiles/ocd_tests.dir/core/compact_test.cpp.o" "gcc" "tests/CMakeFiles/ocd_tests.dir/core/compact_test.cpp.o.d"
+  "/root/repo/tests/core/encoding_test.cpp" "tests/CMakeFiles/ocd_tests.dir/core/encoding_test.cpp.o" "gcc" "tests/CMakeFiles/ocd_tests.dir/core/encoding_test.cpp.o.d"
+  "/root/repo/tests/core/export_test.cpp" "tests/CMakeFiles/ocd_tests.dir/core/export_test.cpp.o" "gcc" "tests/CMakeFiles/ocd_tests.dir/core/export_test.cpp.o.d"
+  "/root/repo/tests/core/instance_test.cpp" "tests/CMakeFiles/ocd_tests.dir/core/instance_test.cpp.o" "gcc" "tests/CMakeFiles/ocd_tests.dir/core/instance_test.cpp.o.d"
+  "/root/repo/tests/core/io_fuzz_test.cpp" "tests/CMakeFiles/ocd_tests.dir/core/io_fuzz_test.cpp.o" "gcc" "tests/CMakeFiles/ocd_tests.dir/core/io_fuzz_test.cpp.o.d"
+  "/root/repo/tests/core/io_test.cpp" "tests/CMakeFiles/ocd_tests.dir/core/io_test.cpp.o" "gcc" "tests/CMakeFiles/ocd_tests.dir/core/io_test.cpp.o.d"
+  "/root/repo/tests/core/prune_test.cpp" "tests/CMakeFiles/ocd_tests.dir/core/prune_test.cpp.o" "gcc" "tests/CMakeFiles/ocd_tests.dir/core/prune_test.cpp.o.d"
+  "/root/repo/tests/core/scenario_test.cpp" "tests/CMakeFiles/ocd_tests.dir/core/scenario_test.cpp.o" "gcc" "tests/CMakeFiles/ocd_tests.dir/core/scenario_test.cpp.o.d"
+  "/root/repo/tests/core/schedule_test.cpp" "tests/CMakeFiles/ocd_tests.dir/core/schedule_test.cpp.o" "gcc" "tests/CMakeFiles/ocd_tests.dir/core/schedule_test.cpp.o.d"
+  "/root/repo/tests/core/steiner_test.cpp" "tests/CMakeFiles/ocd_tests.dir/core/steiner_test.cpp.o" "gcc" "tests/CMakeFiles/ocd_tests.dir/core/steiner_test.cpp.o.d"
+  "/root/repo/tests/core/validate_test.cpp" "tests/CMakeFiles/ocd_tests.dir/core/validate_test.cpp.o" "gcc" "tests/CMakeFiles/ocd_tests.dir/core/validate_test.cpp.o.d"
+  "/root/repo/tests/dynamics/dynamics_test.cpp" "tests/CMakeFiles/ocd_tests.dir/dynamics/dynamics_test.cpp.o" "gcc" "tests/CMakeFiles/ocd_tests.dir/dynamics/dynamics_test.cpp.o.d"
+  "/root/repo/tests/dynamics/sessions_test.cpp" "tests/CMakeFiles/ocd_tests.dir/dynamics/sessions_test.cpp.o" "gcc" "tests/CMakeFiles/ocd_tests.dir/dynamics/sessions_test.cpp.o.d"
+  "/root/repo/tests/exact/bnb_test.cpp" "tests/CMakeFiles/ocd_tests.dir/exact/bnb_test.cpp.o" "gcc" "tests/CMakeFiles/ocd_tests.dir/exact/bnb_test.cpp.o.d"
+  "/root/repo/tests/exact/hybrid_test.cpp" "tests/CMakeFiles/ocd_tests.dir/exact/hybrid_test.cpp.o" "gcc" "tests/CMakeFiles/ocd_tests.dir/exact/hybrid_test.cpp.o.d"
+  "/root/repo/tests/exact/ip_test.cpp" "tests/CMakeFiles/ocd_tests.dir/exact/ip_test.cpp.o" "gcc" "tests/CMakeFiles/ocd_tests.dir/exact/ip_test.cpp.o.d"
+  "/root/repo/tests/graph/algorithms_test.cpp" "tests/CMakeFiles/ocd_tests.dir/graph/algorithms_test.cpp.o" "gcc" "tests/CMakeFiles/ocd_tests.dir/graph/algorithms_test.cpp.o.d"
+  "/root/repo/tests/graph/digraph_test.cpp" "tests/CMakeFiles/ocd_tests.dir/graph/digraph_test.cpp.o" "gcc" "tests/CMakeFiles/ocd_tests.dir/graph/digraph_test.cpp.o.d"
+  "/root/repo/tests/heuristics/architectures_test.cpp" "tests/CMakeFiles/ocd_tests.dir/heuristics/architectures_test.cpp.o" "gcc" "tests/CMakeFiles/ocd_tests.dir/heuristics/architectures_test.cpp.o.d"
+  "/root/repo/tests/heuristics/asymmetric_test.cpp" "tests/CMakeFiles/ocd_tests.dir/heuristics/asymmetric_test.cpp.o" "gcc" "tests/CMakeFiles/ocd_tests.dir/heuristics/asymmetric_test.cpp.o.d"
+  "/root/repo/tests/heuristics/bandwidth_test.cpp" "tests/CMakeFiles/ocd_tests.dir/heuristics/bandwidth_test.cpp.o" "gcc" "tests/CMakeFiles/ocd_tests.dir/heuristics/bandwidth_test.cpp.o.d"
+  "/root/repo/tests/heuristics/global_test.cpp" "tests/CMakeFiles/ocd_tests.dir/heuristics/global_test.cpp.o" "gcc" "tests/CMakeFiles/ocd_tests.dir/heuristics/global_test.cpp.o.d"
+  "/root/repo/tests/heuristics/policies_test.cpp" "tests/CMakeFiles/ocd_tests.dir/heuristics/policies_test.cpp.o" "gcc" "tests/CMakeFiles/ocd_tests.dir/heuristics/policies_test.cpp.o.d"
+  "/root/repo/tests/heuristics/random_test.cpp" "tests/CMakeFiles/ocd_tests.dir/heuristics/random_test.cpp.o" "gcc" "tests/CMakeFiles/ocd_tests.dir/heuristics/random_test.cpp.o.d"
+  "/root/repo/tests/heuristics/rarest_random_test.cpp" "tests/CMakeFiles/ocd_tests.dir/heuristics/rarest_random_test.cpp.o" "gcc" "tests/CMakeFiles/ocd_tests.dir/heuristics/rarest_random_test.cpp.o.d"
+  "/root/repo/tests/heuristics/round_robin_test.cpp" "tests/CMakeFiles/ocd_tests.dir/heuristics/round_robin_test.cpp.o" "gcc" "tests/CMakeFiles/ocd_tests.dir/heuristics/round_robin_test.cpp.o.d"
+  "/root/repo/tests/integration/competitive_test.cpp" "tests/CMakeFiles/ocd_tests.dir/integration/competitive_test.cpp.o" "gcc" "tests/CMakeFiles/ocd_tests.dir/integration/competitive_test.cpp.o.d"
+  "/root/repo/tests/integration/end_to_end_test.cpp" "tests/CMakeFiles/ocd_tests.dir/integration/end_to_end_test.cpp.o" "gcc" "tests/CMakeFiles/ocd_tests.dir/integration/end_to_end_test.cpp.o.d"
+  "/root/repo/tests/integration/mutation_test.cpp" "tests/CMakeFiles/ocd_tests.dir/integration/mutation_test.cpp.o" "gcc" "tests/CMakeFiles/ocd_tests.dir/integration/mutation_test.cpp.o.d"
+  "/root/repo/tests/integration/stress_test.cpp" "tests/CMakeFiles/ocd_tests.dir/integration/stress_test.cpp.o" "gcc" "tests/CMakeFiles/ocd_tests.dir/integration/stress_test.cpp.o.d"
+  "/root/repo/tests/integration/theorems_test.cpp" "tests/CMakeFiles/ocd_tests.dir/integration/theorems_test.cpp.o" "gcc" "tests/CMakeFiles/ocd_tests.dir/integration/theorems_test.cpp.o.d"
+  "/root/repo/tests/lp/mip_test.cpp" "tests/CMakeFiles/ocd_tests.dir/lp/mip_test.cpp.o" "gcc" "tests/CMakeFiles/ocd_tests.dir/lp/mip_test.cpp.o.d"
+  "/root/repo/tests/lp/model_test.cpp" "tests/CMakeFiles/ocd_tests.dir/lp/model_test.cpp.o" "gcc" "tests/CMakeFiles/ocd_tests.dir/lp/model_test.cpp.o.d"
+  "/root/repo/tests/lp/simplex_reference_test.cpp" "tests/CMakeFiles/ocd_tests.dir/lp/simplex_reference_test.cpp.o" "gcc" "tests/CMakeFiles/ocd_tests.dir/lp/simplex_reference_test.cpp.o.d"
+  "/root/repo/tests/lp/simplex_test.cpp" "tests/CMakeFiles/ocd_tests.dir/lp/simplex_test.cpp.o" "gcc" "tests/CMakeFiles/ocd_tests.dir/lp/simplex_test.cpp.o.d"
+  "/root/repo/tests/reduction/dominating_set_test.cpp" "tests/CMakeFiles/ocd_tests.dir/reduction/dominating_set_test.cpp.o" "gcc" "tests/CMakeFiles/ocd_tests.dir/reduction/dominating_set_test.cpp.o.d"
+  "/root/repo/tests/reduction/reduction_test.cpp" "tests/CMakeFiles/ocd_tests.dir/reduction/reduction_test.cpp.o" "gcc" "tests/CMakeFiles/ocd_tests.dir/reduction/reduction_test.cpp.o.d"
+  "/root/repo/tests/sim/gossip_test.cpp" "tests/CMakeFiles/ocd_tests.dir/sim/gossip_test.cpp.o" "gcc" "tests/CMakeFiles/ocd_tests.dir/sim/gossip_test.cpp.o.d"
+  "/root/repo/tests/sim/knowledge_test.cpp" "tests/CMakeFiles/ocd_tests.dir/sim/knowledge_test.cpp.o" "gcc" "tests/CMakeFiles/ocd_tests.dir/sim/knowledge_test.cpp.o.d"
+  "/root/repo/tests/sim/overhead_test.cpp" "tests/CMakeFiles/ocd_tests.dir/sim/overhead_test.cpp.o" "gcc" "tests/CMakeFiles/ocd_tests.dir/sim/overhead_test.cpp.o.d"
+  "/root/repo/tests/sim/scripted_test.cpp" "tests/CMakeFiles/ocd_tests.dir/sim/scripted_test.cpp.o" "gcc" "tests/CMakeFiles/ocd_tests.dir/sim/scripted_test.cpp.o.d"
+  "/root/repo/tests/sim/simulator_test.cpp" "tests/CMakeFiles/ocd_tests.dir/sim/simulator_test.cpp.o" "gcc" "tests/CMakeFiles/ocd_tests.dir/sim/simulator_test.cpp.o.d"
+  "/root/repo/tests/sim/stats_test.cpp" "tests/CMakeFiles/ocd_tests.dir/sim/stats_test.cpp.o" "gcc" "tests/CMakeFiles/ocd_tests.dir/sim/stats_test.cpp.o.d"
+  "/root/repo/tests/topology/physical_test.cpp" "tests/CMakeFiles/ocd_tests.dir/topology/physical_test.cpp.o" "gcc" "tests/CMakeFiles/ocd_tests.dir/topology/physical_test.cpp.o.d"
+  "/root/repo/tests/topology/random_graph_test.cpp" "tests/CMakeFiles/ocd_tests.dir/topology/random_graph_test.cpp.o" "gcc" "tests/CMakeFiles/ocd_tests.dir/topology/random_graph_test.cpp.o.d"
+  "/root/repo/tests/topology/transit_stub_test.cpp" "tests/CMakeFiles/ocd_tests.dir/topology/transit_stub_test.cpp.o" "gcc" "tests/CMakeFiles/ocd_tests.dir/topology/transit_stub_test.cpp.o.d"
+  "/root/repo/tests/util/error_test.cpp" "tests/CMakeFiles/ocd_tests.dir/util/error_test.cpp.o" "gcc" "tests/CMakeFiles/ocd_tests.dir/util/error_test.cpp.o.d"
+  "/root/repo/tests/util/rng_test.cpp" "tests/CMakeFiles/ocd_tests.dir/util/rng_test.cpp.o" "gcc" "tests/CMakeFiles/ocd_tests.dir/util/rng_test.cpp.o.d"
+  "/root/repo/tests/util/table_test.cpp" "tests/CMakeFiles/ocd_tests.dir/util/table_test.cpp.o" "gcc" "tests/CMakeFiles/ocd_tests.dir/util/table_test.cpp.o.d"
+  "/root/repo/tests/util/token_set_fuzz_test.cpp" "tests/CMakeFiles/ocd_tests.dir/util/token_set_fuzz_test.cpp.o" "gcc" "tests/CMakeFiles/ocd_tests.dir/util/token_set_fuzz_test.cpp.o.d"
+  "/root/repo/tests/util/token_set_test.cpp" "tests/CMakeFiles/ocd_tests.dir/util/token_set_test.cpp.o" "gcc" "tests/CMakeFiles/ocd_tests.dir/util/token_set_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ocd.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
