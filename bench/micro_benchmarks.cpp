@@ -145,6 +145,45 @@ BENCHMARK_CAPTURE(BM_PolicyFullRun, local, "local");
 BENCHMARK_CAPTURE(BM_PolicyFullRun, bandwidth, "bandwidth");
 BENCHMARK_CAPTURE(BM_PolicyFullRun, global, "global");
 
+// Simulator hot-loop throughput (steps/sec) on a large random instance.
+// The policy runs a bounded window of steps per iteration so the figure
+// isolates per-step cost rather than time-to-completion.  The ISSUE-1
+// target: >= 3x steps/sec on 1000 vertices x 512 tokens with a
+// local-only policy versus the seed implementation.
+void BM_SimulatorStepsPerSec(benchmark::State& state, const char* name,
+                             std::int32_t staleness) {
+  const auto n = static_cast<std::int32_t>(state.range(0));
+  const auto tokens = static_cast<std::int32_t>(state.range(1));
+  Rng rng(29);
+  Digraph g = topology::random_overlay(n, rng);
+  const auto inst = core::single_source_all_receivers(std::move(g), tokens, 0);
+  auto policy = heuristics::make_policy(name);
+  sim::SimOptions options;
+  options.seed = 7;
+  options.record_schedule = false;
+  options.staleness = staleness;
+  options.max_steps = 24;  // bounded window: measures steps, not runs
+  std::int64_t steps = 0;
+  for (auto _ : state) {
+    const auto result = sim::run(inst, *policy, options);
+    steps += result.steps;
+    benchmark::DoNotOptimize(result.bandwidth);
+  }
+  state.SetItemsProcessed(steps);  // items/sec == simulated steps/sec
+}
+BENCHMARK_CAPTURE(BM_SimulatorStepsPerSec, round_robin, "round-robin", 0)
+    ->Args({200, 128})
+    ->Args({1000, 512})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_SimulatorStepsPerSec, local, "local", 0)
+    ->Args({200, 128})
+    ->Args({1000, 512})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_SimulatorStepsPerSec, random_stale4, "random", 4)
+    ->Args({200, 128})
+    ->Args({1000, 512})
+    ->Unit(benchmark::kMillisecond);
+
 void BM_ValidateAndPrune(benchmark::State& state) {
   Rng rng(13);
   Digraph g = topology::random_overlay(60, rng);

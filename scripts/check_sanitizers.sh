@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Build the full tree with AddressSanitizer + UndefinedBehaviorSanitizer
+# (the `asan-ubsan` CMake preset) and run the tier-1 test suite under it.
+# Any sanitizer report fails the run.
+#
+#   scripts/check_sanitizers.sh             # configure + build + ctest
+#   OCD_SAN_FILTER='Simulator*' scripts/check_sanitizers.sh  # subset
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake --preset asan-ubsan
+cmake --build --preset asan-ubsan -j "$(nproc)"
+
+export ASAN_OPTIONS="detect_leaks=1:strict_string_checks=1"
+export UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1"
+
+ctest_args=(--preset asan-ubsan -j "$(nproc)")
+if [[ -n "${OCD_SAN_FILTER:-}" ]]; then
+  ctest_args+=(-R "${OCD_SAN_FILTER}")
+fi
+ctest "${ctest_args[@]}"
+
+echo "Sanitizer run clean."

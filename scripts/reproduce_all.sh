@@ -4,11 +4,16 @@
 #
 #   scripts/reproduce_all.sh            # quick mode (seconds per bench)
 #   OCD_FULL=1 scripts/reproduce_all.sh # the paper's full parameter sweep
+#   OCD_SANITIZE=1 scripts/reproduce_all.sh # also run tests under ASan+UBSan
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cmake -B build -G Ninja
 cmake --build build
+
+if [[ -n "${OCD_SANITIZE:-}" ]]; then
+  scripts/check_sanitizers.sh
+fi
 
 mkdir -p results
 ctest --test-dir build --output-on-failure 2>&1 | tee results/tests.txt

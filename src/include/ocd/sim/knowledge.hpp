@@ -19,14 +19,22 @@
 
 namespace ocd::sim {
 
-/// Per-token aggregates over the whole system, recomputed at the start
-/// of each timestep from the step-initial possession.
+/// Per-token aggregates over the whole system.  The simulator
+/// materializes them only for policies whose knowledge class is
+/// kLocalAggregate or above, and keeps them consistent incrementally
+/// via apply_delivery instead of an O(n·|T|) per-step recompute.
 struct Aggregates {
   /// holders[t]: vertices currently possessing t (the Local heuristic's
   /// rarity signal — smaller is rarer).
   std::vector<std::int32_t> holders;
   /// need[t]: vertices that want t and do not yet have it.
   std::vector<std::int32_t> need;
+
+  /// Incremental update for one delivery: `fresh` are the tokens a
+  /// vertex just gained (none of which it previously held) and `want`
+  /// is that vertex's want set.  Equivalent to a full recompute on the
+  /// post-delivery possession.
+  void apply_delivery(const TokenSet& fresh, const TokenSet& want);
 };
 
 Aggregates compute_aggregates(const core::Instance& instance,
@@ -35,20 +43,35 @@ Aggregates compute_aggregates(const core::Instance& instance,
 /// Ring buffer of possession snapshots providing `staleness`-steps-old
 /// peer views.  With staleness 0 the freshest snapshot is returned
 /// (peers' state at the start of the current turn).
+///
+/// Zero-staleness runs can avoid the per-step full-universe copy
+/// entirely: after alias_live(live), push() is a no-op and stale_view()
+/// aliases `live` directly — valid because the freshest snapshot IS the
+/// start-of-step state, and the simulator only mutates `live` after
+/// planning finishes.
 class SnapshotBuffer {
  public:
   explicit SnapshotBuffer(std::int32_t staleness);
 
-  /// Installs the possession at the start of a new timestep.
+  /// Binds the buffer to the simulator's live possession vector instead
+  /// of copying it each step.  Requires staleness() == 0; `live` must
+  /// outlive the buffer and keep its address stable.
+  void alias_live(const std::vector<TokenSet>& live);
+
+  /// Installs the possession at the start of a new timestep.  A no-op
+  /// in aliased mode; otherwise copies, recycling the storage of the
+  /// expiring snapshot rather than reallocating.
   void push(const std::vector<TokenSet>& possession);
 
   /// The snapshot policies may consult this step.
   [[nodiscard]] const std::vector<TokenSet>& stale_view() const;
 
   [[nodiscard]] std::int32_t staleness() const noexcept { return staleness_; }
+  [[nodiscard]] bool aliased() const noexcept { return live_ != nullptr; }
 
  private:
   std::int32_t staleness_;
+  const std::vector<TokenSet>* live_ = nullptr;
   std::deque<std::vector<TokenSet>> snapshots_;
 };
 

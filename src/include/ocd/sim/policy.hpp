@@ -44,6 +44,10 @@ class StepPlan {
   const Digraph& graph_;
   std::span<const std::int32_t> effective_capacity_;
   core::Timestep step_;
+  /// arc -> index into step_.sends(), -1 when absent.  Keeps send() and
+  /// remaining_capacity() O(1) instead of scanning the send list — the
+  /// scan is quadratic for policies that touch every arc each step.
+  std::vector<std::int32_t> arc_slot_;
   bool idle_ = false;
 };
 

@@ -1,14 +1,31 @@
 // The synchronous round simulator implementing the model of §3.1.
 //
-// Each timestep: build the knowledge views, let the policy plan, verify
-// the plan against capacity and possession (a buggy policy throws), and
-// apply all sends simultaneously.  Runs terminate when every want is
-// satisfied, when `max_steps` elapses, or when a step produces no moves
-// while wants remain outstanding (a stalled policy).
+// Each timestep: build the knowledge views, let the policy plan,
+// validate the whole plan against capacity and possession (a buggy
+// policy throws), and apply all sends simultaneously.  Runs terminate
+// when every want is satisfied, when `max_steps` elapses, or when a
+// step produces no moves while wants remain outstanding (a stalled
+// policy).
+//
+// The hot loop does work proportional to what changed and what the
+// policy can observe, not O(n·|T|) per step:
+//  * validate-then-apply delivery — every send is checked against the
+//    start-of-step possession first, then recipients are mutated in
+//    place (no per-step deep copy of the possession vector);
+//  * per-arc capacity is enforced on the aggregate of all sends
+//    sharing an arc, not per ArcSend;
+//  * satisfaction is tracked with an unsatisfied-vertex counter updated
+//    on delivery instead of a full rescan;
+//  * aggregate vectors are materialized only for kLocalAggregate+
+//    policies and maintained incrementally on delivery;
+//  * zero-staleness snapshot views alias the live possession vector.
+// On every exit path, `stats.moves_per_step.size() == steps` holds.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <span>
+#include <string_view>
 
 #include "ocd/core/instance.hpp"
 #include "ocd/core/schedule.hpp"
@@ -62,5 +79,19 @@ struct RunResult {
 /// Runs `policy` on `instance` until completion or budget exhaustion.
 RunResult run(const core::Instance& instance, Policy& policy,
               const SimOptions& options = {});
+
+/// Validates one timestep against the start-of-step `possession` and
+/// the per-arc `effective_capacity`, throwing ocd::Error on a capacity
+/// or possession violation.  Capacity is checked on the aggregate load
+/// per arc, so multiple sends sharing an arc cannot jointly exceed
+/// c(u,v) even if each fits individually.  `arc_load` is caller-owned
+/// scratch of size num_arcs that must be all-zero on entry; it is
+/// restored to all-zero before returning or throwing.
+void validate_sends(const core::Instance& instance,
+                    const core::Timestep& timestep,
+                    std::span<const std::int32_t> effective_capacity,
+                    const std::vector<TokenSet>& possession,
+                    std::span<std::int32_t> arc_load,
+                    std::string_view policy_name, std::int64_t step);
 
 }  // namespace ocd::sim

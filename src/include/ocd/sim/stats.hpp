@@ -28,6 +28,12 @@ struct RunStats {
   [[nodiscard]] std::int64_t total_moves() const noexcept {
     return useful_moves + redundant_moves;
   }
+
+  /// True when the per-step series matches a run of `steps` timesteps
+  /// and the per-step moves sum to the useful/redundant totals.  The
+  /// simulator enforces this on every exit path (including stalls and
+  /// max_steps exhaustion).
+  [[nodiscard]] bool consistent_with_steps(std::int64_t steps) const noexcept;
   /// Mean completion step over vertices with nonempty wants.
   [[nodiscard]] double mean_completion() const;
 

@@ -32,10 +32,13 @@ const char* to_string(KnowledgeClass k);
 /// Read-only window onto the simulation at the start of one timestep.
 class StepView {
  public:
+  /// `aggregates` may be null for policies below kLocalAggregate — the
+  /// simulator materializes aggregate vectors lazily, only when the
+  /// declared knowledge class can observe them.
   StepView(const core::Instance& instance,
            const std::vector<TokenSet>& possession,
            const std::vector<TokenSet>& stale_possession,
-           const Aggregates& aggregates,
+           const Aggregates* aggregates,
            const std::vector<std::vector<std::int32_t>>* distances,
            KnowledgeClass granted, std::int64_t step,
            std::span<const std::int32_t> effective_capacity = {});
@@ -82,7 +85,7 @@ class StepView {
   const core::Instance& instance_;
   const std::vector<TokenSet>& possession_;
   const std::vector<TokenSet>& stale_possession_;
-  const Aggregates& aggregates_;
+  const Aggregates* aggregates_;
   const std::vector<std::vector<std::int32_t>>* distances_;
   KnowledgeClass granted_;
   std::int64_t step_;

@@ -20,19 +20,43 @@ Aggregates compute_aggregates(const core::Instance& inst,
   return agg;
 }
 
+void Aggregates::apply_delivery(const TokenSet& fresh, const TokenSet& want) {
+  fresh.for_each([&](TokenId t) {
+    const auto i = static_cast<std::size_t>(t);
+    ++holders[i];
+    if (want.test(t)) --need[i];
+  });
+}
+
 SnapshotBuffer::SnapshotBuffer(std::int32_t staleness)
     : staleness_(staleness) {
   OCD_EXPECTS(staleness >= 0);
 }
 
+void SnapshotBuffer::alias_live(const std::vector<TokenSet>& live) {
+  OCD_EXPECTS(staleness_ == 0);
+  OCD_EXPECTS(snapshots_.empty());
+  live_ = &live;
+}
+
 void SnapshotBuffer::push(const std::vector<TokenSet>& possession) {
-  snapshots_.push_back(possession);
+  if (live_ != nullptr) {
+    OCD_EXPECTS(&possession == live_);
+    return;  // the live vector is the freshest snapshot already
+  }
   // Keep staleness_+1 entries: front is the stale view, back the newest.
-  while (snapshots_.size() > static_cast<std::size_t>(staleness_) + 1)
+  if (snapshots_.size() > static_cast<std::size_t>(staleness_)) {
+    std::vector<TokenSet> recycled = std::move(snapshots_.front());
     snapshots_.pop_front();
+    recycled = possession;  // element-wise copy reuses the bitset storage
+    snapshots_.push_back(std::move(recycled));
+  } else {
+    snapshots_.push_back(possession);
+  }
 }
 
 const std::vector<TokenSet>& SnapshotBuffer::stale_view() const {
+  if (live_ != nullptr) return *live_;
   OCD_EXPECTS(!snapshots_.empty());
   return snapshots_.front();
 }

@@ -2,23 +2,41 @@
 
 namespace ocd::sim {
 
-StepPlan::StepPlan(const Digraph& graph) : graph_(graph) {}
+StepPlan::StepPlan(const Digraph& graph)
+    : graph_(graph), arc_slot_(static_cast<std::size_t>(graph.num_arcs()), -1) {}
 
 StepPlan::StepPlan(const Digraph& graph,
                    std::span<const std::int32_t> effective_capacity)
-    : graph_(graph), effective_capacity_(effective_capacity) {
+    : graph_(graph),
+      effective_capacity_(effective_capacity),
+      arc_slot_(static_cast<std::size_t>(graph.num_arcs()), -1) {
   OCD_EXPECTS(effective_capacity.size() ==
               static_cast<std::size_t>(graph.num_arcs()));
 }
 
 void StepPlan::send(ArcId arc, const TokenSet& tokens) {
   OCD_EXPECTS(arc >= 0 && arc < graph_.num_arcs());
-  step_.add(arc, tokens);
+  if (tokens.empty()) return;
+  std::int32_t& slot = arc_slot_[static_cast<std::size_t>(arc)];
+  if (slot >= 0) {
+    step_.sends()[static_cast<std::size_t>(slot)].tokens |= tokens;
+    return;
+  }
+  slot = static_cast<std::int32_t>(step_.sends().size());
+  step_.sends().push_back(core::ArcSend{arc, tokens});
 }
 
 void StepPlan::send(ArcId arc, TokenId token, std::size_t universe) {
   OCD_EXPECTS(arc >= 0 && arc < graph_.num_arcs());
-  step_.add(arc, token, universe);
+  std::int32_t& slot = arc_slot_[static_cast<std::size_t>(arc)];
+  if (slot >= 0) {
+    step_.sends()[static_cast<std::size_t>(slot)].tokens.set(token);
+    return;
+  }
+  slot = static_cast<std::int32_t>(step_.sends().size());
+  TokenSet s(universe);
+  s.set(token);
+  step_.sends().push_back(core::ArcSend{arc, std::move(s)});
 }
 
 std::int32_t StepPlan::remaining_capacity(ArcId arc) const {
@@ -27,11 +45,11 @@ std::int32_t StepPlan::remaining_capacity(ArcId arc) const {
       effective_capacity_.empty()
           ? graph_.arc(arc).capacity
           : effective_capacity_[static_cast<std::size_t>(arc)];
-  for (const core::ArcSend& send : step_.sends()) {
-    if (send.arc == arc)
-      return capacity - static_cast<std::int32_t>(send.tokens.count());
-  }
-  return capacity;
+  const std::int32_t slot = arc_slot_[static_cast<std::size_t>(arc)];
+  if (slot < 0) return capacity;
+  return capacity - static_cast<std::int32_t>(
+                        step_.sends()[static_cast<std::size_t>(slot)]
+                            .tokens.count());
 }
 
 void Policy::reset(const core::Instance&, std::uint64_t) {}

@@ -18,17 +18,35 @@ bool vertex_satisfied(const core::Instance& inst, const SimOptions& options,
   return inst.want(v).is_subset_of(possession);
 }
 
-bool all_satisfied(const core::Instance& inst, const SimOptions& options,
-                   const std::vector<TokenSet>& possession) {
-  for (VertexId v = 0; v < inst.num_vertices(); ++v) {
-    if (!vertex_satisfied(inst, options, v,
-                          possession[static_cast<std::size_t>(v)]))
-      return false;
-  }
-  return true;
-}
-
 }  // namespace
+
+void validate_sends(const core::Instance& inst, const core::Timestep& timestep,
+                    std::span<const std::int32_t> effective_capacity,
+                    const std::vector<TokenSet>& possession,
+                    std::span<std::int32_t> arc_load,
+                    std::string_view policy_name, std::int64_t step) {
+  OCD_EXPECTS(arc_load.size() == effective_capacity.size());
+  const auto fail = [&](const Arc& arc, const char* what) {
+    for (const core::ArcSend& send : timestep.sends())
+      arc_load[static_cast<std::size_t>(send.arc)] = 0;
+    std::ostringstream msg;
+    msg << "policy '" << policy_name << "' " << what << " on arc (" << arc.from
+        << "," << arc.to << ") at step " << step;
+    throw Error(msg.str());
+  };
+  for (const core::ArcSend& send : timestep.sends()) {
+    const Arc& arc = inst.graph().arc(send.arc);
+    const auto index = static_cast<std::size_t>(send.arc);
+    arc_load[index] += static_cast<std::int32_t>(send.tokens.count());
+    if (arc_load[index] > effective_capacity[index])
+      fail(arc, "exceeded capacity");
+    if (!send.tokens.is_subset_of(
+            possession[static_cast<std::size_t>(arc.from)]))
+      fail(arc, "sent unpossessed tokens");
+  }
+  for (const core::ArcSend& send : timestep.sends())
+    arc_load[static_cast<std::size_t>(send.arc)] = 0;
+}
 
 RunResult run(const core::Instance& inst, Policy& policy,
               const SimOptions& options) {
@@ -43,10 +61,20 @@ RunResult run(const core::Instance& inst, Policy& policy,
 
   result.stats.sent_by_vertex.assign(n, 0);
   result.stats.completion_step.assign(n, -1);
+
+  // Satisfaction is tracked incrementally: one boolean per vertex plus
+  // an unsatisfied counter, updated only for vertices whose possession
+  // changed this step (the predicate is a pure function of possession).
+  std::vector<char> satisfied(n, 0);
+  std::int64_t unsatisfied = 0;
   for (VertexId v = 0; v < inst.num_vertices(); ++v) {
-    if (vertex_satisfied(inst, options, v,
-                         possession[static_cast<std::size_t>(v)]))
-      result.stats.completion_step[static_cast<std::size_t>(v)] = 0;
+    const auto i = static_cast<std::size_t>(v);
+    if (vertex_satisfied(inst, options, v, possession[i])) {
+      satisfied[i] = 1;
+      result.stats.completion_step[i] = 0;
+    } else {
+      ++unsatisfied;
+    }
   }
 
   const bool needs_distances =
@@ -57,7 +85,20 @@ RunResult run(const core::Instance& inst, Policy& policy,
 
   policy.reset(inst, options.seed);
   if (options.dynamics != nullptr) options.dynamics->reset(inst, options.seed);
+
   SnapshotBuffer snapshots(options.staleness);
+  if (options.staleness == 0 && !options.stale_aggregates)
+    snapshots.alias_live(possession);
+
+  // Aggregates are materialized only when the policy may observe them.
+  // The live variant is maintained incrementally on delivery; the
+  // stale_aggregates ablation recomputes from the k-stale snapshot.
+  const bool needs_aggregates =
+      static_cast<int>(policy.knowledge_class()) >=
+      static_cast<int>(KnowledgeClass::kLocalAggregate);
+  Aggregates aggregates;
+  if (needs_aggregates && !options.stale_aggregates)
+    aggregates = compute_aggregates(inst, possession);
 
   const auto num_arcs = static_cast<std::size_t>(inst.graph().num_arcs());
   std::vector<std::int32_t> static_capacity(num_arcs);
@@ -65,10 +106,16 @@ RunResult run(const core::Instance& inst, Policy& policy,
     static_capacity[static_cast<std::size_t>(a)] = inst.graph().arc(a).capacity;
   std::vector<std::int32_t> effective_capacity = static_capacity;
 
-  std::int64_t step = 0;
-  while (step < options.max_steps) {
-    if (all_satisfied(inst, options, possession)) break;
+  // Reusable per-step scratch, cleared between steps instead of
+  // reallocated inside the loop.
+  std::vector<std::int32_t> arc_load(num_arcs, 0);
+  TokenSet fresh(static_cast<std::size_t>(inst.num_tokens()));
+  std::vector<VertexId> touched;
+  std::vector<char> touched_flag(n, 0);
 
+  std::int64_t step = 0;
+  bool stalled = false;
+  while (step < options.max_steps && unsatisfied > 0) {
     if (options.dynamics != nullptr) {
       effective_capacity = static_capacity;
       options.dynamics->observe(step, inst, possession);
@@ -77,9 +124,10 @@ RunResult run(const core::Instance& inst, Policy& policy,
     }
 
     snapshots.push(possession);
-    const Aggregates aggregates = compute_aggregates(
-        inst, options.stale_aggregates ? snapshots.stale_view() : possession);
-    const StepView view(inst, possession, snapshots.stale_view(), aggregates,
+    if (needs_aggregates && options.stale_aggregates)
+      aggregates = compute_aggregates(inst, snapshots.stale_view());
+    const StepView view(inst, possession, snapshots.stale_view(),
+                        needs_aggregates ? &aggregates : nullptr,
                         needs_distances ? &distances : nullptr,
                         policy.knowledge_class(), step, effective_capacity);
     StepPlan plan(inst.graph(), effective_capacity);
@@ -88,74 +136,70 @@ RunResult run(const core::Instance& inst, Policy& policy,
     core::Timestep timestep = plan.take();
     timestep.compact();
 
-    if (timestep.empty() && !intentional_idle &&
-        options.dynamics == nullptr) {
+    if (timestep.empty() && !intentional_idle && options.dynamics == nullptr) {
       // Stalled policy: wants outstanding but nothing sent.  Under a
       // dynamics model an empty step can be the network's fault, so
       // the run continues (bounded by max_steps).
-      result.success = false;
-      result.steps = step;
-      result.stats.wall_seconds = timer.seconds();
-      result.bandwidth = result.stats.total_moves();
-      return result;
+      stalled = true;
+      break;
     }
 
-    // Verify and apply simultaneously-delivered sends.  `granted`
-    // tracks first deliveries within the step so that two arcs handing
-    // the same token to one vertex count as one useful + one redundant
-    // move.
+    // Validate every send against the start-of-step possession and the
+    // aggregate per-arc load, then apply in place: only recipients of
+    // fresh tokens are mutated.  Since possession only grows within a
+    // step, `send.tokens - possession[to]` at apply time equals the
+    // tokens not yet held at step start nor granted earlier this step,
+    // so the useful/redundant split matches simultaneous delivery.
+    validate_sends(inst, timestep, effective_capacity, possession, arc_load,
+                   policy.name(), step);
+
     std::int64_t step_moves = 0;
-    std::vector<TokenSet> next = possession;
-    std::vector<TokenSet> granted(
-        n, TokenSet(static_cast<std::size_t>(inst.num_tokens())));
     for (const core::ArcSend& send : timestep.sends()) {
       const Arc& arc = inst.graph().arc(send.arc);
       const auto count = static_cast<std::int64_t>(send.tokens.count());
-      if (count > effective_capacity[static_cast<std::size_t>(send.arc)]) {
-        std::ostringstream msg;
-        msg << "policy '" << policy.name() << "' exceeded capacity on arc ("
-            << arc.from << "," << arc.to << ") at step " << step;
-        throw Error(msg.str());
-      }
-      if (!send.tokens.is_subset_of(
-              possession[static_cast<std::size_t>(arc.from)])) {
-        std::ostringstream msg;
-        msg << "policy '" << policy.name()
-            << "' sent unpossessed tokens on arc (" << arc.from << ","
-            << arc.to << ") at step " << step;
-        throw Error(msg.str());
-      }
       step_moves += count;
       result.stats.sent_by_vertex[static_cast<std::size_t>(arc.from)] += count;
       const auto to = static_cast<std::size_t>(arc.to);
-      TokenSet fresh = send.tokens;
+      fresh = send.tokens;
       fresh -= possession[to];
-      fresh -= granted[to];
-      granted[to] |= fresh;
-      result.stats.useful_moves += static_cast<std::int64_t>(fresh.count());
-      result.stats.redundant_moves +=
-          count - static_cast<std::int64_t>(fresh.count());
-      next[to] |= send.tokens;
+      const auto fresh_count = static_cast<std::int64_t>(fresh.count());
+      result.stats.useful_moves += fresh_count;
+      result.stats.redundant_moves += count - fresh_count;
+      if (fresh_count == 0) continue;
+      possession[to] |= fresh;
+      if (needs_aggregates && !options.stale_aggregates)
+        aggregates.apply_delivery(fresh, inst.want(arc.to));
+      if (!touched_flag[to]) {
+        touched_flag[to] = 1;
+        touched.push_back(arc.to);
+      }
     }
-    possession = std::move(next);
     result.stats.moves_per_step.push_back(step_moves);
     if (options.record_schedule) result.schedule.append(std::move(timestep));
 
     ++step;
-    for (VertexId v = 0; v < inst.num_vertices(); ++v) {
-      auto& completion =
-          result.stats.completion_step[static_cast<std::size_t>(v)];
-      if (completion < 0 &&
-          vertex_satisfied(inst, options, v,
-                           possession[static_cast<std::size_t>(v)]))
-        completion = step;
+    for (VertexId v : touched) {
+      const auto i = static_cast<std::size_t>(v);
+      touched_flag[i] = 0;
+      const bool now = vertex_satisfied(inst, options, v, possession[i]);
+      if (now == static_cast<bool>(satisfied[i])) continue;
+      satisfied[i] = now ? 1 : 0;
+      if (now) {
+        --unsatisfied;
+        if (result.stats.completion_step[i] < 0)
+          result.stats.completion_step[i] = step;
+      } else {
+        ++unsatisfied;  // a non-monotone completion override regressed
+      }
     }
+    touched.clear();
   }
 
-  result.success = all_satisfied(inst, options, possession);
+  result.success = !stalled && unsatisfied == 0;
   result.steps = step;
   result.bandwidth = result.stats.total_moves();
   result.stats.wall_seconds = timer.seconds();
+  OCD_ENSURES(result.stats.consistent_with_steps(result.steps));
   return result;
 }
 

@@ -4,6 +4,15 @@
 
 namespace ocd::sim {
 
+bool RunStats::consistent_with_steps(std::int64_t steps) const noexcept {
+  if (steps < 0 ||
+      moves_per_step.size() != static_cast<std::size_t>(steps))
+    return false;
+  std::int64_t sum = 0;
+  for (std::int64_t moves : moves_per_step) sum += moves;
+  return sum == total_moves();
+}
+
 double RunStats::mean_completion() const {
   double total = 0.0;
   std::int64_t counted = 0;

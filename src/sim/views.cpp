@@ -19,7 +19,7 @@ const char* to_string(KnowledgeClass k) {
 StepView::StepView(const core::Instance& instance,
                    const std::vector<TokenSet>& possession,
                    const std::vector<TokenSet>& stale_possession,
-                   const Aggregates& aggregates,
+                   const Aggregates* aggregates,
                    const std::vector<std::vector<std::int32_t>>* distances,
                    KnowledgeClass granted, std::int64_t step,
                    std::span<const std::int32_t> effective_capacity)
@@ -66,12 +66,16 @@ const TokenSet& StepView::peer_possession(VertexId self,
 
 std::span<const std::int32_t> StepView::aggregate_holders() const {
   require(KnowledgeClass::kLocalAggregate);
-  return aggregates_.holders;
+  OCD_ASSERT_MSG(aggregates_ != nullptr,
+                 "aggregates were not materialized for this step");
+  return aggregates_->holders;
 }
 
 std::span<const std::int32_t> StepView::aggregate_need() const {
   require(KnowledgeClass::kLocalAggregate);
-  return aggregates_.need;
+  OCD_ASSERT_MSG(aggregates_ != nullptr,
+                 "aggregates were not materialized for this step");
+  return aggregates_->need;
 }
 
 const std::vector<TokenSet>& StepView::global_possession() const {

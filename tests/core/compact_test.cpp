@@ -118,6 +118,63 @@ TEST(Compact, EmptyScheduleStaysEmpty) {
   EXPECT_TRUE(compact_schedule(inst, Schedule{}).empty());
 }
 
+TEST(Compact, ZeroBandwidthScheduleCompactsToEmpty) {
+  // A schedule made purely of idle timesteps has bandwidth 0; the
+  // OCD_ENSURES postcondition admits it explicitly (length() can only
+  // shrink to 0, never "improve" on a moveless schedule).
+  const Instance inst = line_instance();
+  Schedule idle;
+  idle.append(Timestep{});
+  idle.append(Timestep{});
+  idle.append(Timestep{});
+  ASSERT_EQ(idle.bandwidth(), 0);
+  const Schedule tight = compact_schedule(inst, idle);
+  EXPECT_TRUE(tight.empty());
+  EXPECT_EQ(tight.bandwidth(), 0);
+}
+
+TEST(Compact, TrailingEmptyTimestepsAreTrimmed) {
+  // Trailing idle steps must be dropped by the trim() path while the
+  // carried moves land as early as possession allows.
+  const Instance inst = line_instance();
+  Schedule padded;
+  Timestep s1;
+  s1.add(0, TokenSet::of(2, {0, 1}));
+  padded.append(std::move(s1));
+  Timestep s2;
+  s2.add(1, TokenSet::of(2, {0, 1}));
+  padded.append(std::move(s2));
+  padded.append(Timestep{});
+  padded.append(Timestep{});
+  ASSERT_EQ(padded.length(), 4);
+  ASSERT_TRUE(is_successful(inst, padded));
+
+  const Schedule tight = compact_schedule(inst, padded);
+  EXPECT_EQ(tight.length(), 2);  // idle tail gone, relay chain kept
+  EXPECT_FALSE(tight.steps().back().empty());
+  EXPECT_EQ(tight.bandwidth(), padded.bandwidth());
+  EXPECT_TRUE(is_successful(inst, tight));
+}
+
+TEST(Compact, InterleavedIdleStepsCollapse) {
+  // Idle steps scattered through the schedule (not only trailing) are
+  // squeezed out as long as possession chains permit.
+  const Instance inst = line_instance();
+  Schedule sparse;
+  sparse.append(Timestep{});
+  Timestep s1;
+  s1.add(0, TokenSet::of(2, {0, 1}));
+  sparse.append(std::move(s1));
+  sparse.append(Timestep{});
+  Timestep s2;
+  s2.add(1, TokenSet::of(2, {0, 1}));
+  sparse.append(std::move(s2));
+  sparse.append(Timestep{});
+  const Schedule tight = compact_schedule(inst, sparse);
+  EXPECT_EQ(tight.length(), 2);
+  EXPECT_TRUE(is_successful(inst, tight));
+}
+
 TEST(Compact, TwoPhaseDelayIsCompactedAway) {
   Rng rng(5);
   Digraph g = topology::random_overlay(15, rng);

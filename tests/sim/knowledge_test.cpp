@@ -41,6 +41,21 @@ TEST(Aggregates, NeedDropsAsPossessionGrows) {
   EXPECT_EQ(agg.holders[0], 2);
 }
 
+TEST(Aggregates, ApplyDeliveryMatchesRecompute) {
+  const core::Instance inst = two_vertex_instance();
+  std::vector<TokenSet> possession{inst.have(0), inst.have(1)};
+  Aggregates agg = compute_aggregates(inst, possession);
+
+  // Vertex 1 gains tokens {0, 1}: 0 is wanted (need drops), 1 is not.
+  const TokenSet fresh = TokenSet::of(3, {0, 1});
+  possession[1] |= fresh;
+  agg.apply_delivery(fresh, inst.want(1));
+
+  const Aggregates recomputed = compute_aggregates(inst, possession);
+  EXPECT_EQ(agg.holders, recomputed.holders);
+  EXPECT_EQ(agg.need, recomputed.need);
+}
+
 TEST(SnapshotBuffer, ZeroStalenessReturnsLatest) {
   SnapshotBuffer buffer(0);
   std::vector<TokenSet> a{TokenSet::of(2, {0})};
@@ -69,12 +84,47 @@ TEST(SnapshotBuffer, EmptyBufferThrows) {
   EXPECT_THROW(SnapshotBuffer(-1), ContractViolation);
 }
 
+TEST(SnapshotBuffer, AliasedModeTracksLiveVectorWithoutCopying) {
+  SnapshotBuffer buffer(0);
+  std::vector<TokenSet> live{TokenSet(4)};
+  buffer.alias_live(live);
+  EXPECT_TRUE(buffer.aliased());
+  buffer.push(live);
+  EXPECT_EQ(&buffer.stale_view(), &live);  // aliases, never copies
+  live[0].set(2);  // in-place mutation is visible through the view
+  EXPECT_TRUE(buffer.stale_view()[0].test(2));
+}
+
+TEST(SnapshotBuffer, AliasRequiresZeroStaleness) {
+  SnapshotBuffer stale(1);
+  std::vector<TokenSet> live{TokenSet(4)};
+  EXPECT_THROW(stale.alias_live(live), ContractViolation);
+  // Pushing a different vector than the bound one is a caller bug.
+  SnapshotBuffer bound(0);
+  bound.alias_live(live);
+  std::vector<TokenSet> other{TokenSet(4)};
+  EXPECT_THROW(bound.push(other), ContractViolation);
+}
+
+TEST(SnapshotBuffer, CopyingModeIsUnaffectedByRecycling) {
+  // Push more snapshots than the window holds; the recycled storage
+  // must not leak stale contents into later views.
+  SnapshotBuffer buffer(1);
+  for (int i = 1; i <= 6; ++i) {
+    std::vector<TokenSet> snap{TokenSet(64)};
+    for (int t = 0; t < i; ++t) snap[0].set(t);
+    buffer.push(snap);
+    const auto expect = static_cast<std::size_t>(std::max(1, i - 1));
+    EXPECT_EQ(buffer.stale_view()[0].count(), expect) << "i=" << i;
+  }
+}
+
 TEST(StepView, AccessorsGatedByKnowledgeClass) {
   const core::Instance inst = two_vertex_instance();
   std::vector<TokenSet> possession{inst.have(0), inst.have(1)};
   const Aggregates agg = compute_aggregates(inst, possession);
 
-  const StepView local(inst, possession, possession, agg, nullptr,
+  const StepView local(inst, possession, possession, &agg, nullptr,
                        KnowledgeClass::kLocalOnly, 0);
   EXPECT_NO_THROW((void)local.own_possession(0));
   EXPECT_NO_THROW((void)local.own_want(1));
@@ -82,20 +132,32 @@ TEST(StepView, AccessorsGatedByKnowledgeClass) {
   EXPECT_THROW((void)local.aggregate_need(), ContractViolation);
   EXPECT_THROW((void)local.global_possession(), ContractViolation);
 
-  const StepView peers(inst, possession, possession, agg, nullptr,
+  const StepView peers(inst, possession, possession, &agg, nullptr,
                        KnowledgeClass::kLocalPeers, 0);
   EXPECT_NO_THROW((void)peers.peer_possession(0, 1));
   EXPECT_THROW((void)peers.aggregate_holders(), ContractViolation);
 
-  const StepView aggregate(inst, possession, possession, agg, nullptr,
+  const StepView aggregate(inst, possession, possession, &agg, nullptr,
                            KnowledgeClass::kLocalAggregate, 0);
   EXPECT_NO_THROW((void)aggregate.aggregate_holders());
   EXPECT_THROW((void)aggregate.instance(), ContractViolation);
 
-  const StepView global(inst, possession, possession, agg, nullptr,
+  const StepView global(inst, possession, possession, &agg, nullptr,
                         KnowledgeClass::kGlobal, 0);
   EXPECT_NO_THROW((void)global.global_possession());
   EXPECT_NO_THROW((void)global.instance());
+}
+
+TEST(StepView, NullAggregatesTripOnAccessNotConstruction) {
+  // Lazy materialization: the simulator passes nullptr for policies
+  // below kLocalAggregate; touching the accessors must fail loudly.
+  const core::Instance inst = two_vertex_instance();
+  std::vector<TokenSet> possession{inst.have(0), inst.have(1)};
+  const StepView view(inst, possession, possession, nullptr, nullptr,
+                      KnowledgeClass::kGlobal, 0);
+  EXPECT_THROW((void)view.aggregate_holders(), ContractViolation);
+  EXPECT_THROW((void)view.aggregate_need(), ContractViolation);
+  EXPECT_NO_THROW((void)view.global_possession());
 }
 
 TEST(StepView, PeerAccessRequiresAdjacency) {
@@ -104,7 +166,7 @@ TEST(StepView, PeerAccessRequiresAdjacency) {
   core::Instance inst(std::move(g), 1);
   std::vector<TokenSet> possession{TokenSet(1), TokenSet(1), TokenSet(1)};
   const Aggregates agg = compute_aggregates(inst, possession);
-  const StepView view(inst, possession, possession, agg, nullptr,
+  const StepView view(inst, possession, possession, &agg, nullptr,
                       KnowledgeClass::kLocalPeers, 0);
   EXPECT_NO_THROW((void)view.peer_possession(0, 1));
   EXPECT_NO_THROW((void)view.peer_possession(1, 0));  // reverse direction ok

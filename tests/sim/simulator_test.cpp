@@ -179,6 +179,128 @@ TEST(Simulator, CompletionStepsAreMonotoneSensible) {
   EXPECT_EQ(result.stats.completion_step[2], 2);
 }
 
+TEST(Simulator, CapacityIsAggregatedPerArc) {
+  // Regression: two sends on the same arc that fit individually but
+  // jointly exceed c(u,v) must be rejected.  Timestep::compact() does
+  // not merge same-arc entries, so the check cannot rely on one
+  // ArcSend per arc.
+  Digraph g(2);
+  g.add_arc(0, 1, 2);
+  core::Instance inst(std::move(g), 4);
+  for (TokenId t = 0; t < 4; ++t) inst.add_have(0, t);
+  inst.add_want(1, 0);
+
+  std::vector<TokenSet> possession{inst.have(0), inst.have(1)};
+  std::vector<std::int32_t> capacity{2};
+  std::vector<std::int32_t> arc_load{0};
+
+  core::Timestep split;
+  split.sends().push_back(core::ArcSend{0, TokenSet::of(4, {0, 1})});
+  split.sends().push_back(core::ArcSend{0, TokenSet::of(4, {2, 3})});
+  EXPECT_THROW(validate_sends(inst, split, capacity, possession, arc_load,
+                              "split", 0),
+               Error);
+  // The scratch buffer is restored to zero even on the throwing path.
+  EXPECT_EQ(arc_load[0], 0);
+
+  core::Timestep fits;
+  fits.sends().push_back(core::ArcSend{0, TokenSet::of(4, {0})});
+  fits.sends().push_back(core::ArcSend{0, TokenSet::of(4, {1})});
+  EXPECT_NO_THROW(validate_sends(inst, fits, capacity, possession, arc_load,
+                                 "split", 0));
+  EXPECT_EQ(arc_load[0], 0);
+
+  core::Timestep ghost;
+  ghost.sends().push_back(core::ArcSend{0, TokenSet::of(4, {0})});
+  std::vector<TokenSet> empty_handed{TokenSet(4), TokenSet(4)};
+  EXPECT_THROW(validate_sends(inst, ghost, capacity, empty_handed, arc_load,
+                              "ghost", 0),
+               Error);
+  EXPECT_EQ(arc_load[0], 0);
+}
+
+TEST(Simulator, MovesPerStepMatchesStepsOnEveryExitPath) {
+  // Success exit.
+  {
+    const core::Instance inst = line_instance();
+    heuristics::RoundRobinPolicy policy;
+    const auto result = run(inst, policy);
+    EXPECT_TRUE(result.success);
+    EXPECT_TRUE(result.stats.consistent_with_steps(result.steps));
+    EXPECT_EQ(result.stats.moves_per_step.size(),
+              static_cast<std::size_t>(result.steps));
+  }
+  // Stalled-policy exit.
+  {
+    const core::Instance inst = line_instance();
+    SilentPolicy policy;
+    const auto result = run(inst, policy);
+    EXPECT_FALSE(result.success);
+    EXPECT_TRUE(result.stats.consistent_with_steps(result.steps));
+    EXPECT_EQ(result.stats.moves_per_step.size(),
+              static_cast<std::size_t>(result.steps));
+  }
+  // Stall after progress: deliver for two steps, then go silent
+  // (without marking idle), so the run aborts mid-flight.
+  {
+    class StallAfterTwo final : public Policy {
+     public:
+      [[nodiscard]] std::string_view name() const override {
+        return "stall-after-two";
+      }
+      [[nodiscard]] KnowledgeClass knowledge_class() const override {
+        return KnowledgeClass::kLocalOnly;
+      }
+      void plan_step(const StepView& view, StepPlan& plan) override {
+        if (view.step() == 0) plan.send(0, 0, 2);
+        if (view.step() == 1) plan.send(1, 0, 2);
+      }
+    };
+    Digraph g(3);
+    g.add_arc(0, 1, 1);
+    g.add_arc(1, 2, 1);
+    core::Instance inst(std::move(g), 2);
+    inst.add_have(0, 0);
+    inst.add_have(0, 1);
+    inst.add_want(2, 0);
+    inst.add_want(2, 1);
+    StallAfterTwo policy;
+    SimOptions options;
+    options.max_steps = 10;
+    const auto result = run(inst, policy, options);
+    EXPECT_FALSE(result.success);
+    EXPECT_EQ(result.steps, 2);
+    EXPECT_TRUE(result.stats.consistent_with_steps(result.steps));
+    EXPECT_EQ(result.stats.moves_per_step.size(), 2u);
+  }
+  // max_steps exhaustion.
+  {
+    Rng rng(6);
+    Digraph g = topology::random_overlay(20, rng);
+    core::Instance inst =
+        core::single_source_all_receivers(std::move(g), 50, 0);
+    heuristics::RoundRobinPolicy policy;
+    SimOptions options;
+    options.max_steps = 2;
+    const auto result = run(inst, policy, options);
+    EXPECT_FALSE(result.success);
+    EXPECT_TRUE(result.stats.consistent_with_steps(result.steps));
+    EXPECT_EQ(result.stats.moves_per_step.size(), 2u);
+  }
+  // Zero-step exit (trivially satisfied instance).
+  {
+    Digraph g(2);
+    g.add_arc(0, 1, 1);
+    core::Instance inst(std::move(g), 1);
+    inst.add_have(0, 0);
+    SilentPolicy policy;
+    const auto result = run(inst, policy);
+    EXPECT_TRUE(result.success);
+    EXPECT_TRUE(result.stats.consistent_with_steps(result.steps));
+    EXPECT_TRUE(result.stats.moves_per_step.empty());
+  }
+}
+
 TEST(Simulator, UsefulAndRedundantMovesSumToBandwidth) {
   Rng rng(4);
   Digraph g = topology::random_overlay(12, rng);

@@ -98,6 +98,25 @@ TEST_P(TokenSetFuzz, LongOperationSequencesMatchReferenceModel) {
       const auto it = ref_a.lower_bound(probe);
       ASSERT_EQ(a.next(probe), it == ref_a.end() ? -1 : *it);
     }
+    // next(t) is inclusive of t; probes at and past the boundaries.
+    ASSERT_EQ(a.next(-1), a.first());
+    ASSERT_EQ(a.next(static_cast<TokenId>(universe)), -1);
+    {
+      // next_circular(t): smallest member >= t, else wrap to first().
+      // Exercises the probe range [-1, universe] including the
+      // t + 1 == universe wraparound used by the round-robin cursor.
+      const auto probe =
+          static_cast<TokenId>(rng.below(universe + 2)) - 1;
+      const TokenId expected = [&]() -> TokenId {
+        if (ref_a.empty()) return -1;
+        if (probe < 0 || static_cast<std::size_t>(probe) >= universe)
+          return *ref_a.begin();
+        const auto it = ref_a.lower_bound(probe);
+        return it == ref_a.end() ? *ref_a.begin() : *it;
+      }();
+      ASSERT_EQ(a.next_circular(probe), expected)
+          << "probe " << probe << " universe " << universe;
+    }
     const bool ref_subset = std::includes(ref_b.begin(), ref_b.end(),
                                           ref_a.begin(), ref_a.end());
     ASSERT_EQ(a.is_subset_of(b), ref_subset);

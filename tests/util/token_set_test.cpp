@@ -106,6 +106,43 @@ TEST(TokenSet, NextCircularWrapsAround) {
   EXPECT_EQ(TokenSet(100).next_circular(3), -1);
 }
 
+TEST(TokenSet, NextIsInclusiveOfTheProbe) {
+  // next(t) returns the smallest member >= t — callers that want
+  // strictly-greater semantics (e.g. round-robin cursors) must probe
+  // with t + 1.  Locked down here so the contract cannot drift.
+  const TokenSet s = TokenSet::of(130, {0, 63, 64, 129});
+  EXPECT_EQ(s.next(0), 0);      // inclusive at the bottom
+  EXPECT_EQ(s.next(63), 63);    // inclusive at a word boundary
+  EXPECT_EQ(s.next(64), 64);
+  EXPECT_EQ(s.next(129), 129);  // inclusive at the top of the universe
+  EXPECT_EQ(s.next(130), -1);   // probe past the universe: none
+  EXPECT_EQ(s.next(1000), -1);
+  // Negative probes clamp to 0: next(t<0) == first().
+  EXPECT_EQ(s.next(-1), 0);
+  EXPECT_EQ(s.next(-100), s.first());
+}
+
+TEST(TokenSet, NextCircularBoundaryAtUniverseEnd) {
+  // The round-robin cursor advances with next_circular(position + 1);
+  // when position is the last token id, position + 1 == universe and
+  // the scan must wrap to the smallest member, inclusively.
+  const TokenSet s = TokenSet::of(64, {0, 63});
+  EXPECT_EQ(s.next_circular(63), 63);      // inclusive of the probe
+  EXPECT_EQ(s.next_circular(63 + 1), 0);   // t + 1 == universe wraps
+  const TokenSet top = TokenSet::of(100, {99});
+  EXPECT_EQ(top.next_circular(99), 99);
+  EXPECT_EQ(top.next_circular(100), 99);   // wraps back onto itself
+  EXPECT_EQ(top.next_circular(-5), 99);    // out-of-range probes scan from 0
+  EXPECT_EQ(top.next_circular(1000), 99);
+  // Singleton mid-universe: wrapping finds it from both sides.
+  const TokenSet mid = TokenSet::of(100, {40});
+  EXPECT_EQ(mid.next_circular(41), 40);
+  EXPECT_EQ(mid.next_circular(40), 40);
+  // Empty sets report -1 no matter the probe; so does an empty universe.
+  EXPECT_EQ(TokenSet(64).next_circular(64), -1);
+  EXPECT_EQ(TokenSet().next_circular(0), -1);
+}
+
 TEST(TokenSet, ForEachVisitsInOrder) {
   const TokenSet s = TokenSet::of(150, {149, 0, 64, 63});
   std::vector<TokenId> seen;
