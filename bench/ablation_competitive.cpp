@@ -24,17 +24,37 @@ int main(int argc, char** argv) {
   Table table({"m", "policy", "moves", "optimal", "ratio", "bandwidth"});
   table.set_precision(2);
 
-  for (const std::int32_t m : universes) {
-    const auto inst = core::adversarial_path(length, m, m / 2);
-    for (const auto& name : heuristics::all_policy_names()) {
-      const auto run = bench::run_policy(inst, name, 77);
-      if (!run.success) continue;
-      table.add_row({static_cast<std::int64_t>(m), name, run.moves,
-                     static_cast<std::int64_t>(length),
-                     static_cast<double>(run.moves) /
-                         static_cast<double>(length),
-                     run.bandwidth});
-    }
+  struct Workload {
+    std::int32_t m;
+    core::Instance instance;
+  };
+  std::vector<Workload> workloads;
+  for (const std::int32_t m : universes)
+    workloads.push_back({m, core::adversarial_path(length, m, m / 2)});
+
+  struct Config {
+    std::size_t workload;
+    std::string policy;
+  };
+  std::vector<Config> configs;
+  for (std::size_t w = 0; w < workloads.size(); ++w) {
+    for (const auto& name : heuristics::all_policy_names())
+      configs.push_back({w, name});
+  }
+
+  const auto rows = bench::run_grid(configs, [&](const Config& c) {
+    return bench::run_policy(workloads[c.workload].instance, c.policy, 77);
+  });
+
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    const auto& run = rows[i];
+    if (!run.success) continue;
+    table.add_row({static_cast<std::int64_t>(workloads[configs[i].workload].m),
+                   configs[i].policy, run.moves,
+                   static_cast<std::int64_t>(length),
+                   static_cast<double>(run.moves) /
+                       static_cast<double>(length),
+                   run.bandwidth});
   }
 
   bench::emit(table, csv);

@@ -24,26 +24,47 @@ int main(int argc, char** argv) {
   Rng graph_rng(0xab1'0000);
   const Digraph base = topology::random_overlay(n, graph_rng);
 
+  struct Workload {
+    double threshold;
+    core::Instance instance;
+    std::int64_t bw_lb;
+  };
+  std::vector<Workload> workloads;
   for (const double threshold : {0.2, 0.6, 1.0}) {
     Rng rng(0xab1'1000 + static_cast<std::uint64_t>(threshold * 100));
     Digraph graph = base;
     auto built = core::single_source_receiver_density(
         std::move(graph), num_tokens, 0, threshold, rng);
-    const core::Instance& inst = built.instance;
-    const auto bw_lb = core::bandwidth_lower_bound(inst);
+    const auto bw_lb = core::bandwidth_lower_bound(built.instance);
+    workloads.push_back({threshold, std::move(built.instance), bw_lb});
+  }
 
-    for (const auto& name : heuristics::all_policy_names()) {
-      const auto run = bench::run_policy(inst, name, 11);
-      if (!run.success) continue;
-      const double recovered =
-          run.bandwidth == 0
-              ? 0.0
-              : 100.0 *
-                    static_cast<double>(run.bandwidth - run.pruned_bandwidth) /
-                    static_cast<double>(run.bandwidth);
-      table.add_row({threshold, name, run.bandwidth, run.pruned_bandwidth,
-                     recovered, bw_lb});
-    }
+  struct Config {
+    std::size_t workload;
+    std::string policy;
+  };
+  std::vector<Config> configs;
+  for (std::size_t w = 0; w < workloads.size(); ++w) {
+    for (const auto& name : heuristics::all_policy_names())
+      configs.push_back({w, name});
+  }
+
+  const auto rows = bench::run_grid(configs, [&](const Config& c) {
+    return bench::run_policy(workloads[c.workload].instance, c.policy, 11);
+  });
+
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    const Workload& w = workloads[configs[i].workload];
+    const auto& run = rows[i];
+    if (!run.success) continue;
+    const double recovered =
+        run.bandwidth == 0
+            ? 0.0
+            : 100.0 *
+                  static_cast<double>(run.bandwidth - run.pruned_bandwidth) /
+                  static_cast<double>(run.bandwidth);
+    table.add_row({w.threshold, configs[i].policy, run.bandwidth,
+                   run.pruned_bandwidth, recovered, w.bw_lb});
   }
 
   bench::emit(table, csv);

@@ -24,36 +24,71 @@ int main(int argc, char** argv) {
   Table table({"n_target", "n_actual", "policy", "moves", "bandwidth",
                "pruned_bw", "bw_lb", "seconds"});
 
+  struct Workload {
+    std::int32_t n;
+    std::int64_t actual;
+    core::Instance instance;
+    std::int64_t bw_lb;
+  };
+  std::vector<Workload> workloads;
   for (const std::int32_t n : sizes) {
     const auto opt = topology::transit_stub_options_for_size(n);
     Rng rng(0x0f3'0000 + static_cast<std::uint64_t>(n));
     Digraph graph = topology::transit_stub(opt, rng);
     const std::int64_t actual = graph.num_vertices();
-    const auto inst =
+    auto inst =
         core::single_source_all_receivers(std::move(graph), num_tokens, 0);
     const auto bw_lb = core::bandwidth_lower_bound(inst);
+    workloads.push_back({n, actual, std::move(inst), bw_lb});
+  }
 
-    for (const auto& name : heuristics::all_policy_names()) {
-      std::int64_t moves = 0;
-      std::int64_t bandwidth = 0;
-      std::int64_t pruned = 0;
-      double seconds = 0;
-      for (int rep = 0; rep < repetitions; ++rep) {
-        const auto run = bench::run_policy(
-            inst, name, 2000 + static_cast<std::uint64_t>(rep));
-        if (!run.success) {
-          std::cerr << "policy " << name << " failed on n=" << n << '\n';
-          return 1;
-        }
-        moves += run.moves;
-        bandwidth += run.bandwidth;
-        pruned += run.pruned_bandwidth;
-        seconds += run.wall_seconds;
+  struct Config {
+    std::size_t workload;
+    std::string policy;
+  };
+  std::vector<Config> configs;
+  for (std::size_t w = 0; w < workloads.size(); ++w) {
+    for (const auto& name : heuristics::all_policy_names())
+      configs.push_back({w, name});
+  }
+
+  struct Row {
+    bool success = true;
+    std::int64_t moves = 0;
+    std::int64_t bandwidth = 0;
+    std::int64_t pruned = 0;
+    double seconds = 0;
+  };
+  const auto rows = bench::run_grid(configs, [&](const Config& c) {
+    Row row;
+    for (int rep = 0; rep < repetitions; ++rep) {
+      const auto run = bench::run_policy(
+          workloads[c.workload].instance, c.policy,
+          2000 + static_cast<std::uint64_t>(rep));
+      if (!run.success) {
+        row.success = false;
+        return row;
       }
-      table.add_row({static_cast<std::int64_t>(n), actual, name,
-                     moves / repetitions, bandwidth / repetitions,
-                     pruned / repetitions, bw_lb, seconds});
+      row.moves += run.moves;
+      row.bandwidth += run.bandwidth;
+      row.pruned += run.pruned_bandwidth;
+      row.seconds += run.wall_seconds;
     }
+    return row;
+  });
+
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    const Workload& w = workloads[configs[i].workload];
+    const Row& row = rows[i];
+    if (!row.success) {
+      std::cerr << "policy " << configs[i].policy << " failed on n=" << w.n
+                << '\n';
+      return 1;
+    }
+    table.add_row({static_cast<std::int64_t>(w.n), w.actual,
+                   configs[i].policy, row.moves / repetitions,
+                   row.bandwidth / repetitions, row.pruned / repetitions,
+                   w.bw_lb, row.seconds});
   }
 
   bench::emit(table, csv);

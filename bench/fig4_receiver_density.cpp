@@ -34,27 +34,50 @@ int main(int argc, char** argv) {
   Rng graph_rng(0x0f4'0000);
   const Digraph base = topology::random_overlay(n, graph_rng);
 
+  struct Workload {
+    double threshold;
+    std::int64_t receivers;
+    core::Instance instance;
+    std::int64_t bw_lb;
+  };
+  std::vector<Workload> workloads;
   for (const double threshold : thresholds) {
     Rng rng(0x0f4'1000 + static_cast<std::uint64_t>(threshold * 1000));
     Digraph graph = base;
     auto built = core::single_source_receiver_density(std::move(graph),
                                                       num_tokens, 0,
                                                       threshold, rng);
-    const core::Instance& inst = built.instance;
-    const auto bw_lb = core::bandwidth_lower_bound(inst);
+    const auto bw_lb = core::bandwidth_lower_bound(built.instance);
+    workloads.push_back({threshold,
+                         static_cast<std::int64_t>(built.num_receivers),
+                         std::move(built.instance), bw_lb});
+  }
 
-    for (const auto& name : heuristics::all_policy_names()) {
-      const auto run = bench::run_policy(inst, name, 4000);
-      if (!run.success) {
-        std::cerr << "policy " << name << " failed at threshold "
-                  << threshold << '\n';
-        return 1;
-      }
-      table.add_row({threshold,
-                     static_cast<std::int64_t>(built.num_receivers), name,
-                     run.moves, run.bandwidth, run.pruned_bandwidth, bw_lb,
-                     run.wall_seconds});
+  struct Config {
+    std::size_t workload;
+    std::string policy;
+  };
+  std::vector<Config> configs;
+  for (std::size_t w = 0; w < workloads.size(); ++w) {
+    for (const auto& name : heuristics::all_policy_names())
+      configs.push_back({w, name});
+  }
+
+  const auto rows = bench::run_grid(configs, [&](const Config& c) {
+    return bench::run_policy(workloads[c.workload].instance, c.policy, 4000);
+  });
+
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    const Workload& w = workloads[configs[i].workload];
+    const auto& run = rows[i];
+    if (!run.success) {
+      std::cerr << "policy " << configs[i].policy << " failed at threshold "
+                << w.threshold << '\n';
+      return 1;
     }
+    table.add_row({w.threshold, w.receivers, configs[i].policy, run.moves,
+                   run.bandwidth, run.pruned_bandwidth, w.bw_lb,
+                   run.wall_seconds});
   }
 
   bench::emit(table, csv);

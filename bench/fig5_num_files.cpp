@@ -32,23 +32,45 @@ int main(int argc, char** argv) {
   Rng graph_rng(0x0f5'0000);
   const Digraph base = topology::random_overlay(n, graph_rng);
 
+  struct Workload {
+    std::int32_t files;
+    core::Instance instance;
+    std::int64_t bw_lb;
+  };
+  std::vector<Workload> workloads;
   for (const std::int32_t files : file_counts) {
     Digraph graph = base;
-    const auto inst =
+    auto inst =
         core::subdivided_files(std::move(graph), total_tokens, files, 0);
     const auto bw_lb = core::bandwidth_lower_bound(inst);
+    workloads.push_back({files, std::move(inst), bw_lb});
+  }
 
-    for (const auto& name : heuristics::all_policy_names()) {
-      const auto run = bench::run_policy(inst, name, 5000);
-      if (!run.success) {
-        std::cerr << "policy " << name << " failed at files=" << files
-                  << '\n';
-        return 1;
-      }
-      table.add_row({static_cast<std::int64_t>(files), name, run.moves,
-                     run.bandwidth, run.pruned_bandwidth, bw_lb,
-                     run.wall_seconds});
+  struct Config {
+    std::size_t workload;
+    std::string policy;
+  };
+  std::vector<Config> configs;
+  for (std::size_t w = 0; w < workloads.size(); ++w) {
+    for (const auto& name : heuristics::all_policy_names())
+      configs.push_back({w, name});
+  }
+
+  const auto rows = bench::run_grid(configs, [&](const Config& c) {
+    return bench::run_policy(workloads[c.workload].instance, c.policy, 5000);
+  });
+
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    const Workload& w = workloads[configs[i].workload];
+    const auto& run = rows[i];
+    if (!run.success) {
+      std::cerr << "policy " << configs[i].policy << " failed at files="
+                << w.files << '\n';
+      return 1;
     }
+    table.add_row({static_cast<std::int64_t>(w.files), configs[i].policy,
+                   run.moves, run.bandwidth, run.pruned_bandwidth, w.bw_lb,
+                   run.wall_seconds});
   }
 
   bench::emit(table, csv);

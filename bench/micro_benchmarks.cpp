@@ -184,6 +184,53 @@ BENCHMARK_CAPTURE(BM_SimulatorStepsPerSec, random_stale4, "random", 4)
     ->Args({1000, 512})
     ->Unit(benchmark::kMillisecond);
 
+// Per-policy planning throughput (steps/sec) on a fixed workload.  A
+// bounded window of steps per iteration isolates plan_step cost; the
+// 1000v x 512t point is the ISSUE-2 acceptance workload (>= 5x for
+// `global` vs the pre-kernel planner).  reproduce_all.sh snapshots
+// these series to BENCH_planner.json so scripts/compare_bench.py can
+// flag regressions across PRs; per-step plan time is 1 / items_per_sec.
+void BM_PlannerStepsPerSec(benchmark::State& state, const char* name) {
+  const auto n = static_cast<std::int32_t>(state.range(0));
+  const auto tokens = static_cast<std::int32_t>(state.range(1));
+  Rng rng(29);
+  Digraph g = topology::random_overlay(n, rng);
+  const auto inst = core::single_source_all_receivers(std::move(g), tokens, 0);
+  auto policy = heuristics::make_policy(name);
+  sim::SimOptions options;
+  options.seed = 7;
+  options.record_schedule = false;
+  options.max_steps = 24;  // bounded window: measures steps, not runs
+  std::int64_t steps = 0;
+  for (auto _ : state) {
+    const auto result = sim::run(inst, *policy, options);
+    steps += result.steps;
+    benchmark::DoNotOptimize(result.bandwidth);
+  }
+  state.SetItemsProcessed(steps);  // items/sec == planned steps/sec
+}
+BENCHMARK_CAPTURE(BM_PlannerStepsPerSec, global, "global")
+    ->Args({200, 128})
+    ->Args({1000, 512})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_PlannerStepsPerSec, local, "local")
+    ->Args({200, 128})
+    ->Args({1000, 512})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_PlannerStepsPerSec, random, "random")
+    ->Args({200, 128})
+    ->Args({1000, 512})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_PlannerStepsPerSec, round_robin, "round-robin")
+    ->Args({200, 128})
+    ->Args({1000, 512})
+    ->Unit(benchmark::kMillisecond);
+// The bandwidth heuristic's per-token BFS dominates at large n; keep
+// its tracked point at the smaller workload.
+BENCHMARK_CAPTURE(BM_PlannerStepsPerSec, bandwidth, "bandwidth")
+    ->Args({200, 128})
+    ->Unit(benchmark::kMillisecond);
+
 void BM_ValidateAndPrune(benchmark::State& state) {
   Rng rng(13);
   Digraph g = topology::random_overlay(60, rng);

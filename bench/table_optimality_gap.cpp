@@ -22,10 +22,18 @@ int main(int argc, char** argv) {
   Table table({"seed", "n", "m", "opt_makespan", "opt_bw@opt_t", "lb_makespan",
                "lb_bw", "policy", "moves", "bandwidth", "pruned_bw"});
 
-  double worst_time_ratio = 0.0;
+  struct Workload {
+    int seed;
+    core::Instance instance;
+    std::int64_t opt_makespan;
+    std::int64_t opt_bw;
+    std::int64_t lb_t;
+    std::int64_t lb_bw;
+  };
+  std::vector<Workload> workloads;
   for (int seed = 0; seed < instances; ++seed) {
     Rng rng(static_cast<std::uint64_t>(seed) + 0x7ab'0000);
-    const auto inst = core::random_small_instance(5, 2, 0.5, rng);
+    auto inst = core::random_small_instance(5, 2, 0.5, rng);
 
     const auto exact_time = exact::focd_min_makespan(inst, 12);
     if (!exact_time.has_value()) continue;
@@ -33,21 +41,41 @@ int main(int argc, char** argv) {
     const auto exact_bw = exact::solve_eocd(inst, exact_time->makespan);
     const auto lb_t = core::makespan_lower_bound(inst);
     const auto lb_bw = core::bandwidth_lower_bound(inst);
+    workloads.push_back({seed, std::move(inst),
+                         static_cast<std::int64_t>(exact_time->makespan),
+                         exact_bw ? exact_bw->bandwidth : -1, lb_t, lb_bw});
+  }
 
-    for (const auto& name : heuristics::all_policy_names()) {
-      const auto run = bench::run_policy(inst, name, 900 + seed);
-      if (!run.success) continue;
-      worst_time_ratio =
-          std::max(worst_time_ratio,
-                   static_cast<double>(run.moves) /
-                       static_cast<double>(exact_time->makespan));
-      table.add_row({static_cast<std::int64_t>(seed),
-                     static_cast<std::int64_t>(inst.num_vertices()),
-                     static_cast<std::int64_t>(inst.num_tokens()),
-                     static_cast<std::int64_t>(exact_time->makespan),
-                     exact_bw ? exact_bw->bandwidth : -1, lb_t, lb_bw, name,
-                     run.moves, run.bandwidth, run.pruned_bandwidth});
-    }
+  struct Config {
+    std::size_t workload;
+    std::string policy;
+  };
+  std::vector<Config> configs;
+  for (std::size_t w = 0; w < workloads.size(); ++w) {
+    for (const auto& name : heuristics::all_policy_names())
+      configs.push_back({w, name});
+  }
+
+  const auto rows = bench::run_grid(configs, [&](const Config& c) {
+    const Workload& w = workloads[c.workload];
+    return bench::run_policy(w.instance, c.policy, 900 + w.seed);
+  });
+
+  double worst_time_ratio = 0.0;
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    const Workload& w = workloads[configs[i].workload];
+    const auto& run = rows[i];
+    if (!run.success) continue;
+    worst_time_ratio =
+        std::max(worst_time_ratio,
+                 static_cast<double>(run.moves) /
+                     static_cast<double>(w.opt_makespan));
+    table.add_row({static_cast<std::int64_t>(w.seed),
+                   static_cast<std::int64_t>(w.instance.num_vertices()),
+                   static_cast<std::int64_t>(w.instance.num_tokens()),
+                   w.opt_makespan, w.opt_bw, w.lb_t, w.lb_bw,
+                   configs[i].policy, run.moves, run.bandwidth,
+                   run.pruned_bandwidth});
   }
 
   bench::emit(table, csv);

@@ -1,10 +1,13 @@
 #!/usr/bin/env bash
 # Build the full tree with AddressSanitizer + UndefinedBehaviorSanitizer
-# (the `asan-ubsan` CMake preset) and run the tier-1 test suite under it.
-# Any sanitizer report fails the run.
+# (the `asan-ubsan` CMake preset) and run the tier-1 test suite under it,
+# then rebuild the test suite with ThreadSanitizer (the `tsan` preset)
+# and run the threaded sweep-harness tests under that.  Any sanitizer
+# report fails the run.
 #
 #   scripts/check_sanitizers.sh             # configure + build + ctest
-#   OCD_SAN_FILTER='Simulator*' scripts/check_sanitizers.sh  # subset
+#   OCD_SAN_FILTER='Simulator*' scripts/check_sanitizers.sh  # ASan subset
+#   OCD_TSAN_FILTER='SweepGrid*' scripts/check_sanitizers.sh # TSan subset
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -19,5 +22,15 @@ if [[ -n "${OCD_SAN_FILTER:-}" ]]; then
   ctest_args+=(-R "${OCD_SAN_FILTER}")
 fi
 ctest "${ctest_args[@]}"
+
+# ThreadSanitizer pass: the threaded sweep harness (bench/bench_common.hpp
+# run_grid) is the only intentionally concurrent code; the SweepGrid suite
+# drives it, including a full (policy x seed) grid of run_policy calls, so
+# any shared mutable state in the planners shows up here.
+cmake --preset tsan
+cmake --build --preset tsan -j "$(nproc)" --target ocd_tests
+
+export TSAN_OPTIONS="halt_on_error=1"
+ctest --preset tsan -j "$(nproc)" -R "${OCD_TSAN_FILTER:-SweepGrid}"
 
 echo "Sanitizer run clean."

@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Compare two Google Benchmark JSON files and flag regressions.
+
+Usage:
+    compare_bench.py BASELINE.json CURRENT.json [--threshold PCT]
+
+Benchmarks are matched by name.  For each pair the script prefers the
+items_per_second counter (higher is better; our planner benchmarks
+report planning steps/sec through it) and falls back to real_time
+(lower is better).  A benchmark that got worse by more than the
+threshold (default 20%) is a regression; the script lists every match
+and exits 1 if any regressed.
+
+Only aggregate-free runs are expected; if a file contains aggregate
+rows (mean/median/stddev from --benchmark_repetitions), only the
+"mean" aggregates are compared.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def load_benchmarks(path: Path) -> dict[str, dict]:
+    try:
+        data = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        sys.exit(f"error: cannot read benchmark JSON {path}: {exc}")
+    rows = data.get("benchmarks", [])
+    has_aggregates = any(r.get("run_type") == "aggregate" for r in rows)
+    out: dict[str, dict] = {}
+    for row in rows:
+        if has_aggregates:
+            if row.get("aggregate_name") != "mean":
+                continue
+            name = row.get("run_name", row["name"])
+        else:
+            name = row["name"]
+        out[name] = row
+    return out
+
+
+def metric(row: dict) -> tuple[str, float, bool]:
+    """Returns (metric name, value, higher_is_better)."""
+    if "items_per_second" in row:
+        return ("items_per_second", float(row["items_per_second"]), True)
+    return ("real_time", float(row["real_time"]), False)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", type=Path)
+    parser.add_argument("current", type=Path)
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=20.0,
+        help="regression threshold in percent (default: 20)",
+    )
+    args = parser.parse_args()
+
+    base = load_benchmarks(args.baseline)
+    curr = load_benchmarks(args.current)
+    common = [name for name in base if name in curr]
+    if not common:
+        sys.exit("error: no benchmark names in common between the two files")
+
+    regressions = []
+    width = max(len(n) for n in common)
+    print(f"{'benchmark':<{width}}  {'metric':>16}  {'baseline':>12} "
+          f"{'current':>12}  {'change':>8}")
+    for name in common:
+        base_metric, base_val, higher_better = metric(base[name])
+        curr_metric, curr_val, _ = metric(curr[name])
+        if base_metric != curr_metric or base_val == 0:
+            print(f"{name:<{width}}  (incomparable: {base_metric} vs "
+                  f"{curr_metric})")
+            continue
+        # Positive change == improvement, in either metric orientation.
+        if higher_better:
+            change = 100.0 * (curr_val / base_val - 1.0)
+        else:
+            change = 100.0 * (base_val / curr_val - 1.0)
+        flag = ""
+        if change < -args.threshold:
+            flag = "  << REGRESSION"
+            regressions.append((name, change))
+        print(f"{name:<{width}}  {base_metric:>16}  {base_val:12.4g} "
+              f"{curr_val:12.4g}  {change:+7.1f}%{flag}")
+
+    skipped = sorted(set(base) ^ set(curr))
+    if skipped:
+        print(f"# unmatched benchmarks ignored: {', '.join(skipped)}")
+
+    if regressions:
+        print(f"\nFAIL: {len(regressions)} benchmark(s) regressed more than "
+              f"{args.threshold:.0f}%:")
+        for name, change in regressions:
+            print(f"  {name}: {change:+.1f}%")
+        return 1
+    print(f"\nOK: no benchmark regressed more than {args.threshold:.0f}% "
+          f"({len(common)} compared)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

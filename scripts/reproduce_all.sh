@@ -5,24 +5,51 @@
 #   scripts/reproduce_all.sh            # quick mode (seconds per bench)
 #   OCD_FULL=1 scripts/reproduce_all.sh # the paper's full parameter sweep
 #   OCD_SANITIZE=1 scripts/reproduce_all.sh # also run tests under ASan+UBSan
+#   OCD_JOBS=8 scripts/reproduce_all.sh # worker threads per bench sweep
+#                                       # (default: hardware concurrency)
+#   OCD_BENCH_BASELINE=old/BENCH_planner.json scripts/reproduce_all.sh
+#                                       # warn on >=20% planner-kernel
+#                                       # regressions vs a prior snapshot
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cmake -B build -G Ninja
-cmake --build build
+cmake --preset default
+cmake --build --preset default -j "$(nproc)"
 
 if [[ -n "${OCD_SANITIZE:-}" ]]; then
   scripts/check_sanitizers.sh
 fi
 
 mkdir -p results
-ctest --test-dir build --output-on-failure 2>&1 | tee results/tests.txt
+ctest --preset default 2>&1 | tee results/tests.txt
 
-for bench in build/bench/*; do
+# Benchmarks are built separately at full optimisation (-O3 -DNDEBUG,
+# the `release-bench` preset); tests stay on the default RelWithDebInfo
+# build with assertions enabled.
+cmake --preset release-bench
+cmake --build --preset release-bench -j "$(nproc)"
+
+for bench in build-bench/bench/*; do
+  [[ -f "$bench" && -x "$bench" ]] || continue
   name=$(basename "$bench")
+  [[ "$name" == "micro_benchmarks" ]] && continue
   echo "== ${name} =="
   "$bench" | tee "results/${name}.txt"
 done
+
+# Planner-kernel micro-benchmarks: human-readable console output plus a
+# machine-readable snapshot for scripts/compare_bench.py.
+echo "== micro_benchmarks (planner kernels) =="
+build-bench/bench/micro_benchmarks \
+  --benchmark_filter='PlannerStepsPerSec' \
+  --benchmark_out=results/BENCH_planner.json \
+  --benchmark_out_format=json | tee results/micro_benchmarks.txt
+
+if [[ -n "${OCD_BENCH_BASELINE:-}" ]]; then
+  python3 scripts/compare_bench.py "${OCD_BENCH_BASELINE}" \
+    results/BENCH_planner.json ||
+    echo "WARNING: planner kernel throughput regressed vs baseline."
+fi
 
 echo
 echo "All outputs archived in results/."

@@ -1,8 +1,9 @@
 #include "ocd/heuristics/bandwidth_saver.hpp"
 
-#include <algorithm>
-#include <numeric>
 #include <queue>
+#include <vector>
+
+#include "ocd/util/rarity.hpp"
 
 namespace ocd::heuristics {
 
@@ -71,15 +72,11 @@ void BandwidthPolicy::plan_step(const sim::StepView& view,
   }
 
   // Senders fill capacity with allowed useful tokens: direct needs
-  // before relay tokens, rarest first inside each class.
-  const auto holders = view.aggregate_holders();
-  std::vector<TokenId> rarity_order(universe);
-  std::iota(rarity_order.begin(), rarity_order.end(), 0);
-  std::stable_sort(rarity_order.begin(), rarity_order.end(),
-                   [&](TokenId a, TokenId b) {
-                     return holders[static_cast<std::size_t>(a)] <
-                            holders[static_cast<std::size_t>(b)];
-                   });
+  // before relay tokens, rarest first inside each class.  The fill is a
+  // masked-word iteration over rank-space sets (ocd/util/rarity.hpp)
+  // rather than a scan of the full rarity order per arc.
+  RarityRanker ranker;
+  ranker.assign_by_rarity(view.aggregate_holders(), nullptr);
 
   for (ArcId a = 0; a < graph.num_arcs(); ++a) {
     const Arc& arc = graph.arc(a);
@@ -94,17 +91,19 @@ void BandwidthPolicy::plan_step(const sim::StepView& view,
       plan.send(a, candidates);
       continue;
     }
-    const TokenSet needs = candidates & inst.want(arc.to);
+    const TokenSet ranked_cand = ranker.to_ranks(candidates);
+    const TokenSet ranked_needs =
+        ranked_cand & ranker.to_ranks(inst.want(arc.to));
     TokenSet batch(universe);
     std::size_t filled = 0;
-    for (const bool need_pass : {true, false}) {
-      for (TokenId t : rarity_order) {
-        if (filled == capacity) break;
-        if (!candidates.test(t) || batch.test(t)) continue;
-        if (needs.test(t) != need_pass) continue;
-        batch.set(t);
-        ++filled;
-      }
+    const auto take = [&](TokenId r) {
+      batch.set(ranker.token_at(r));
+      return ++filled < capacity;
+    };
+    TokenSet::for_each_in_intersection(ranked_cand, ranked_needs, take);
+    if (filled < capacity) {
+      const TokenSet ranked_flood = ranked_cand - ranked_needs;
+      TokenSet::for_each_in_intersection(ranked_cand, ranked_flood, take);
     }
     plan.send(a, batch);
   }

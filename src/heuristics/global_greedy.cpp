@@ -1,8 +1,8 @@
 #include "ocd/heuristics/global_greedy.hpp"
 
-#include <algorithm>
-#include <array>
-#include <numeric>
+#include <vector>
+
+#include "ocd/util/rarity.hpp"
 
 namespace ocd::heuristics {
 
@@ -17,6 +17,14 @@ void GlobalGreedyPolicy::reset(const core::Instance&, std::uint64_t seed) {
 // preferred over pure diversity floods at every pick, and a token is
 // never delivered twice to the same vertex (the coordination the paper
 // describes).
+//
+// All per-step sets live in rank space (bit r = token at rarity rank r,
+// see ocd/util/rarity.hpp), so each pick is a first-set-bit over
+// `cand_words & wanted_words & wave_ok_words` instead of an O(universe)
+// scan of the rarity order.  Per-arc candidate sets are maintained
+// incrementally: granting a token to a vertex clears its bit from every
+// in-arc of that vertex, and arcs whose candidates or capacity are
+// exhausted leave the active list for good (both only shrink).
 void GlobalGreedyPolicy::plan_step(const sim::StepView& view,
                                    sim::StepPlan& plan) {
   const Digraph& graph = view.graph();
@@ -26,74 +34,113 @@ void GlobalGreedyPolicy::plan_step(const sim::StepView& view,
   const auto universe = static_cast<std::size_t>(view.num_tokens());
   const auto num_arcs = static_cast<std::size_t>(graph.num_arcs());
 
-  const auto holders = view.aggregate_holders();
-  std::vector<TokenId> rarity_order(universe);
-  std::iota(rarity_order.begin(), rarity_order.end(), 0);
-  rng_.shuffle(rarity_order);
-  std::stable_sort(rarity_order.begin(), rarity_order.end(),
-                   [&](TokenId a, TokenId b) {
-                     return holders[static_cast<std::size_t>(a)] <
-                            holders[static_cast<std::size_t>(b)];
-                   });
+  RarityRanker ranker;
+  ranker.assign_by_rarity(view.aggregate_holders(), &rng_);
 
-  // Per-arc base candidates and per-vertex outstanding wants.
-  std::vector<TokenSet> candidates(num_arcs, TokenSet(universe));
+  // Possession permuted once per step; every other rank-space set is a
+  // word-parallel combination of these.
+  std::vector<TokenSet> ranked_poss(n);
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    ranked_poss[static_cast<std::size_t>(v)] =
+        ranker.to_ranks(possession[static_cast<std::size_t>(v)]);
+  }
+
+  // Per-arc candidates (tail has, head lacks) and remaining capacity.
+  std::vector<TokenSet> candidates(num_arcs);
   std::vector<std::int32_t> remaining(num_arcs, 0);
   bool anything = false;
   for (ArcId a = 0; a < graph.num_arcs(); ++a) {
     const Arc& arc = graph.arc(a);
-    TokenSet cand = possession[static_cast<std::size_t>(arc.from)];
-    cand -= possession[static_cast<std::size_t>(arc.to)];
+    TokenSet cand = ranked_poss[static_cast<std::size_t>(arc.from)];
+    cand -= ranked_poss[static_cast<std::size_t>(arc.to)];
     anything = anything || !cand.empty();
     candidates[static_cast<std::size_t>(a)] = std::move(cand);
     remaining[static_cast<std::size_t>(a)] = view.capacity(a);
   }
   if (!anything) return;
 
-  std::vector<TokenSet> outstanding(n, TokenSet(universe));
+  // Outstanding wants per vertex, fixed at step start.
+  std::vector<TokenSet> outstanding(n);
   for (VertexId v = 0; v < graph.num_vertices(); ++v) {
-    outstanding[static_cast<std::size_t>(v)] =
-        inst.want(v) - possession[static_cast<std::size_t>(v)];
+    TokenSet out = ranker.to_ranks(inst.want(v));
+    out -= ranked_poss[static_cast<std::size_t>(v)];
+    outstanding[static_cast<std::size_t>(v)] = std::move(out);
   }
 
-  std::vector<TokenSet> granted(n, TokenSet(universe));
+  // wave_ok holds the ranks whose grant count is still <= wave; ranks
+  // pushed over the cap park in `capped` until the next wave relaxes it.
   std::vector<std::int32_t> grant_count(universe, 0);
+  TokenSet wave_ok = TokenSet::full(universe);
+  TokenSet capped(universe);
 
+  std::vector<ArcId> active;
+  active.reserve(num_arcs);
+  for (ArcId a = 0; a < graph.num_arcs(); ++a) {
+    if (remaining[static_cast<std::size_t>(a)] > 0 &&
+        !candidates[static_cast<std::size_t>(a)].empty())
+      active.push_back(a);
+  }
+
+  const std::size_t num_words = wave_ok.words().size();
   std::int32_t wave = 0;
-  while (true) {
+  while (!active.empty()) {
     bool progress = false;
-    bool exhausted = true;
-    for (ArcId a = 0; a < graph.num_arcs(); ++a) {
-      if (remaining[static_cast<std::size_t>(a)] <= 0) continue;
+    std::size_t kept = 0;
+    for (const ArcId a : active) {
+      const auto ai = static_cast<std::size_t>(a);
       const auto head = static_cast<std::size_t>(graph.arc(a).to);
-      TokenSet cand = candidates[static_cast<std::size_t>(a)];
-      cand -= granted[head];
-      if (cand.empty()) continue;
-      exhausted = false;
+      const auto& cand_w = candidates[ai].words();
+      const auto& out_w = outstanding[head].words();
+      const auto& ok_w = wave_ok.words();
 
-      const TokenSet wanted_cand = cand & outstanding[head];
+      // Wanted deliveries first, diversity floods second; each pick is
+      // a first-set-bit over the masked words.
       TokenId pick = -1;
-      const std::array<const TokenSet*, 2> pools{&wanted_cand, &cand};
-      for (const TokenSet* pool : pools) {
-        for (TokenId t : rarity_order) {
-          if (pool->test(t) &&
-              grant_count[static_cast<std::size_t>(t)] <= wave) {
-            pick = t;
+      bool cand_left = false;
+      for (std::size_t wi = 0; wi < num_words; ++wi) {
+        cand_left = cand_left || cand_w[wi] != 0;
+        const std::uint64_t w = cand_w[wi] & out_w[wi] & ok_w[wi];
+        if (w != 0) {
+          pick = static_cast<TokenId>(
+              wi * 64 + static_cast<std::size_t>(__builtin_ctzll(w)));
+          break;
+        }
+      }
+      if (pick < 0) {
+        if (!cand_left) continue;  // exhausted for good: drop the arc
+        for (std::size_t wi = 0; wi < num_words; ++wi) {
+          const std::uint64_t w = cand_w[wi] & ok_w[wi];
+          if (w != 0) {
+            pick = static_cast<TokenId>(
+                wi * 64 + static_cast<std::size_t>(__builtin_ctzll(w)));
             break;
           }
         }
-        if (pick >= 0) break;
       }
-      if (pick < 0) continue;  // every candidate is over the wave cap
+      if (pick < 0) {  // every candidate is over the wave cap
+        active[kept++] = a;
+        continue;
+      }
 
-      plan.send(a, pick, universe);
-      granted[head].set(pick);
-      ++grant_count[static_cast<std::size_t>(pick)];
-      --remaining[static_cast<std::size_t>(a)];
+      plan.send(a, ranker.token_at(pick), universe);
+      if (++grant_count[static_cast<std::size_t>(pick)] > wave) {
+        wave_ok.reset(pick);
+        capped.set(pick);
+      }
+      // The head now holds (a grant of) this token: no arc into it may
+      // offer the token again this step.
+      for (const ArcId b : graph.in_arcs(graph.arc(a).to))
+        candidates[static_cast<std::size_t>(b)].reset(pick);
       progress = true;
+      if (--remaining[ai] > 0) active[kept++] = a;
     }
-    if (exhausted) break;
-    if (!progress) ++wave;  // relax the duplication cap and retry
+    active.resize(kept);
+    if (active.empty()) break;
+    if (!progress) {  // relax the duplication cap and retry
+      ++wave;
+      wave_ok |= capped;
+      capped.clear();
+    }
   }
 }
 

@@ -1,7 +1,8 @@
 #include "ocd/heuristics/rarest_random.hpp"
 
-#include <algorithm>
-#include <numeric>
+#include <vector>
+
+#include "ocd/util/rarity.hpp"
 
 namespace ocd::heuristics {
 
@@ -13,23 +14,16 @@ void RarestRandomPolicy::plan_step(const sim::StepView& view,
                                    sim::StepPlan& plan) {
   const Digraph& graph = view.graph();
   const auto universe = static_cast<std::size_t>(view.num_tokens());
-  const auto holders = view.aggregate_holders();
-  const auto need = view.aggregate_need();
 
   // Global priority order shared by all vertices this step (both
   // aggregates are distributed to everyone, §5.1): tokens somebody still
   // needs come first, rarest first within each class, random tie-break.
-  std::vector<TokenId> rarity_order(universe);
-  std::iota(rarity_order.begin(), rarity_order.end(), 0);
-  rng_.shuffle(rarity_order);
-  std::stable_sort(rarity_order.begin(), rarity_order.end(),
-                   [&](TokenId a, TokenId b) {
-                     const bool needed_a = need[static_cast<std::size_t>(a)] > 0;
-                     const bool needed_b = need[static_cast<std::size_t>(b)] > 0;
-                     if (needed_a != needed_b) return needed_a;
-                     return holders[static_cast<std::size_t>(a)] <
-                            holders[static_cast<std::size_t>(b)];
-                   });
+  // Requests then walk rank-space sets (ocd/util/rarity.hpp) so each
+  // vertex only visits the tokens its peers actually offer, instead of
+  // rescanning the whole priority order.
+  RarityRanker ranker;
+  ranker.assign_by_need_then_rarity(view.aggregate_holders(),
+                                    view.aggregate_need(), &rng_);
 
   // Pass 1 — receivers subdivide their lacking tokens into per-arc
   // requests.
@@ -39,39 +33,40 @@ void RarestRandomPolicy::plan_step(const sim::StepView& view,
   for (ArcId a = 0; a < graph.num_arcs(); ++a)
     budget[static_cast<std::size_t>(a)] = view.capacity(a);
 
+  std::vector<TokenSet> offered;
   for (VertexId v = 0; v < graph.num_vertices(); ++v) {
     const TokenSet& mine = view.own_possession(v);
     const auto in_arcs = graph.in_arcs(v);
     if (in_arcs.empty()) continue;
 
     // Tokens available from each in-neighbor (per the stale peer view).
-    std::vector<TokenSet> offered;
+    offered.clear();
     offered.reserve(in_arcs.size());
-    bool anything = false;
+    TokenSet offered_any(universe);
     for (ArcId a : in_arcs) {
       TokenSet tokens = view.peer_possession(v, graph.arc(a).from);
       tokens -= mine;
-      anything = anything || !tokens.empty();
+      offered_any |= tokens;
       offered.push_back(std::move(tokens));
     }
-    if (!anything) continue;
+    if (offered_any.empty()) continue;
 
     std::int64_t total_budget = 0;
     for (ArcId a : in_arcs) total_budget += budget[static_cast<std::size_t>(a)];
 
     const TokenSet wanted = view.own_want(v) - mine;
+    const TokenSet ranked_offered = ranker.to_ranks(offered_any);
+    const TokenSet ranked_wanted = ranker.to_ranks(wanted);
     // Two priority passes: wanted tokens first, then pure flood tokens.
-    for (const bool wanted_pass : {true, false}) {
+    // Only offered tokens can turn into requests, so the scan is over
+    // the (ranked) offered set split by wantedness.
+    const TokenSet wanted_pool = ranked_offered & ranked_wanted;
+    const TokenSet flood_pool = ranked_offered - ranked_wanted;
+    for (const TokenSet* pool : {&wanted_pool, &flood_pool}) {
       if (total_budget <= 0) break;
-      for (TokenId t : rarity_order) {
+      for (TokenId r = pool->first(); r >= 0; r = pool->next(r + 1)) {
         if (total_budget <= 0) break;
-        if (wanted.test(t) != wanted_pass) continue;
-        if (mine.test(t)) continue;
-        // Already requested from some arc this step?
-        bool requested = false;
-        for (std::size_t k = 0; k < in_arcs.size() && !requested; ++k)
-          requested = requests[static_cast<std::size_t>(in_arcs[k])].test(t);
-        if (requested) continue;
+        const TokenId t = ranker.token_at(r);
         // Choose the offering arc with the largest remaining budget
         // (balances load across peers); random tie-break via scan order.
         std::int32_t best = -1;

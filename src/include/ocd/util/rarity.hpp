@@ -1,0 +1,80 @@
+// Rarity-ranked token selection kernels shared by the planning
+// heuristics.
+//
+// Every §5.1 heuristic repeatedly picks "the rarest eligible token" out
+// of some candidate set, under a priority permutation rebuilt each step
+// from the global aggregates (holder counts, optionally need counts,
+// optionally a random tie-break).  Scanning that permutation token by
+// token costs O(universe) per pick; the kernel here instead permutes
+// token sets into *rank space* — bit r of a ranked set is the token at
+// priority rank r — where a pick is a word-parallel first-set-bit over
+// masked words and a capacity-bounded fill is a masked-word iteration.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "ocd/util/rng.hpp"
+#include "ocd/util/token_set.hpp"
+
+namespace ocd {
+
+/// Bijection between token ids and priority ranks, plus the permutation
+/// kernels to move TokenSets in and out of rank space.  Rebuilt (not
+/// reallocated) once per planning step.
+class RarityRanker {
+ public:
+  RarityRanker() = default;
+
+  /// Adopts an explicit priority order (order[r] = token at rank r);
+  /// must be a permutation of 0..m-1.
+  void assign(std::vector<TokenId> order);
+
+  /// Priority by ascending holder count.  When `rng` is non-null the
+  /// ties are broken by a random shuffle applied before the stable
+  /// sort — the exact shuffle-then-stable-sort sequence the heuristics
+  /// have always used, so rng consumption is unchanged; with a null
+  /// `rng` ties keep token-id order.
+  void assign_by_rarity(std::span<const std::int32_t> holders, Rng* rng);
+
+  /// Tokens somebody still needs (need > 0) first, then ascending
+  /// holder count within each class; same tie-break contract as
+  /// assign_by_rarity.
+  void assign_by_need_then_rarity(std::span<const std::int32_t> holders,
+                                  std::span<const std::int32_t> need,
+                                  Rng* rng);
+
+  [[nodiscard]] std::size_t universe_size() const noexcept {
+    return order_.size();
+  }
+
+  /// Token id at priority rank r.
+  [[nodiscard]] TokenId token_at(TokenId rank) const {
+    OCD_EXPECTS(rank >= 0 && static_cast<std::size_t>(rank) < order_.size());
+    return order_[static_cast<std::size_t>(rank)];
+  }
+
+  /// Priority rank of token t.
+  [[nodiscard]] TokenId rank_of(TokenId token) const {
+    OCD_EXPECTS(token >= 0 && static_cast<std::size_t>(token) < rank_.size());
+    return rank_[static_cast<std::size_t>(token)];
+  }
+
+  /// Permutes a token-space set into rank space.
+  [[nodiscard]] TokenSet to_ranks(const TokenSet& tokens) const;
+
+  /// Permutes a rank-space set back into token space.
+  [[nodiscard]] TokenSet to_tokens(const TokenSet& ranked) const;
+
+ private:
+  std::vector<TokenId> order_;  ///< rank -> token
+  std::vector<TokenId> rank_;   ///< token -> rank
+};
+
+/// The shared pick: rarest token (lowest rank) present in both ranked
+/// sets, mapped back to its token id; -1 when the sets are disjoint.
+[[nodiscard]] TokenId rarest_in_intersection(const RarityRanker& ranker,
+                                             const TokenSet& ranked_a,
+                                             const TokenSet& ranked_b);
+
+}  // namespace ocd

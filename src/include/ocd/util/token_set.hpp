@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 #include "ocd/util/error.hpp"
@@ -99,6 +100,39 @@ class TokenSet {
         w &= w - 1;
       }
     }
+  }
+
+  /// Smallest id present in both sets, or -1 when the intersection is
+  /// empty.  Word-parallel; neither set is materialized.
+  [[nodiscard]] static TokenId first_in_intersection(const TokenSet& a,
+                                                     const TokenSet& b);
+
+  /// |a & b| without materializing the intersection.
+  [[nodiscard]] static std::size_t count_intersection(const TokenSet& a,
+                                                      const TokenSet& b);
+
+  /// Masked-word iteration: invokes fn for every id of a & b in
+  /// increasing order.  fn may return void, or bool to stop early
+  /// (false = stop).  Returns false iff the iteration was stopped.
+  template <typename Fn>
+  static bool for_each_in_intersection(const TokenSet& a, const TokenSet& b,
+                                       Fn&& fn) {
+    a.check_same_universe(b);
+    for (std::size_t wi = 0; wi < a.words_.size(); ++wi) {
+      std::uint64_t w = a.words_[wi] & b.words_[wi];
+      while (w != 0) {
+        const int bit = __builtin_ctzll(w);
+        const auto t =
+            static_cast<TokenId>(wi * 64 + static_cast<std::size_t>(bit));
+        if constexpr (std::is_invocable_r_v<bool, Fn&, TokenId>) {
+          if (!fn(t)) return false;
+        } else {
+          fn(t);
+        }
+        w &= w - 1;
+      }
+    }
+    return true;
   }
 
   /// Members as a vector, in increasing order.

@@ -1,0 +1,73 @@
+#include "ocd/util/rarity.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace ocd {
+
+void RarityRanker::assign(std::vector<TokenId> order) {
+  order_ = std::move(order);
+  rank_.assign(order_.size(), -1);
+  for (std::size_t r = 0; r < order_.size(); ++r) {
+    const TokenId t = order_[r];
+    OCD_EXPECTS(t >= 0 && static_cast<std::size_t>(t) < order_.size());
+    OCD_EXPECTS(rank_[static_cast<std::size_t>(t)] < 0);  // a permutation
+    rank_[static_cast<std::size_t>(t)] = static_cast<TokenId>(r);
+  }
+}
+
+void RarityRanker::assign_by_rarity(std::span<const std::int32_t> holders,
+                                    Rng* rng) {
+  std::vector<TokenId> order(holders.size());
+  std::iota(order.begin(), order.end(), 0);
+  if (rng != nullptr) rng->shuffle(order);
+  std::stable_sort(order.begin(), order.end(), [&](TokenId a, TokenId b) {
+    return holders[static_cast<std::size_t>(a)] <
+           holders[static_cast<std::size_t>(b)];
+  });
+  assign(std::move(order));
+}
+
+void RarityRanker::assign_by_need_then_rarity(
+    std::span<const std::int32_t> holders, std::span<const std::int32_t> need,
+    Rng* rng) {
+  OCD_EXPECTS(holders.size() == need.size());
+  std::vector<TokenId> order(holders.size());
+  std::iota(order.begin(), order.end(), 0);
+  if (rng != nullptr) rng->shuffle(order);
+  std::stable_sort(order.begin(), order.end(), [&](TokenId a, TokenId b) {
+    const bool needed_a = need[static_cast<std::size_t>(a)] > 0;
+    const bool needed_b = need[static_cast<std::size_t>(b)] > 0;
+    if (needed_a != needed_b) return needed_a;
+    return holders[static_cast<std::size_t>(a)] <
+           holders[static_cast<std::size_t>(b)];
+  });
+  assign(std::move(order));
+}
+
+TokenSet RarityRanker::to_ranks(const TokenSet& tokens) const {
+  OCD_EXPECTS(tokens.universe_size() == order_.size());
+  TokenSet ranked(order_.size());
+  tokens.for_each([&](TokenId t) {
+    ranked.set(rank_[static_cast<std::size_t>(t)]);
+  });
+  return ranked;
+}
+
+TokenSet RarityRanker::to_tokens(const TokenSet& ranked) const {
+  OCD_EXPECTS(ranked.universe_size() == order_.size());
+  TokenSet tokens(order_.size());
+  ranked.for_each([&](TokenId r) {
+    tokens.set(order_[static_cast<std::size_t>(r)]);
+  });
+  return tokens;
+}
+
+TokenId rarest_in_intersection(const RarityRanker& ranker,
+                               const TokenSet& ranked_a,
+                               const TokenSet& ranked_b) {
+  const TokenId rank = TokenSet::first_in_intersection(ranked_a, ranked_b);
+  return rank < 0 ? rank : ranker.token_at(rank);
+}
+
+}  // namespace ocd

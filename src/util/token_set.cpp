@@ -71,6 +71,29 @@ TokenSet& TokenSet::operator^=(const TokenSet& other) {
   return *this;
 }
 
+TokenId TokenSet::first_in_intersection(const TokenSet& a, const TokenSet& b) {
+  a.check_same_universe(b);
+  for (std::size_t wi = 0; wi < a.words_.size(); ++wi) {
+    const std::uint64_t w = a.words_[wi] & b.words_[wi];
+    if (w != 0) {
+      return static_cast<TokenId>(wi * 64 +
+                                  static_cast<std::size_t>(__builtin_ctzll(w)));
+    }
+  }
+  return -1;
+}
+
+std::size_t TokenSet::count_intersection(const TokenSet& a,
+                                         const TokenSet& b) {
+  a.check_same_universe(b);
+  std::size_t n = 0;
+  for (std::size_t wi = 0; wi < a.words_.size(); ++wi) {
+    n += static_cast<std::size_t>(
+        __builtin_popcountll(a.words_[wi] & b.words_[wi]));
+  }
+  return n;
+}
+
 TokenId TokenSet::first() const noexcept {
   for (std::size_t wi = 0; wi < words_.size(); ++wi) {
     if (words_[wi] != 0) {

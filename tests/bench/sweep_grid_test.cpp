@@ -1,0 +1,105 @@
+// The threaded sweep harness (bench/bench_common.hpp): results must
+// come back in configuration order regardless of worker count, the
+// OCD_JOBS override must be honored, exceptions must propagate, and a
+// parallel policy grid must reproduce the serial rows exactly (the
+// byte-identical-CSV guarantee, minus wall-clock columns).  The TSan
+// preset (scripts/check_sanitizers.sh) runs exactly this suite under
+// -fsanitize=thread.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+#include <thread>
+
+#include "bench_common.hpp"
+#include "ocd/core/scenario.hpp"
+#include "ocd/topology/random_graph.hpp"
+
+namespace ocd::bench {
+namespace {
+
+TEST(SweepGrid, EmptyGrid) {
+  const std::vector<int> configs;
+  const auto results = run_grid(configs, [](int c) { return c * 2; }, 4);
+  EXPECT_TRUE(results.empty());
+}
+
+TEST(SweepGrid, PreservesConfigOrder) {
+  std::vector<int> configs;
+  for (int i = 0; i < 100; ++i) configs.push_back(i);
+  // Stagger the work so late configs routinely finish before early
+  // ones; the result order must not care.
+  const auto slow_square = [](int c) {
+    std::this_thread::sleep_for(std::chrono::microseconds((c % 7) * 50));
+    return c * c;
+  };
+  const auto parallel = run_grid(configs, slow_square, 8);
+  const auto serial = run_grid(configs, slow_square, 1);
+  ASSERT_EQ(parallel.size(), configs.size());
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(parallel[static_cast<std::size_t>(i)], i * i);
+  }
+  EXPECT_EQ(parallel, serial);
+}
+
+TEST(SweepGrid, MoreJobsThanConfigs) {
+  const std::vector<int> configs{1, 2, 3};
+  const auto results = run_grid(configs, [](int c) { return c + 10; }, 64);
+  EXPECT_EQ(results, (std::vector<int>{11, 12, 13}));
+}
+
+TEST(SweepGrid, WorkerExceptionPropagates) {
+  std::vector<int> configs;
+  for (int i = 0; i < 32; ++i) configs.push_back(i);
+  const auto faulty = [](int c) -> int {
+    if (c == 17) throw std::runtime_error("config 17 exploded");
+    return c;
+  };
+  EXPECT_THROW(run_grid(configs, faulty, 4), std::runtime_error);
+  EXPECT_THROW(run_grid(configs, faulty, 1), std::runtime_error);
+}
+
+TEST(SweepGrid, JobsEnvOverride) {
+  ASSERT_EQ(setenv("OCD_JOBS", "3", 1), 0);
+  EXPECT_EQ(sweep_jobs(), 3u);
+  ASSERT_EQ(setenv("OCD_JOBS", "0", 1), 0);  // invalid: fall back to hardware
+  const unsigned hw = std::thread::hardware_concurrency();
+  EXPECT_EQ(sweep_jobs(), hw > 0 ? hw : 1u);
+  ASSERT_EQ(unsetenv("OCD_JOBS"), 0);
+  EXPECT_EQ(sweep_jobs(), hw > 0 ? hw : 1u);
+}
+
+// The real workload shape: a (policy x seed) grid of run_policy calls.
+// Every worker builds its own policy and Rng, so a parallel sweep must
+// reproduce the serial metrics bit for bit.
+TEST(SweepGrid, PolicyGridMatchesSerial) {
+  Rng rng(71);
+  Digraph g = topology::random_overlay(24, rng);
+  const auto inst = core::single_source_all_receivers(std::move(g), 16, 0);
+
+  struct Config {
+    std::string policy;
+    std::uint64_t seed;
+  };
+  std::vector<Config> configs;
+  for (const auto& name : heuristics::all_policy_names()) {
+    for (std::uint64_t seed : {3ULL, 71ULL}) configs.push_back({name, seed});
+  }
+  const auto run_one = [&](const Config& c) {
+    return run_policy(inst, c.policy, c.seed);
+  };
+  const auto parallel = run_grid(configs, run_one, 4);
+  const auto serial = run_grid(configs, run_one, 1);
+  ASSERT_EQ(parallel.size(), serial.size());
+  for (std::size_t i = 0; i < parallel.size(); ++i) {
+    EXPECT_EQ(parallel[i].success, serial[i].success) << i;
+    EXPECT_EQ(parallel[i].moves, serial[i].moves) << i;
+    EXPECT_EQ(parallel[i].bandwidth, serial[i].bandwidth) << i;
+    EXPECT_EQ(parallel[i].pruned_bandwidth, serial[i].pruned_bandwidth) << i;
+  }
+}
+
+}  // namespace
+}  // namespace ocd::bench

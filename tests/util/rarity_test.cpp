@@ -1,0 +1,154 @@
+// RarityRanker: the rank permutation must reproduce the heuristics'
+// historic shuffle-then-stable-sort priority order exactly, and the
+// rank-space set kernels must be faithful permutations.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "ocd/util/rarity.hpp"
+#include "ocd/util/rng.hpp"
+#include "ocd/util/token_set.hpp"
+
+namespace ocd {
+namespace {
+
+// The pre-kernel code path, verbatim: shuffle token ids, then stable
+// sort by ascending holder count.
+std::vector<TokenId> legacy_rarity_order(
+    const std::vector<std::int32_t>& holders, Rng& rng) {
+  std::vector<TokenId> order(holders.size());
+  std::iota(order.begin(), order.end(), 0);
+  rng.shuffle(order);
+  std::stable_sort(order.begin(), order.end(), [&](TokenId a, TokenId b) {
+    return holders[static_cast<std::size_t>(a)] <
+           holders[static_cast<std::size_t>(b)];
+  });
+  return order;
+}
+
+std::vector<TokenId> legacy_need_then_rarity_order(
+    const std::vector<std::int32_t>& holders,
+    const std::vector<std::int32_t>& need, Rng& rng) {
+  std::vector<TokenId> order(holders.size());
+  std::iota(order.begin(), order.end(), 0);
+  rng.shuffle(order);
+  std::stable_sort(order.begin(), order.end(), [&](TokenId a, TokenId b) {
+    const bool needed_a = need[static_cast<std::size_t>(a)] > 0;
+    const bool needed_b = need[static_cast<std::size_t>(b)] > 0;
+    if (needed_a != needed_b) return needed_a;
+    return holders[static_cast<std::size_t>(a)] <
+           holders[static_cast<std::size_t>(b)];
+  });
+  return order;
+}
+
+TEST(RarityRanker, ExplicitOrderRoundTrips) {
+  RarityRanker ranker;
+  ranker.assign({3, 0, 2, 1});
+  EXPECT_EQ(ranker.universe_size(), 4u);
+  EXPECT_EQ(ranker.token_at(0), 3);
+  EXPECT_EQ(ranker.token_at(3), 1);
+  EXPECT_EQ(ranker.rank_of(3), 0);
+  EXPECT_EQ(ranker.rank_of(1), 3);
+  for (TokenId t = 0; t < 4; ++t) {
+    EXPECT_EQ(ranker.token_at(ranker.rank_of(t)), t);
+  }
+}
+
+TEST(RarityRanker, MatchesLegacyRarityOrderWithRng) {
+  for (const std::uint64_t seed : {1ULL, 42ULL, 9000ULL}) {
+    Rng make(seed);
+    std::vector<std::int32_t> holders(150);
+    for (auto& h : holders) h = static_cast<std::int32_t>(make.below(6));
+
+    Rng legacy_rng(seed + 7);
+    const auto expected = legacy_rarity_order(holders, legacy_rng);
+
+    Rng kernel_rng(seed + 7);
+    RarityRanker ranker;
+    ranker.assign_by_rarity(holders, &kernel_rng);
+
+    ASSERT_EQ(ranker.universe_size(), holders.size());
+    for (std::size_t r = 0; r < expected.size(); ++r) {
+      ASSERT_EQ(ranker.token_at(static_cast<TokenId>(r)), expected[r])
+          << "seed " << seed << " rank " << r;
+    }
+    // Identical rng consumption: both streams must now agree.
+    EXPECT_EQ(legacy_rng.next(), kernel_rng.next());
+  }
+}
+
+TEST(RarityRanker, NullRngKeepsTokenIdTieOrder) {
+  const std::vector<std::int32_t> holders{2, 1, 2, 0, 1};
+  RarityRanker ranker;
+  ranker.assign_by_rarity(holders, nullptr);
+  // holders==0: {3}; holders==1: {1,4}; holders==2: {0,2}.
+  EXPECT_EQ(ranker.token_at(0), 3);
+  EXPECT_EQ(ranker.token_at(1), 1);
+  EXPECT_EQ(ranker.token_at(2), 4);
+  EXPECT_EQ(ranker.token_at(3), 0);
+  EXPECT_EQ(ranker.token_at(4), 2);
+}
+
+TEST(RarityRanker, MatchesLegacyNeedThenRarityOrder) {
+  for (const std::uint64_t seed : {5ULL, 123ULL}) {
+    Rng make(seed);
+    std::vector<std::int32_t> holders(90);
+    std::vector<std::int32_t> need(90);
+    for (auto& h : holders) h = static_cast<std::int32_t>(make.below(5));
+    for (auto& n : need) n = static_cast<std::int32_t>(make.below(3));
+
+    Rng legacy_rng(seed);
+    const auto expected = legacy_need_then_rarity_order(holders, need,
+                                                        legacy_rng);
+    Rng kernel_rng(seed);
+    RarityRanker ranker;
+    ranker.assign_by_need_then_rarity(holders, need, &kernel_rng);
+    for (std::size_t r = 0; r < expected.size(); ++r) {
+      ASSERT_EQ(ranker.token_at(static_cast<TokenId>(r)), expected[r])
+          << "seed " << seed << " rank " << r;
+    }
+  }
+}
+
+TEST(RarityRanker, RankSpacePermutationRoundTrips) {
+  Rng rng(17);
+  const std::size_t universe = 130;  // spans word boundaries
+  std::vector<std::int32_t> holders(universe);
+  for (auto& h : holders) h = static_cast<std::int32_t>(rng.below(4));
+  RarityRanker ranker;
+  ranker.assign_by_rarity(holders, &rng);
+
+  TokenSet s(universe);
+  for (int i = 0; i < 40; ++i) s.set(static_cast<TokenId>(rng.below(universe)));
+
+  const TokenSet ranked = ranker.to_ranks(s);
+  EXPECT_EQ(ranked.count(), s.count());
+  s.for_each([&](TokenId t) { EXPECT_TRUE(ranked.test(ranker.rank_of(t))); });
+  EXPECT_EQ(ranker.to_tokens(ranked), s);
+}
+
+TEST(RarityRanker, RarestInIntersectionPicksLowestHolderCount) {
+  const std::vector<std::int32_t> holders{5, 1, 3, 0, 4, 2};
+  RarityRanker ranker;
+  ranker.assign_by_rarity(holders, nullptr);
+
+  const std::size_t universe = holders.size();
+  TokenSet a(universe);
+  TokenSet b(universe);
+  // Intersection {0, 2, 4}: rarest by holders is token 2.
+  for (TokenId t : {0, 2, 4}) {
+    a.set(ranker.rank_of(t));
+    b.set(ranker.rank_of(t));
+  }
+  a.set(ranker.rank_of(3));  // only in a — must not win
+  EXPECT_EQ(rarest_in_intersection(ranker, a, b), 2);
+
+  const TokenSet empty(universe);
+  EXPECT_EQ(rarest_in_intersection(ranker, a, empty), -1);
+}
+
+}  // namespace
+}  // namespace ocd

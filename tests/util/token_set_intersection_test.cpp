@@ -1,0 +1,153 @@
+// Word-parallel intersection helpers (first_in_intersection,
+// count_intersection, for_each_in_intersection) against the bit-by-bit
+// reference path, with explicit coverage at the 63/64-bit word
+// boundaries the masked loops must get right.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "ocd/util/rng.hpp"
+#include "ocd/util/token_set.hpp"
+
+namespace ocd {
+namespace {
+
+// Bit-by-bit reference: the pre-word-parallel way of computing each
+// query, kept deliberately naive.
+TokenId ref_first_in_intersection(const TokenSet& a, const TokenSet& b) {
+  for (TokenId t = a.first(); t >= 0; t = a.next(t + 1)) {
+    if (b.test(t)) return t;
+  }
+  return -1;
+}
+
+std::size_t ref_count_intersection(const TokenSet& a, const TokenSet& b) {
+  std::size_t n = 0;
+  for (TokenId t = a.first(); t >= 0; t = a.next(t + 1)) {
+    if (b.test(t)) ++n;
+  }
+  return n;
+}
+
+std::vector<TokenId> ref_members(const TokenSet& a, const TokenSet& b) {
+  std::vector<TokenId> out;
+  for (TokenId t = a.first(); t >= 0; t = a.next(t + 1)) {
+    if (b.test(t)) out.push_back(t);
+  }
+  return out;
+}
+
+std::vector<TokenId> visit_all(const TokenSet& a, const TokenSet& b) {
+  std::vector<TokenId> out;
+  TokenSet::for_each_in_intersection(a, b,
+                                     [&](TokenId t) { out.push_back(t); });
+  return out;
+}
+
+TEST(TokenSetIntersection, EmptyAndDisjoint) {
+  TokenSet a(130);
+  TokenSet b(130);
+  EXPECT_EQ(TokenSet::first_in_intersection(a, b), -1);
+  EXPECT_EQ(TokenSet::count_intersection(a, b), 0u);
+  EXPECT_TRUE(visit_all(a, b).empty());
+
+  a.set(0);
+  a.set(64);
+  b.set(63);
+  b.set(129);
+  EXPECT_EQ(TokenSet::first_in_intersection(a, b), -1);
+  EXPECT_EQ(TokenSet::count_intersection(a, b), 0u);
+  EXPECT_TRUE(visit_all(a, b).empty());
+}
+
+TEST(TokenSetIntersection, WordBoundaryBits) {
+  // Bits 63 (last of word 0), 64 (first of word 1), 127/128 likewise.
+  for (const TokenId t : {63, 64, 127, 128}) {
+    TokenSet a(192);
+    TokenSet b(192);
+    a.set(t);
+    b.set(t);
+    EXPECT_EQ(TokenSet::first_in_intersection(a, b), t);
+    EXPECT_EQ(TokenSet::count_intersection(a, b), 1u);
+    EXPECT_EQ(visit_all(a, b), std::vector<TokenId>{t});
+  }
+}
+
+TEST(TokenSetIntersection, UniverseExactlyOneWord) {
+  // 64-token universe: a single exactly-full word, no tail.
+  TokenSet a = TokenSet::full(64);
+  TokenSet b = TokenSet::full(64);
+  EXPECT_EQ(TokenSet::first_in_intersection(a, b), 0);
+  EXPECT_EQ(TokenSet::count_intersection(a, b), 64u);
+  a.reset(0);
+  b.reset(63);
+  EXPECT_EQ(TokenSet::first_in_intersection(a, b), 1);
+  EXPECT_EQ(TokenSet::count_intersection(a, b), 62u);
+}
+
+TEST(TokenSetIntersection, UniverseSixtyThreeAndSixtyFive) {
+  // 63 tokens: one partial word.  65 tokens: full word + 1-bit tail.
+  for (const std::size_t universe : {std::size_t{63}, std::size_t{65}}) {
+    TokenSet a = TokenSet::full(universe);
+    TokenSet b(universe);
+    const auto last = static_cast<TokenId>(universe - 1);
+    b.set(last);
+    EXPECT_EQ(TokenSet::first_in_intersection(a, b), last);
+    EXPECT_EQ(TokenSet::count_intersection(a, b), 1u);
+    EXPECT_EQ(visit_all(a, b), std::vector<TokenId>{last});
+  }
+}
+
+TEST(TokenSetIntersection, EarlyExitStopsVisiting) {
+  TokenSet a = TokenSet::full(100);
+  TokenSet b = TokenSet::full(100);
+  std::vector<TokenId> seen;
+  const bool completed =
+      TokenSet::for_each_in_intersection(a, b, [&](TokenId t) {
+        seen.push_back(t);
+        return t < 5;  // stop after visiting 5
+      });
+  EXPECT_FALSE(completed);
+  EXPECT_EQ(seen, (std::vector<TokenId>{0, 1, 2, 3, 4, 5}));
+}
+
+class TokenSetIntersectionFuzz
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TokenSetIntersectionFuzz, MatchesBitByBitReference) {
+  Rng rng(GetParam());
+  for (int round = 0; round < 60; ++round) {
+    // Bias the universe toward word boundaries.
+    static const std::size_t kSizes[] = {1,  62,  63,  64,  65, 66,
+                                         127, 128, 129, 200, 256};
+    const std::size_t universe =
+        rng.below(2) == 0 ? kSizes[rng.below(std::size(kSizes))]
+                          : 1 + rng.below(300);
+    TokenSet a(universe);
+    TokenSet b(universe);
+    const std::size_t density = 1 + rng.below(universe);
+    for (std::size_t i = 0; i < density; ++i) {
+      a.set(static_cast<TokenId>(rng.below(universe)));
+      if (rng.below(4) != 0) b.set(static_cast<TokenId>(rng.below(universe)));
+    }
+
+    ASSERT_EQ(TokenSet::first_in_intersection(a, b),
+              ref_first_in_intersection(a, b))
+        << "universe " << universe;
+    ASSERT_EQ(TokenSet::count_intersection(a, b),
+              ref_count_intersection(a, b))
+        << "universe " << universe;
+    ASSERT_EQ(visit_all(a, b), ref_members(a, b)) << "universe " << universe;
+    // Symmetry.
+    ASSERT_EQ(TokenSet::first_in_intersection(b, a),
+              ref_first_in_intersection(a, b));
+    ASSERT_EQ(TokenSet::count_intersection(b, a),
+              ref_count_intersection(a, b));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TokenSetIntersectionFuzz,
+                         ::testing::Range<std::uint64_t>(0, 8));
+
+}  // namespace
+}  // namespace ocd
