@@ -10,6 +10,7 @@
 #include "ocd/core/scenario.hpp"
 #include "ocd/core/validate.hpp"
 #include "ocd/exact/ip_builder.hpp"
+#include "ocd/faults/model.hpp"
 #include "ocd/graph/algorithms.hpp"
 #include "ocd/heuristics/factory.hpp"
 #include "ocd/lp/simplex.hpp"
@@ -229,6 +230,37 @@ BENCHMARK_CAPTURE(BM_PlannerStepsPerSec, round_robin, "round-robin")
 // its tracked point at the smaller workload.
 BENCHMARK_CAPTURE(BM_PlannerStepsPerSec, bandwidth, "bandwidth")
     ->Args({200, 128})
+    ->Unit(benchmark::kMillisecond);
+
+// Fault path: the same bounded-window workload with 20% uniform loss
+// and the reliable-transfer adapter in the loop, so the snapshot in
+// BENCH_planner.json also guards the lossy apply phase and the
+// adapter's ack/retransmit bookkeeping.
+void BM_PlannerStepsPerSecLossy(benchmark::State& state, const char* name) {
+  const auto n = static_cast<std::int32_t>(state.range(0));
+  const auto tokens = static_cast<std::int32_t>(state.range(1));
+  Rng rng(29);
+  Digraph g = topology::random_overlay(n, rng);
+  const auto inst = core::single_source_all_receivers(std::move(g), tokens, 0);
+  std::int64_t steps = 0;
+  for (auto _ : state) {
+    faults::UniformLoss loss(0.2);
+    auto policy = heuristics::make_policy(name);
+    sim::SimOptions options;
+    options.seed = 7;
+    options.record_schedule = false;
+    options.faults = &loss;
+    options.max_steps = 24;  // bounded window: measures steps, not runs
+    const auto result = sim::run(inst, *policy, options);
+    steps += result.steps;
+    benchmark::DoNotOptimize(result.bandwidth);
+  }
+  state.SetItemsProcessed(steps);
+}
+BENCHMARK_CAPTURE(BM_PlannerStepsPerSecLossy, random_reliable,
+                  "random+reliable")
+    ->Args({200, 128})
+    ->Args({1000, 512})
     ->Unit(benchmark::kMillisecond);
 
 void BM_ValidateAndPrune(benchmark::State& state) {

@@ -26,11 +26,13 @@ ctest "${ctest_args[@]}"
 # ThreadSanitizer pass: the threaded sweep harness (bench/bench_common.hpp
 # run_grid) is the only intentionally concurrent code; the SweepGrid suite
 # drives it, including a full (policy x seed) grid of run_policy calls, so
-# any shared mutable state in the planners shows up here.
+# any shared mutable state in the planners shows up here.  FaultSweep runs
+# the lossy fig_loss workload shape (fault models + reliable adapters) on
+# the same pool.
 cmake --preset tsan
 cmake --build --preset tsan -j "$(nproc)" --target ocd_tests
 
 export TSAN_OPTIONS="halt_on_error=1"
-ctest --preset tsan -j "$(nproc)" -R "${OCD_TSAN_FILTER:-SweepGrid}"
+ctest --preset tsan -j "$(nproc)" -R "${OCD_TSAN_FILTER:-SweepGrid|FaultSweep}"
 
 echo "Sanitizer run clean."

@@ -1,0 +1,102 @@
+#include "ocd/faults/model.hpp"
+
+namespace ocd::faults {
+
+void FaultModel::reset(const core::Instance&, std::uint64_t) {}
+
+void FaultModel::begin_step(std::int64_t, const Digraph&) {}
+
+// ---------------------------------------------------------------------
+// UniformLoss
+// ---------------------------------------------------------------------
+UniformLoss::UniformLoss(double rate) : rate_(rate) {
+  OCD_EXPECTS(rate >= 0.0 && rate <= 1.0);
+}
+
+void UniformLoss::reset(const core::Instance&, std::uint64_t seed) {
+  rng_ = Rng(seed ^ 0x70553a11ULL);
+}
+
+void UniformLoss::lost(std::int64_t, ArcId, const TokenSet& sent,
+                       TokenSet& lost) {
+  // Rate-0 draws nothing, so a zero-rate model leaves the run (and its
+  // own RNG stream) bit-identical to a no-faults run; rate-1 loses
+  // everything without consuming randomness either.
+  if (rate_ == 0.0) return;
+  if (rate_ == 1.0) {
+    lost |= sent;
+    return;
+  }
+  sent.for_each([&](TokenId t) {
+    if (rng_.chance(rate_)) lost.set(t);
+  });
+}
+
+// ---------------------------------------------------------------------
+// GilbertElliott
+// ---------------------------------------------------------------------
+GilbertElliott::GilbertElliott(double p_good_to_bad, double p_bad_to_good,
+                               double loss_good, double loss_bad)
+    : p_good_to_bad_(p_good_to_bad),
+      p_bad_to_good_(p_bad_to_good),
+      loss_good_(loss_good),
+      loss_bad_(loss_bad) {
+  OCD_EXPECTS(p_good_to_bad >= 0.0 && p_good_to_bad <= 1.0);
+  OCD_EXPECTS(p_bad_to_good >= 0.0 && p_bad_to_good <= 1.0);
+  OCD_EXPECTS(loss_good >= 0.0 && loss_good <= 1.0);
+  OCD_EXPECTS(loss_bad >= 0.0 && loss_bad <= 1.0);
+}
+
+void GilbertElliott::reset(const core::Instance& inst, std::uint64_t seed) {
+  bad_.assign(static_cast<std::size_t>(inst.graph().num_arcs()), 0);
+  state_rng_ = Rng(seed ^ 0x6e5b4a09ULL);
+  drop_rng_ = Rng(seed ^ 0x1b2d6c4fULL);
+}
+
+void GilbertElliott::begin_step(std::int64_t, const Digraph& graph) {
+  OCD_EXPECTS(bad_.size() == static_cast<std::size_t>(graph.num_arcs()));
+  for (char& state : bad_) {
+    if (state == 0) {
+      if (state_rng_.chance(p_good_to_bad_)) state = 1;
+    } else {
+      if (state_rng_.chance(p_bad_to_good_)) state = 0;
+    }
+  }
+}
+
+bool GilbertElliott::bad(ArcId arc) const {
+  OCD_EXPECTS(arc >= 0 && static_cast<std::size_t>(arc) < bad_.size());
+  return bad_[static_cast<std::size_t>(arc)] != 0;
+}
+
+void GilbertElliott::lost(std::int64_t, ArcId arc, const TokenSet& sent,
+                          TokenSet& lost) {
+  const double rate = bad(arc) ? loss_bad_ : loss_good_;
+  if (rate == 0.0) return;
+  if (rate == 1.0) {
+    lost |= sent;
+    return;
+  }
+  sent.for_each([&](TokenId t) {
+    if (drop_rng_.chance(rate)) lost.set(t);
+  });
+}
+
+// ---------------------------------------------------------------------
+// FaultPlan
+// ---------------------------------------------------------------------
+FaultPlan& FaultPlan::drop(std::int64_t step, ArcId arc, TokenId token) {
+  OCD_EXPECTS(step >= 0 && arc >= 0 && token >= 0);
+  drops_.emplace(step, arc, token);
+  return *this;
+}
+
+void FaultPlan::lost(std::int64_t step, ArcId arc, const TokenSet& sent,
+                     TokenSet& lost) {
+  if (drops_.empty()) return;
+  sent.for_each([&](TokenId t) {
+    if (drops_.count({step, arc, t}) != 0) lost.set(t);
+  });
+}
+
+}  // namespace ocd::faults

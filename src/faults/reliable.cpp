@@ -1,0 +1,130 @@
+#include "ocd/faults/reliable.hpp"
+
+#include <algorithm>
+
+#include "ocd/sim/stats.hpp"
+
+namespace ocd::faults {
+
+using sim::KnowledgeClass;
+using sim::StepPlan;
+using sim::StepView;
+
+ReliableAdapter::ReliableAdapter(sim::PolicyPtr inner,
+                                 std::int32_t base_timeout,
+                                 std::int32_t max_backoff)
+    : inner_(std::move(inner)),
+      base_timeout_(base_timeout),
+      max_backoff_(max_backoff) {
+  OCD_EXPECTS(inner_ != nullptr);
+  OCD_EXPECTS(base_timeout >= 1);
+  OCD_EXPECTS(max_backoff >= base_timeout);
+  name_ = std::string(inner_->name()) + "+reliable";
+}
+
+KnowledgeClass ReliableAdapter::knowledge_class() const {
+  // Acknowledgements are read off peer possession snapshots, so the
+  // adapter needs at least kLocalPeers; a better-informed inner policy
+  // keeps its own class.
+  return std::max(inner_->knowledge_class(), KnowledgeClass::kLocalPeers);
+}
+
+void ReliableAdapter::reset(const core::Instance& inst, std::uint64_t seed) {
+  inner_->reset(inst, seed);
+  inflight_.clear();
+  retransmissions_ = 0;
+  trimmed_moves_ = 0;
+}
+
+void ReliableAdapter::plan_step(const StepView& view, StepPlan& plan) {
+  const std::int64_t step = view.step();
+  const auto universe = static_cast<std::size_t>(view.num_tokens());
+
+  // Implicit acks: a peer snapshot showing the token means it landed
+  // (possession is monotone, so once seen it stays delivered).
+  for (auto it = inflight_.begin(); it != inflight_.end();) {
+    const auto [arc, token] = it->first;
+    const Arc& a = view.graph().arc(arc);
+    if (view.peer_possession(a.from, a.to).test(token)) {
+      it = inflight_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+
+  StepPlan scratch(view.graph());
+  inner_->plan_step(view, scratch);
+  if (scratch.idle_marked()) plan.mark_idle();
+  core::Timestep inner_step = scratch.take();
+  inner_step.compact();
+
+  // Per-arc budget tracking, touched arcs only.  `planned` prevents a
+  // token from being charged twice when a retransmission and the inner
+  // policy pick the same (arc, token) this step.
+  struct ArcBudget {
+    std::int32_t remaining = 0;
+    TokenSet planned;
+  };
+  std::map<ArcId, ArcBudget> budgets;
+  const auto budget_for = [&](ArcId arc) -> ArcBudget& {
+    auto [it, inserted] = budgets.try_emplace(arc);
+    if (inserted) {
+      it->second.remaining = view.capacity(arc);
+      it->second.planned = TokenSet(universe);
+    }
+    return it->second;
+  };
+
+  // Retransmissions first: recovering a lost token unblocks the
+  // receiver now, while the inner policy's fresh sends can wait a turn.
+  bool sent_any = false;
+  for (auto& [key, entry] : inflight_) {
+    if (step < entry.retry_at) continue;
+    const auto [arc, token] = key;
+    ArcBudget& budget = budget_for(arc);
+    if (budget.remaining <= 0) continue;  // retry_at stays in the past:
+                                          // eligible again next step
+    plan.send(arc, token, universe);
+    sent_any = true;
+    budget.planned.set(token);
+    --budget.remaining;
+    ++retransmissions_;
+    entry.backoff = std::min(entry.backoff * 2, max_backoff_);
+    entry.retry_at = step + entry.backoff;
+  }
+
+  // The inner policy's plan, trimmed to what the retransmissions left.
+  for (const core::ArcSend& send : inner_step.sends()) {
+    ArcBudget& budget = budget_for(send.arc);
+    TokenSet fresh = send.tokens;
+    fresh -= budget.planned;  // already on the wire this step
+    auto want = static_cast<std::int64_t>(fresh.count());
+    if (want > budget.remaining) {
+      trimmed_moves_ += want - std::max<std::int64_t>(budget.remaining, 0);
+      fresh.truncate(static_cast<std::size_t>(
+          std::max<std::int32_t>(budget.remaining, 0)));
+      want = static_cast<std::int64_t>(fresh.count());
+    }
+    if (want == 0) continue;
+    plan.send(send.arc, fresh);
+    sent_any = true;
+    budget.planned |= fresh;
+    budget.remaining -= static_cast<std::int32_t>(want);
+    fresh.for_each([&](TokenId t) {
+      inflight_.try_emplace({send.arc, t},
+                            InFlight{step + base_timeout_, base_timeout_});
+    });
+  }
+
+  // A quiet step while transfers await their backoff deadline is an
+  // intentional pause, not a stall.
+  if (!sent_any && !inflight_.empty()) plan.mark_idle();
+}
+
+void ReliableAdapter::finish_run(sim::RunStats& stats) {
+  stats.retransmissions += retransmissions_;
+  stats.adapter_dropped_moves += trimmed_moves_;
+  inner_->finish_run(stats);
+}
+
+}  // namespace ocd::faults

@@ -1,5 +1,6 @@
 #include "ocd/heuristics/factory.hpp"
 
+#include "ocd/faults/reliable.hpp"
 #include "ocd/heuristics/architectures.hpp"
 #include "ocd/heuristics/bandwidth_saver.hpp"
 #include "ocd/heuristics/global_greedy.hpp"
@@ -16,6 +17,14 @@ const std::vector<std::string>& all_policy_names() {
 }
 
 sim::PolicyPtr make_policy(std::string_view name) {
+  // "<base>+reliable" wraps any registered policy in the sender-side
+  // ack/timeout/retransmission adapter (recovery under lossy delivery).
+  constexpr std::string_view kReliableSuffix = "+reliable";
+  if (name.size() > kReliableSuffix.size() &&
+      name.substr(name.size() - kReliableSuffix.size()) == kReliableSuffix) {
+    return std::make_unique<faults::ReliableAdapter>(
+        make_policy(name.substr(0, name.size() - kReliableSuffix.size())));
+  }
   if (name == "round-robin") return std::make_unique<RoundRobinPolicy>();
   if (name == "random") return std::make_unique<RandomPolicy>();
   if (name == "local") return std::make_unique<RarestRandomPolicy>();

@@ -1,0 +1,132 @@
+// Lossy-delivery fault injection (§6 changing network conditions, the
+// delivery half).
+//
+// The DynamicsModel layer rewrites per-arc *capacities* — what a policy
+// is allowed to send.  A FaultModel attacks the other half of the §6
+// story: transfers that the sender legitimately planned (and that
+// consumed arc capacity) are silently lost in flight.  The simulator
+// queries the model once per ArcSend during the apply phase; the tokens
+// it reports lost never reach the receiver's possession set, never
+// touch the incremental aggregates, and are charged to
+// RunStats::lost_moves and the per-step loss trace.
+//
+// Loss semantics (documented in docs/MODEL.md "Fault model & recovery"):
+//   * capacity is consumed — a lost transfer still occupied the arc;
+//   * possession is not mutated — monotonicity of p_i(v) is preserved;
+//   * knowledge stays truthful — peer snapshots show the receiver still
+//     lacking the token; only a *sender's private belief* that its send
+//     landed can be wrong, which is exactly the gap ReliableAdapter
+//     closes with ack/timeout/retransmission.
+//
+// All models are deterministic: the same (instance, seed, send
+// sequence) yields a bit-identical loss trace, and channel state (the
+// Gilbert-Elliott chain) evolves per step independently of traffic, so
+// two runs with the same seed agree even when their policies differ in
+// *when* they send.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <string_view>
+#include <tuple>
+#include <vector>
+
+#include "ocd/core/instance.hpp"
+#include "ocd/util/rng.hpp"
+
+namespace ocd::faults {
+
+class FaultModel {
+ public:
+  virtual ~FaultModel() = default;
+
+  [[nodiscard]] virtual std::string_view name() const = 0;
+
+  /// Called once per run before the first step.
+  virtual void reset(const core::Instance& instance, std::uint64_t seed);
+
+  /// Called once per timestep (whether or not traffic flows), before
+  /// any lost() query for that step.  Stateful channels advance here so
+  /// their trajectory is a function of (seed, step) alone, never of the
+  /// policy's send pattern.  Default: no-op.
+  virtual void begin_step(std::int64_t step, const Digraph& graph);
+
+  /// Fills `lost` (caller scratch, same universe as `sent`, cleared on
+  /// entry) with the subset of `sent` dropped on `arc` this step.
+  virtual void lost(std::int64_t step, ArcId arc, const TokenSet& sent,
+                    TokenSet& lost) = 0;
+};
+
+/// Every token-transfer is lost independently with probability `rate`.
+class UniformLoss final : public FaultModel {
+ public:
+  explicit UniformLoss(double rate);
+
+  [[nodiscard]] std::string_view name() const override {
+    return "uniform-loss";
+  }
+  [[nodiscard]] double rate() const noexcept { return rate_; }
+  void reset(const core::Instance& instance, std::uint64_t seed) override;
+  void lost(std::int64_t step, ArcId arc, const TokenSet& sent,
+            TokenSet& lost) override;
+
+ private:
+  double rate_;
+  Rng rng_{1};
+};
+
+/// Bursty loss: each arc is an independent two-state Markov channel
+/// (Gilbert-Elliott).  A good arc turns bad with probability
+/// `p_good_to_bad` per step and recovers with `p_bad_to_good`; tokens
+/// are lost with `loss_good` / `loss_bad` depending on the arc's state.
+/// Channel states advance once per step for every arc (in begin_step),
+/// so the state trajectory is independent of which arcs carry traffic.
+class GilbertElliott final : public FaultModel {
+ public:
+  GilbertElliott(double p_good_to_bad, double p_bad_to_good,
+                 double loss_good = 0.0, double loss_bad = 1.0);
+
+  [[nodiscard]] std::string_view name() const override {
+    return "gilbert-elliott";
+  }
+  void reset(const core::Instance& instance, std::uint64_t seed) override;
+  void begin_step(std::int64_t step, const Digraph& graph) override;
+  void lost(std::int64_t step, ArcId arc, const TokenSet& sent,
+            TokenSet& lost) override;
+
+  /// True when `arc` is in the bad state for the current step.
+  [[nodiscard]] bool bad(ArcId arc) const;
+
+ private:
+  double p_good_to_bad_;
+  double p_bad_to_good_;
+  double loss_good_;
+  double loss_bad_;
+  std::vector<char> bad_;   ///< per-arc channel state
+  Rng state_rng_{1};        ///< drives the per-step state chain
+  Rng drop_rng_{1};         ///< drives per-token drops (traffic-dependent)
+};
+
+/// Scriptable drops: loses exactly the (step, arc, token) events added
+/// with drop().  Seed-independent by construction — the reproducible
+/// regression harness for "this exact transfer failed".
+class FaultPlan final : public FaultModel {
+ public:
+  FaultPlan() = default;
+
+  [[nodiscard]] std::string_view name() const override { return "fault-plan"; }
+
+  /// Schedules the loss of `token` on `arc` at `step`.  Returns *this
+  /// so scripts chain: plan.drop(0, 2, 5).drop(1, 2, 5);
+  FaultPlan& drop(std::int64_t step, ArcId arc, TokenId token);
+
+  void lost(std::int64_t step, ArcId arc, const TokenSet& sent,
+            TokenSet& lost) override;
+
+  [[nodiscard]] std::size_t size() const noexcept { return drops_.size(); }
+
+ private:
+  std::set<std::tuple<std::int64_t, ArcId, TokenId>> drops_;
+};
+
+}  // namespace ocd::faults

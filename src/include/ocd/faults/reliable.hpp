@@ -1,0 +1,73 @@
+// Sender-side reliable transfer over a lossy network.
+//
+// ReliableAdapter wraps any Policy with the classic ack/timeout/
+// retransmission loop: every token it puts on an arc is tracked as
+// in-flight, delivery is acknowledged implicitly through the knowledge
+// view (the peer's possession snapshot eventually shows the token), and
+// transfers still unacknowledged after a timeout are rescheduled with
+// capped exponential backoff.  Retransmissions take arc capacity ahead
+// of the inner policy's fresh sends; fresh sends that no longer fit are
+// trimmed (counted as adapter drops, the same axis as GroupAdapter's
+// congestion drops).
+//
+// With staleness k the peer snapshot lags k steps, so acknowledgements
+// arrive at the earliest k+1 steps after delivery; `base_timeout` must
+// exceed that lag or every send is retransmitted at least once (wasted
+// bandwidth, never incorrect — a retransmission of a delivered token is
+// simply redundant).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+
+#include "ocd/sim/policy.hpp"
+
+namespace ocd::faults {
+
+class ReliableAdapter final : public sim::Policy {
+ public:
+  /// `base_timeout`: steps to wait for an acknowledgement before the
+  /// first retransmission (doubles per retry up to `max_backoff`).
+  explicit ReliableAdapter(sim::PolicyPtr inner, std::int32_t base_timeout = 2,
+                           std::int32_t max_backoff = 16);
+
+  [[nodiscard]] std::string_view name() const override { return name_; }
+  [[nodiscard]] sim::KnowledgeClass knowledge_class() const override;
+
+  void reset(const core::Instance& instance, std::uint64_t seed) override;
+  void plan_step(const sim::StepView& view, sim::StepPlan& plan) override;
+  void finish_run(sim::RunStats& stats) override;
+
+  [[nodiscard]] std::int64_t retransmissions() const noexcept {
+    return retransmissions_;
+  }
+  /// Inner-policy tokens trimmed because retransmissions had taken the
+  /// arc's capacity (they never reached the wire).
+  [[nodiscard]] std::int64_t trimmed_moves() const noexcept {
+    return trimmed_moves_;
+  }
+  /// Transfers currently awaiting acknowledgement.
+  [[nodiscard]] std::size_t in_flight() const noexcept {
+    return inflight_.size();
+  }
+
+ private:
+  struct InFlight {
+    std::int64_t retry_at = 0;  ///< next step eligible for retransmission
+    std::int32_t backoff = 0;   ///< current timeout (doubles per retry)
+  };
+
+  sim::PolicyPtr inner_;
+  std::string name_;
+  std::int32_t base_timeout_;
+  std::int32_t max_backoff_;
+  /// Ordered by (arc, token) so capacity contention resolves
+  /// deterministically.
+  std::map<std::pair<ArcId, TokenId>, InFlight> inflight_;
+  std::int64_t retransmissions_ = 0;
+  std::int64_t trimmed_moves_ = 0;
+};
+
+}  // namespace ocd::faults

@@ -15,6 +15,8 @@ namespace ocd::heuristics {
 const std::vector<std::string>& all_policy_names();
 
 /// Constructs a policy by name; throws ocd::Error for unknown names.
+/// A "+reliable" suffix (e.g. "random+reliable") wraps the base policy
+/// in faults::ReliableAdapter for recovery under lossy delivery.
 sim::PolicyPtr make_policy(std::string_view name);
 
 /// Convenience: all five policies, paper order.

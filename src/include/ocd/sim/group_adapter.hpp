@@ -27,6 +27,9 @@ class GroupConstrainedPolicy final : public Policy {
 
   void reset(const core::Instance& instance, std::uint64_t seed) override;
   void plan_step(const StepView& view, StepPlan& plan) override;
+  /// Folds the congestion drops into RunStats::adapter_dropped_moves so
+  /// they land on the same wasted-bandwidth axis as fault losses.
+  void finish_run(RunStats& stats) override;
 
   /// Tokens dropped so far because a shared physical link was full.
   [[nodiscard]] std::int64_t dropped_moves() const noexcept {

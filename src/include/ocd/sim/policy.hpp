@@ -10,6 +10,8 @@
 
 namespace ocd::sim {
 
+struct RunStats;
+
 /// Mutable plan for one timestep.  Policies add sends; the simulator
 /// validates them against capacity and possession afterwards, so a
 /// buggy policy is caught rather than silently corrupting a run.
@@ -69,6 +71,12 @@ class Policy {
   /// Per-vertex decision: fill sends for `self`'s out-arcs.
   virtual void plan_vertex(VertexId self, const StepView& view,
                            StepPlan& plan);
+
+  /// Called once by the simulator on every exit path, after the last
+  /// step.  Adapters fold their private counters (congestion drops,
+  /// retransmissions) into the run's stats here; wrappers must forward
+  /// to their inner policy.  Default: no-op.
+  virtual void finish_run(RunStats& stats);
 };
 
 using PolicyPtr = std::unique_ptr<Policy>;

@@ -20,6 +20,14 @@
 //    policies and maintained incrementally on delivery;
 //  * zero-staleness snapshot views alias the live possession vector.
 // On every exit path, `stats.moves_per_step.size() == steps` holds.
+//
+// With a FaultModel installed the apply phase becomes lossy: validated
+// sends consume capacity, but tokens the model eats never mutate
+// possession, aggregates, or snapshots (knowledge stays truthful — a
+// peer view shows the receiver still lacking the token).  The recorded
+// schedule keeps only delivered tokens, so it remains a valid
+// loss-free schedule reaching the same final state; moves_per_step and
+// RunStats::total_moves() count what hit the wire, lost included.
 #pragma once
 
 #include <cstdint>
@@ -34,6 +42,10 @@
 
 namespace ocd::dynamics {
 class DynamicsModel;
+}
+
+namespace ocd::faults {
+class FaultModel;
 }
 
 namespace ocd::sim {
@@ -57,10 +69,23 @@ struct SimOptions {
   /// automatically when the policy requires them.
   bool precompute_distances = false;
   /// Optional §6 changing-network-conditions model (caller-owned; must
-  /// outlive the run).  Rewrites per-arc effective capacities each
+  /// outlive the run — the simulator stores only this raw pointer and
+  /// calls it every step).  Rewrites per-arc effective capacities each
   /// step; a step in which the network leaves no sendable capacity is
   /// then a legitimate (idle) step rather than a policy stall.
   dynamics::DynamicsModel* dynamics = nullptr;
+  /// Optional lossy-delivery fault model (caller-owned; must outlive
+  /// the run, like `dynamics`).  Queried during the apply phase: tokens
+  /// it reports lost consume arc capacity but never mutate possession
+  /// (see ocd/faults/model.hpp for the full loss semantics).
+  faults::FaultModel* faults = nullptr;
+  /// Progress watchdog: terminate after this many consecutive steps
+  /// without a single useful delivery while wants remain outstanding —
+  /// distinguishing "the network ate everything" (and a policy that
+  /// retries forever) from an infinite run.  0 (default) arms the
+  /// watchdog with a 256-step window whenever a fault model is active;
+  /// -1 disables it; any positive value arms it unconditionally.
+  std::int64_t no_progress_window = 0;
   /// Optional completion override (§6 encoding): a vertex counts as
   /// satisfied when this predicate accepts its possession set, instead
   /// of the default w(v) ⊆ p(v).  Policies still see the instance's
@@ -68,10 +93,26 @@ struct SimOptions {
   std::function<bool(VertexId, const TokenSet&)> completion;
 };
 
+/// Why a run ended.  kSatisfied is the only successful outcome; the
+/// others separate "the policy gave up" (kPolicyStalled: empty step,
+/// no dynamics excuse) from "the policy kept trying but nothing useful
+/// landed for a whole watchdog window" (kNoProgress — under heavy loss
+/// the network, not the policy, is the culprit; RunStats::lost_per_step
+/// over the final window tells which).
+enum class Termination : std::uint8_t {
+  kSatisfied,      ///< every want satisfied
+  kPolicyStalled,  ///< empty non-idle step without a dynamics model
+  kNoProgress,     ///< watchdog: no useful delivery for a full window
+  kMaxSteps,       ///< step budget exhausted
+};
+
+const char* to_string(Termination t);
+
 struct RunResult {
   bool success = false;
   std::int64_t steps = 0;
   std::int64_t bandwidth = 0;
+  Termination termination = Termination::kSatisfied;
   core::Schedule schedule;  ///< Empty unless options.record_schedule.
   RunStats stats;
 };

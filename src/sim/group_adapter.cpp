@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "ocd/sim/stats.hpp"
+
 namespace ocd::sim {
 
 GroupConstrainedPolicy::GroupConstrainedPolicy(
@@ -63,6 +65,11 @@ void GroupConstrainedPolicy::plan_step(const StepView& view, StepPlan& plan) {
           static_cast<std::int32_t>(trimmed.count());
     plan.send(send.arc, trimmed);
   }
+}
+
+void GroupConstrainedPolicy::finish_run(RunStats& stats) {
+  stats.adapter_dropped_moves += dropped_moves_;
+  inner_->finish_run(stats);
 }
 
 }  // namespace ocd::sim

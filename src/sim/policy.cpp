@@ -61,4 +61,6 @@ void Policy::plan_step(const StepView& view, StepPlan& plan) {
 
 void Policy::plan_vertex(VertexId, const StepView&, StepPlan&) {}
 
+void Policy::finish_run(RunStats&) {}
+
 }  // namespace ocd::sim

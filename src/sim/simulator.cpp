@@ -3,12 +3,48 @@
 #include <sstream>
 
 #include "ocd/dynamics/model.hpp"
+#include "ocd/faults/model.hpp"
 #include "ocd/graph/algorithms.hpp"
 #include "ocd/util/stopwatch.hpp"
 
 namespace ocd::sim {
 
+const char* to_string(Termination t) {
+  switch (t) {
+    case Termination::kSatisfied:
+      return "satisfied";
+    case Termination::kPolicyStalled:
+      return "policy-stalled";
+    case Termination::kNoProgress:
+      return "no-progress";
+    case Termination::kMaxSteps:
+      return "max-steps";
+  }
+  return "unknown";
+}
+
 namespace {
+
+/// Watchdog window when no_progress_window is 0 ("auto") and a fault
+/// model is active.
+constexpr std::int64_t kDefaultNoProgressWindow = 256;
+
+void validate_options(const SimOptions& options) {
+  if (options.max_steps < 0) {
+    throw Error("SimOptions.max_steps must be >= 0, got " +
+                std::to_string(options.max_steps));
+  }
+  if (options.staleness < 0) {
+    throw Error("SimOptions.staleness must be >= 0, got " +
+                std::to_string(options.staleness));
+  }
+  if (options.no_progress_window < -1) {
+    throw Error(
+        "SimOptions.no_progress_window must be -1 (off), 0 (auto) or "
+        "positive, got " +
+        std::to_string(options.no_progress_window));
+  }
+}
 
 /// Per-vertex satisfaction: the instance's want-subset rule, or the
 /// caller's completion override (coding thresholds etc).
@@ -50,6 +86,7 @@ void validate_sends(const core::Instance& inst, const core::Timestep& timestep,
 
 RunResult run(const core::Instance& inst, Policy& policy,
               const SimOptions& options) {
+  validate_options(options);
   inst.validate();
   Stopwatch timer;
   RunResult result;
@@ -85,6 +122,14 @@ RunResult run(const core::Instance& inst, Policy& policy,
 
   policy.reset(inst, options.seed);
   if (options.dynamics != nullptr) options.dynamics->reset(inst, options.seed);
+  const bool faulted = options.faults != nullptr;
+  if (faulted) options.faults->reset(inst, options.seed);
+
+  // Watchdog: 0 = auto (armed with the default window iff faults are
+  // active), -1 = off, positive = armed with that window.
+  std::int64_t watchdog_window = options.no_progress_window;
+  if (watchdog_window == 0)
+    watchdog_window = faulted ? kDefaultNoProgressWindow : -1;
 
   SnapshotBuffer snapshots(options.staleness);
   if (options.staleness == 0 && !options.stale_aggregates)
@@ -110,11 +155,13 @@ RunResult run(const core::Instance& inst, Policy& policy,
   // reallocated inside the loop.
   std::vector<std::int32_t> arc_load(num_arcs, 0);
   TokenSet fresh(static_cast<std::size_t>(inst.num_tokens()));
+  TokenSet lost_scratch(static_cast<std::size_t>(inst.num_tokens()));
   std::vector<VertexId> touched;
   std::vector<char> touched_flag(n, 0);
 
   std::int64_t step = 0;
-  bool stalled = false;
+  std::int64_t no_progress = 0;
+  Termination termination = Termination::kMaxSteps;
   while (step < options.max_steps && unsatisfied > 0) {
     if (options.dynamics != nullptr) {
       effective_capacity = static_capacity;
@@ -122,6 +169,9 @@ RunResult run(const core::Instance& inst, Policy& policy,
       options.dynamics->apply(step, inst.graph(), effective_capacity);
       for (std::int32_t c : effective_capacity) OCD_ASSERT(c >= 0);
     }
+    // Channel state advances every step, traffic or not, so the loss
+    // trace is a function of (seed, step) alone.
+    if (faulted) options.faults->begin_step(step, inst.graph());
 
     snapshots.push(possession);
     if (needs_aggregates && options.stale_aggregates)
@@ -139,8 +189,8 @@ RunResult run(const core::Instance& inst, Policy& policy,
     if (timestep.empty() && !intentional_idle && options.dynamics == nullptr) {
       // Stalled policy: wants outstanding but nothing sent.  Under a
       // dynamics model an empty step can be the network's fault, so
-      // the run continues (bounded by max_steps).
-      stalled = true;
+      // the run continues (bounded by max_steps and the watchdog).
+      termination = Termination::kPolicyStalled;
       break;
     }
 
@@ -154,17 +204,33 @@ RunResult run(const core::Instance& inst, Policy& policy,
                    policy.name(), step);
 
     std::int64_t step_moves = 0;
-    for (const core::ArcSend& send : timestep.sends()) {
+    std::int64_t step_lost = 0;
+    std::int64_t step_useful = 0;
+    for (core::ArcSend& send : timestep.sends()) {
       const Arc& arc = inst.graph().arc(send.arc);
       const auto count = static_cast<std::int64_t>(send.tokens.count());
       step_moves += count;
       result.stats.sent_by_vertex[static_cast<std::size_t>(arc.from)] += count;
+      if (faulted) {
+        lost_scratch.clear();
+        options.faults->lost(step, send.arc, send.tokens, lost_scratch);
+        lost_scratch &= send.tokens;  // a model may only lose what was sent
+        const auto lost_count = static_cast<std::int64_t>(lost_scratch.count());
+        if (lost_count > 0) {
+          step_lost += lost_count;
+          // The recorded schedule keeps deliveries only, so it stays a
+          // valid loss-free schedule reaching the same final state.
+          send.tokens -= lost_scratch;
+        }
+      }
+      const auto delivered = static_cast<std::int64_t>(send.tokens.count());
       const auto to = static_cast<std::size_t>(arc.to);
       fresh = send.tokens;
       fresh -= possession[to];
       const auto fresh_count = static_cast<std::int64_t>(fresh.count());
       result.stats.useful_moves += fresh_count;
-      result.stats.redundant_moves += count - fresh_count;
+      result.stats.redundant_moves += delivered - fresh_count;
+      step_useful += fresh_count;
       if (fresh_count == 0) continue;
       possession[to] |= fresh;
       if (needs_aggregates && !options.stale_aggregates)
@@ -175,6 +241,9 @@ RunResult run(const core::Instance& inst, Policy& policy,
       }
     }
     result.stats.moves_per_step.push_back(step_moves);
+    result.stats.lost_per_step.push_back(step_lost);
+    result.stats.lost_moves += step_lost;
+    if (step_lost > 0) timestep.compact();  // drop fully-eaten sends
     if (options.record_schedule) result.schedule.append(std::move(timestep));
 
     ++step;
@@ -193,10 +262,21 @@ RunResult run(const core::Instance& inst, Policy& policy,
       }
     }
     touched.clear();
+
+    if (step_useful > 0) {
+      no_progress = 0;
+    } else if (++no_progress >= watchdog_window && watchdog_window > 0 &&
+               unsatisfied > 0) {
+      termination = Termination::kNoProgress;
+      break;
+    }
   }
 
-  result.success = !stalled && unsatisfied == 0;
+  if (unsatisfied == 0) termination = Termination::kSatisfied;
+  result.success = unsatisfied == 0;
   result.steps = step;
+  result.termination = termination;
+  policy.finish_run(result.stats);
   result.bandwidth = result.stats.total_moves();
   result.stats.wall_seconds = timer.seconds();
   OCD_ENSURES(result.stats.consistent_with_steps(result.steps));

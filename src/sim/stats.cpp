@@ -10,7 +10,14 @@ bool RunStats::consistent_with_steps(std::int64_t steps) const noexcept {
     return false;
   std::int64_t sum = 0;
   for (std::int64_t moves : moves_per_step) sum += moves;
-  return sum == total_moves();
+  if (sum != total_moves()) return false;
+  // Hand-built stats may omit the loss trace; the simulator always
+  // records it, one entry per step, summing to lost_moves.
+  if (lost_per_step.empty()) return lost_moves == 0;
+  if (lost_per_step.size() != moves_per_step.size()) return false;
+  std::int64_t lost_sum = 0;
+  for (std::int64_t lost : lost_per_step) lost_sum += lost;
+  return lost_sum == lost_moves;
 }
 
 double RunStats::mean_completion() const {
@@ -44,6 +51,10 @@ std::string RunStats::summary() const {
   out << "steps=" << moves_per_step.size() << " bandwidth=" << total_moves()
       << " useful=" << useful_moves << " redundant=" << redundant_moves
       << " mean_completion=" << mean_completion();
+  if (lost_moves > 0 || retransmissions > 0 || adapter_dropped_moves > 0) {
+    out << " lost=" << lost_moves << " retrans=" << retransmissions
+        << " wasted=" << wasted_bandwidth();
+  }
   return out.str();
 }
 

@@ -1,0 +1,66 @@
+// The fig_loss workload shape under the threaded sweep harness: each
+// worker owns its fault model, adapter, and policy, so a parallel
+// lossy sweep must reproduce the serial rows bit for bit.  The TSan
+// preset (scripts/check_sanitizers.sh) runs this suite alongside
+// SweepGrid under -fsanitize=thread.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "ocd/core/scenario.hpp"
+#include "ocd/faults/model.hpp"
+#include "ocd/topology/random_graph.hpp"
+
+namespace ocd::bench {
+namespace {
+
+TEST(FaultSweep, LossyReliableGridMatchesSerial) {
+  Rng rng(73);
+  Digraph g = topology::random_overlay(20, rng);
+  const auto inst = core::single_source_all_receivers(std::move(g), 12, 0);
+
+  struct Config {
+    double loss;
+    std::string policy;
+  };
+  std::vector<Config> configs;
+  for (const double loss : {0.0, 0.1, 0.3}) {
+    for (const auto& name : heuristics::all_policy_names()) {
+      configs.push_back({loss, name + "+reliable"});
+    }
+  }
+
+  struct Row {
+    bool success = false;
+    std::int64_t steps = 0;
+    std::int64_t bandwidth = 0;
+    std::int64_t lost = 0;
+    std::int64_t retrans = 0;
+    bool operator==(const Row&) const = default;
+  };
+  const auto run_one = [&](const Config& c) {
+    faults::UniformLoss loss(c.loss);
+    auto policy = heuristics::make_policy(c.policy);
+    sim::SimOptions options;
+    options.seed = 13;
+    options.faults = &loss;
+    options.record_schedule = false;
+    options.max_steps = 100'000;
+    const auto result = sim::run(inst, *policy, options);
+    return Row{result.success, result.steps, result.bandwidth,
+               result.stats.lost_moves, result.stats.retransmissions};
+  };
+
+  const auto parallel = run_grid(configs, run_one, 4);
+  const auto serial = run_grid(configs, run_one, 1);
+  ASSERT_EQ(parallel.size(), configs.size());
+  for (std::size_t i = 0; i < parallel.size(); ++i) {
+    EXPECT_TRUE(parallel[i].success) << configs[i].policy;
+    EXPECT_EQ(parallel[i], serial[i]) << configs[i].policy;
+  }
+}
+
+}  // namespace
+}  // namespace ocd::bench

@@ -1,0 +1,277 @@
+// ReliableAdapter: ack/timeout/retransmission over any policy, plus
+// the progress watchdog that bounds hopeless runs.
+#include "ocd/faults/reliable.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ocd/core/scenario.hpp"
+#include "ocd/faults/model.hpp"
+#include "ocd/heuristics/factory.hpp"
+#include "ocd/sim/group_adapter.hpp"
+#include "ocd/sim/simulator.hpp"
+#include "ocd/topology/physical.hpp"
+#include "ocd/topology/random_graph.hpp"
+
+namespace ocd::faults {
+namespace {
+
+core::Instance broadcast_instance(std::int32_t n, std::int32_t tokens,
+                                  std::uint64_t seed) {
+  Rng rng(seed);
+  Digraph g = topology::random_overlay(n, rng);
+  return core::single_source_all_receivers(std::move(g), tokens, 0);
+}
+
+TEST(ReliableAdapter, RejectsBadParameters) {
+  EXPECT_THROW(ReliableAdapter(nullptr), ContractViolation);
+  EXPECT_THROW(
+      ReliableAdapter(heuristics::make_policy("random"), /*base_timeout=*/0),
+      ContractViolation);
+  EXPECT_THROW(ReliableAdapter(heuristics::make_policy("random"),
+                               /*base_timeout=*/4, /*max_backoff=*/2),
+               ContractViolation);
+}
+
+TEST(ReliableAdapter, NameAndKnowledgeClass) {
+  ReliableAdapter wrapped(heuristics::make_policy("round-robin"));
+  EXPECT_EQ(wrapped.name(), "round-robin+reliable");
+  // A kLocalOnly inner policy is lifted to kLocalPeers (acks are read
+  // off peer snapshots); better-informed inners keep their class.
+  EXPECT_EQ(wrapped.knowledge_class(), sim::KnowledgeClass::kLocalPeers);
+  ReliableAdapter global(heuristics::make_policy("global"));
+  EXPECT_EQ(global.knowledge_class(), sim::KnowledgeClass::kGlobal);
+}
+
+TEST(ReliableAdapter, FactoryBuildsWrappedPolicies) {
+  const auto policy = heuristics::make_policy("local+reliable");
+  EXPECT_EQ(policy->name(), "local+reliable");
+  EXPECT_THROW(heuristics::make_policy("no-such+reliable"), Error);
+}
+
+TEST(ReliableAdapter, TransparentOnLossFreeRuns) {
+  // Without faults the adapter must not change the outcome: every
+  // transfer is acked by the next step's knowledge, nothing retries.
+  const auto inst = broadcast_instance(14, 8, 31);
+  auto raw = heuristics::make_policy("random");
+  auto wrapped = heuristics::make_policy("random+reliable");
+  sim::SimOptions options;
+  options.seed = 5;
+  const auto raw_run = sim::run(inst, *raw, options);
+  const auto wrapped_run = sim::run(inst, *wrapped, options);
+  ASSERT_TRUE(raw_run.success);
+  ASSERT_TRUE(wrapped_run.success);
+  EXPECT_EQ(wrapped_run.steps, raw_run.steps);
+  EXPECT_EQ(wrapped_run.stats.retransmissions, 0);
+}
+
+TEST(ReliableAdapter, RecoversScriptedLoss) {
+  // Line 0 -> 1 -> 2.  The step-0 transfer is eaten; the adapter must
+  // detect non-delivery from the peer snapshot and retransmit.
+  Digraph g(3);
+  g.add_arc(0, 1, 1);
+  g.add_arc(1, 2, 1);
+  core::Instance inst(std::move(g), 1);
+  inst.add_have(0, 0);
+  inst.add_want(2, 0);
+
+  FaultPlan plan;
+  plan.drop(0, 0, 0);
+  ReliableAdapter wrapped(heuristics::make_policy("round-robin"),
+                          /*base_timeout=*/1);
+  sim::SimOptions options;
+  options.faults = &plan;
+  const auto result = sim::run(inst, wrapped, options);
+  ASSERT_TRUE(result.success);
+  EXPECT_EQ(result.stats.lost_moves, 1);
+  EXPECT_GE(result.stats.retransmissions, 1);
+  EXPECT_EQ(result.stats.retransmissions, wrapped.retransmissions());
+  EXPECT_TRUE(result.stats.consistent_with_steps(result.steps));
+}
+
+TEST(ReliableAdapter, AllPoliciesCompleteUnderTwentyPercentLoss) {
+  // The acceptance bar: UniformLoss(0.2) on fig2-style random-graph
+  // configs — every wrapped policy finishes, every raw policy records
+  // real losses.
+  for (const std::uint64_t graph_seed : {41ULL, 42ULL}) {
+    const auto inst = broadcast_instance(20, 10, graph_seed);
+    for (const auto& name : heuristics::all_policy_names()) {
+      UniformLoss raw_loss(0.2);
+      auto raw = heuristics::make_policy(name);
+      sim::SimOptions options;
+      options.seed = 9;
+      options.faults = &raw_loss;
+      options.max_steps = 50'000;
+      const auto raw_run = sim::run(inst, *raw, options);
+      EXPECT_GT(raw_run.stats.lost_moves, 0) << name;
+
+      UniformLoss wrapped_loss(0.2);
+      auto wrapped = heuristics::make_policy(name + "+reliable");
+      options.faults = &wrapped_loss;
+      const auto wrapped_run = sim::run(inst, *wrapped, options);
+      EXPECT_TRUE(wrapped_run.success) << name << "+reliable";
+      EXPECT_EQ(wrapped_run.termination, sim::Termination::kSatisfied)
+          << name << "+reliable";
+    }
+  }
+}
+
+TEST(ReliableAdapter, BackoffIsCappedAndRetriesPersist) {
+  // 0 -> 1, single token, every transfer on the arc lost until step 12:
+  // the adapter must keep retrying (base 1, cap 4) and succeed once the
+  // channel clears.
+  Digraph g(2);
+  g.add_arc(0, 1, 1);
+  core::Instance inst(std::move(g), 1);
+  inst.add_have(0, 0);
+  inst.add_want(1, 0);
+
+  FaultPlan plan;
+  for (std::int64_t step = 0; step <= 12; ++step) plan.drop(step, 0, 0);
+  ReliableAdapter wrapped(heuristics::make_policy("round-robin"),
+                          /*base_timeout=*/1, /*max_backoff=*/4);
+  sim::SimOptions options;
+  options.faults = &plan;
+  const auto result = sim::run(inst, wrapped, options);
+  ASSERT_TRUE(result.success);
+  EXPECT_GE(result.stats.retransmissions, 3);
+  EXPECT_EQ(result.stats.lost_moves, 13);
+}
+
+TEST(Watchdog, TotalLossTerminatesGracefully) {
+  // 100% loss: the wrapped policy retries forever, the raw policy
+  // spins; the watchdog must end both with success == false and a
+  // steps count equal to its window, not max_steps.
+  const auto inst = broadcast_instance(12, 6, 51);
+  for (const char* name : {"random", "random+reliable"}) {
+    UniformLoss all(1.0);
+    auto policy = heuristics::make_policy(name);
+    sim::SimOptions options;
+    options.faults = &all;
+    options.no_progress_window = 25;
+    options.max_steps = 100'000;
+    const auto result = sim::run(inst, *policy, options);
+    EXPECT_FALSE(result.success) << name;
+    EXPECT_EQ(result.termination, sim::Termination::kNoProgress) << name;
+    EXPECT_EQ(result.steps, 25) << name;
+    EXPECT_TRUE(result.stats.consistent_with_steps(result.steps)) << name;
+  }
+}
+
+TEST(Watchdog, AutoWindowBoundsFaultedRunsByDefault) {
+  const auto inst = broadcast_instance(12, 6, 52);
+  UniformLoss all(1.0);
+  auto policy = heuristics::make_policy("random");
+  sim::SimOptions options;
+  options.faults = &all;  // no_progress_window stays 0 (auto)
+  const auto result = sim::run(inst, *policy, options);
+  EXPECT_FALSE(result.success);
+  EXPECT_EQ(result.termination, sim::Termination::kNoProgress);
+  EXPECT_EQ(result.steps, 256);
+  EXPECT_LT(result.steps, options.max_steps);
+}
+
+TEST(Watchdog, DisabledWindowRunsToMaxSteps) {
+  const auto inst = broadcast_instance(10, 4, 53);
+  UniformLoss all(1.0);
+  auto policy = heuristics::make_policy("random");
+  sim::SimOptions options;
+  options.faults = &all;
+  options.no_progress_window = -1;
+  options.max_steps = 40;
+  const auto result = sim::run(inst, *policy, options);
+  EXPECT_FALSE(result.success);
+  EXPECT_EQ(result.termination, sim::Termination::kMaxSteps);
+  EXPECT_EQ(result.steps, 40);
+}
+
+TEST(Watchdog, DistinguishesNetworkLossFromPolicyStall) {
+  // A policy that sends nothing is a policy stall even when a fault
+  // model is active; a policy that sends into a black hole is not.
+  class Silent final : public sim::Policy {
+   public:
+    [[nodiscard]] std::string_view name() const override { return "silent"; }
+    [[nodiscard]] sim::KnowledgeClass knowledge_class() const override {
+      return sim::KnowledgeClass::kLocalOnly;
+    }
+  };
+  const auto inst = broadcast_instance(8, 3, 54);
+  UniformLoss all(1.0);
+  sim::SimOptions options;
+  options.faults = &all;
+  options.no_progress_window = 10;
+  Silent silent;
+  const auto stalled = sim::run(inst, silent, options);
+  EXPECT_EQ(stalled.termination, sim::Termination::kPolicyStalled);
+  EXPECT_EQ(std::string_view(sim::to_string(stalled.termination)),
+            "policy-stalled");
+  auto random = heuristics::make_policy("random");
+  const auto eaten = sim::run(inst, *random, options);
+  EXPECT_EQ(eaten.termination, sim::Termination::kNoProgress);
+  EXPECT_GT(eaten.stats.lost_moves, 0);
+}
+
+TEST(GroupAdapterStats, DroppedMovesSurfaceInRunStats) {
+  // A shared physical link far narrower than the overlay arcs forces
+  // congestion drops; they must appear in RunStats via finish_run and
+  // count toward wasted_bandwidth.
+  Digraph g(3);
+  const ArcId a01 = g.add_arc(0, 1, 4);
+  const ArcId a02 = g.add_arc(0, 2, 4);
+  core::Instance inst(std::move(g), 6);
+  for (TokenId t = 0; t < 6; ++t) inst.add_have(0, t);
+  for (TokenId t = 0; t < 6; ++t) inst.add_want(1, t);
+  for (TokenId t = 0; t < 6; ++t) inst.add_want(2, t);
+
+  topology::CapacityGroup uplink;
+  uplink.capacity = 2;  // both overlay arcs share one 2-token uplink
+  uplink.members = {a01, a02};
+  sim::GroupConstrainedPolicy policy(heuristics::make_policy("random"),
+                                     {uplink});
+  const auto result = sim::run(inst, policy);
+  ASSERT_TRUE(result.success);
+  EXPECT_GT(policy.dropped_moves(), 0);
+  EXPECT_EQ(result.stats.adapter_dropped_moves, policy.dropped_moves());
+  EXPECT_GE(result.stats.wasted_bandwidth(),
+            result.stats.adapter_dropped_moves);
+}
+
+TEST(SimOptionsValidation, BadOptionsThrowUpFront) {
+  const auto inst = broadcast_instance(6, 2, 55);
+  auto policy = heuristics::make_policy("random");
+  {
+    sim::SimOptions options;
+    options.max_steps = -1;
+    EXPECT_THROW(
+        try { sim::run(inst, *policy, options); } catch (const Error& e) {
+          EXPECT_NE(std::string(e.what()).find("max_steps"),
+                    std::string::npos);
+          throw;
+        },
+        Error);
+  }
+  {
+    sim::SimOptions options;
+    options.staleness = -3;
+    EXPECT_THROW(
+        try { sim::run(inst, *policy, options); } catch (const Error& e) {
+          EXPECT_NE(std::string(e.what()).find("staleness"),
+                    std::string::npos);
+          throw;
+        },
+        Error);
+  }
+  {
+    sim::SimOptions options;
+    options.no_progress_window = -2;
+    EXPECT_THROW(
+        try { sim::run(inst, *policy, options); } catch (const Error& e) {
+          EXPECT_NE(std::string(e.what()).find("no_progress_window"),
+                    std::string::npos);
+          throw;
+        },
+        Error);
+  }
+}
+
+}  // namespace
+}  // namespace ocd::faults

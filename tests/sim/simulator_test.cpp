@@ -115,13 +115,30 @@ TEST(Simulator, CapacityViolationThrows) {
   inst.add_have(0, 1);
   inst.add_want(1, 0);
   OverCapacityPolicy policy;
-  EXPECT_THROW(run(inst, policy), Error);
+  // The diagnostic must name the offending policy and arc.
+  EXPECT_THROW(
+      try { run(inst, policy); } catch (const Error& e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("(0,1)"), std::string::npos) << what;
+        EXPECT_NE(what.find("capacity"), std::string::npos) << what;
+        EXPECT_NE(what.find(policy.name()), std::string::npos) << what;
+        throw;
+      },
+      Error);
 }
 
 TEST(Simulator, PossessionViolationThrows) {
   const core::Instance inst = line_instance();
   GhostSenderPolicy policy;
-  EXPECT_THROW(run(inst, policy), Error);
+  EXPECT_THROW(
+      try { run(inst, policy); } catch (const Error& e) {
+        const std::string what = e.what();
+        // GhostSenderPolicy sends from vertex 1, which lacks the token.
+        EXPECT_NE(what.find("(1,2)"), std::string::npos) << what;
+        EXPECT_NE(what.find(policy.name()), std::string::npos) << what;
+        throw;
+      },
+      Error);
 }
 
 TEST(Simulator, KnowledgeClassEnforced) {
