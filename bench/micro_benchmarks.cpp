@@ -202,9 +202,10 @@ void BM_PlannerStepsPerSec(benchmark::State& state, const char* name) {
   options.seed = 7;
   options.record_schedule = false;
   options.max_steps = 24;  // bounded window: measures steps, not runs
+  sim::Simulator simulator;  // arena reused across iterations (steady state)
   std::int64_t steps = 0;
   for (auto _ : state) {
-    const auto result = sim::run(inst, *policy, options);
+    const auto result = simulator.run(inst, *policy, options);
     steps += result.steps;
     benchmark::DoNotOptimize(result.bandwidth);
   }
@@ -226,10 +227,9 @@ BENCHMARK_CAPTURE(BM_PlannerStepsPerSec, round_robin, "round-robin")
     ->Args({200, 128})
     ->Args({1000, 512})
     ->Unit(benchmark::kMillisecond);
-// The bandwidth heuristic's per-token BFS dominates at large n; keep
-// its tracked point at the smaller workload.
 BENCHMARK_CAPTURE(BM_PlannerStepsPerSec, bandwidth, "bandwidth")
     ->Args({200, 128})
+    ->Args({1000, 512})
     ->Unit(benchmark::kMillisecond);
 
 // Fault path: the same bounded-window workload with 20% uniform loss
@@ -312,4 +312,21 @@ BENCHMARK(BM_SteinerPacking);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// The stock "library_build_type" context field describes how the
+// google-benchmark *library* was compiled (the distro package ships a
+// debug build), not how this code was.  Record the flavor that actually
+// matters for snapshot hygiene — whether the ocd library and these
+// benchmarks were built with NDEBUG — so scripts/compare_bench.py can
+// refuse genuinely-debug captures without tripping on the packaging.
+int main(int argc, char** argv) {
+#ifdef NDEBUG
+  benchmark::AddCustomContext("ocd_build_type", "release");
+#else
+  benchmark::AddCustomContext("ocd_build_type", "debug");
+#endif
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

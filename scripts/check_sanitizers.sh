@@ -28,11 +28,16 @@ ctest "${ctest_args[@]}"
 # drives it, including a full (policy x seed) grid of run_policy calls, so
 # any shared mutable state in the planners shows up here.  FaultSweep runs
 # the lossy fig_loss workload shape (fault models + reliable adapters) on
-# the same pool.
+# the same pool.  The flat-memory suites ride along: TokenMatrix /
+# SnapshotRing exercise the view kernels and snapshot ring (view-lifetime
+# bugs are ASan's bread and butter, caught in the pass above), and
+# AllocCount re-checks the zero-allocation steady state with the
+# sanitizer allocators interposed.
 cmake --preset tsan
-cmake --build --preset tsan -j "$(nproc)" --target ocd_tests
+cmake --build --preset tsan -j "$(nproc)" --target ocd_tests ocd_alloc_tests
 
 export TSAN_OPTIONS="halt_on_error=1"
-ctest --preset tsan -j "$(nproc)" -R "${OCD_TSAN_FILTER:-SweepGrid|FaultSweep}"
+ctest --preset tsan -j "$(nproc)" \
+  -R "${OCD_TSAN_FILTER:-SweepGrid|FaultSweep|TokenMatrix|SnapshotRing|AllocCount}"
 
 echo "Sanitizer run clean."

@@ -14,21 +14,58 @@ and exits 1 if any regressed.
 Only aggregate-free runs are expected; if a file contains aggregate
 rows (mean/median/stddev from --benchmark_repetitions), only the
 "mean" aggregates are compared.
+
+Snapshot hygiene: comparing against a debug-build capture is
+meaningless (debug throughput is an order of magnitude off release),
+so any input whose context reports library_build_type "debug" is
+refused unless --allow-debug is given, which downgrades the refusal to
+a loud warning.  --require PATTERN (repeatable) additionally fails the
+run if no compared benchmark matches the pattern — guarding against a
+renamed or silently dropped benchmark slipping past the gate.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import re
 import sys
 from pathlib import Path
 
 
-def load_benchmarks(path: Path) -> dict[str, dict]:
+def check_build_type(path: Path, data: dict, allow_debug: bool) -> None:
+    context = data.get("context", {})
+    # "ocd_build_type" is injected by the benchmark binary and reflects
+    # how this repository's code was compiled; the stock
+    # "library_build_type" only describes the google-benchmark library
+    # (distro packages ship it as a debug build), so it is the fallback
+    # for old snapshots that predate the custom field.
+    field = "ocd_build_type"
+    build_type = context.get(field)
+    if build_type is None:
+        field = "library_build_type"
+        build_type = context.get(field, "")
+    if build_type.lower() != "debug":
+        return
+    message = (
+        f"{path} was captured from a DEBUG build "
+        f'(context.{field} == "debug"); debug throughput is '
+        "not comparable to release numbers. Re-record it with the "
+        "release-bench preset (scripts/reproduce_all.sh)."
+    )
+    if not allow_debug:
+        sys.exit(f"error: {message}")
+    print(f"WARNING: {message}", file=sys.stderr)
+    print("WARNING: proceeding anyway because of --allow-debug.",
+          file=sys.stderr)
+
+
+def load_benchmarks(path: Path, allow_debug: bool) -> dict[str, dict]:
     try:
         data = json.loads(path.read_text())
     except (OSError, json.JSONDecodeError) as exc:
         sys.exit(f"error: cannot read benchmark JSON {path}: {exc}")
+    check_build_type(path, data, allow_debug)
     rows = data.get("benchmarks", [])
     has_aggregates = any(r.get("run_type") == "aggregate" for r in rows)
     out: dict[str, dict] = {}
@@ -60,13 +97,31 @@ def main() -> int:
         default=20.0,
         help="regression threshold in percent (default: 20)",
     )
+    parser.add_argument(
+        "--allow-debug",
+        action="store_true",
+        help="downgrade the debug-build-snapshot refusal to a warning",
+    )
+    parser.add_argument(
+        "--require",
+        action="append",
+        default=[],
+        metavar="PATTERN",
+        help="fail unless some compared benchmark matches this regex "
+        "(repeatable)",
+    )
     args = parser.parse_args()
 
-    base = load_benchmarks(args.baseline)
-    curr = load_benchmarks(args.current)
+    base = load_benchmarks(args.baseline, args.allow_debug)
+    curr = load_benchmarks(args.current, args.allow_debug)
     common = [name for name in base if name in curr]
     if not common:
         sys.exit("error: no benchmark names in common between the two files")
+    missing = [p for p in args.require
+               if not any(re.search(p, name) for name in common)]
+    if missing:
+        sys.exit("error: required benchmark(s) absent from the comparison: "
+                 + ", ".join(missing))
 
     regressions = []
     width = max(len(n) for n in common)

@@ -45,9 +45,18 @@ build-bench/bench/micro_benchmarks \
   --benchmark_out=results/BENCH_planner.json \
   --benchmark_out_format=json | tee results/micro_benchmarks.txt
 
+# The regression gate refuses debug-build snapshots and insists the
+# full planner grid is present — every family, including bandwidth, at
+# the large 1000v/512t point — so a silently dropped benchmark cannot
+# pass unnoticed.
 if [[ -n "${OCD_BENCH_BASELINE:-}" ]]; then
   python3 scripts/compare_bench.py "${OCD_BENCH_BASELINE}" \
-    results/BENCH_planner.json ||
+    results/BENCH_planner.json \
+    --require 'PlannerStepsPerSec/global/1000/512' \
+    --require 'PlannerStepsPerSec/local/1000/512' \
+    --require 'PlannerStepsPerSec/random/1000/512' \
+    --require 'PlannerStepsPerSec/round_robin/1000/512' \
+    --require 'PlannerStepsPerSec/bandwidth/1000/512' ||
     echo "WARNING: planner kernel throughput regressed vs baseline."
 fi
 

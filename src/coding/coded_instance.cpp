@@ -36,7 +36,7 @@ const std::vector<std::int32_t>& CodedInstance::wanted_files(
 }
 
 bool CodedInstance::vertex_satisfied(VertexId v,
-                                     const TokenSet& possession) const {
+                                     TokenSetView possession) const {
   OCD_EXPECTS(instance_.graph().valid_vertex(v));
   for (std::int32_t f : wanted_files_[static_cast<std::size_t>(v)]) {
     const CodedFile& file = files_[static_cast<std::size_t>(f)];
@@ -50,9 +50,9 @@ bool CodedInstance::vertex_satisfied(VertexId v,
   return true;
 }
 
-std::function<bool(VertexId, const TokenSet&)>
+std::function<bool(VertexId, TokenSetView)>
 CodedInstance::completion_predicate() const {
-  return [this](VertexId v, const TokenSet& possession) {
+  return [this](VertexId v, TokenSetView possession) {
     return vertex_satisfied(v, possession);
   };
 }

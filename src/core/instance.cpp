@@ -15,6 +15,10 @@ TokenSet File::tokens(std::size_t universe) const {
 Instance::Instance(Digraph graph, std::int32_t num_tokens)
     : graph_(std::move(graph)), num_tokens_(num_tokens) {
   OCD_EXPECTS(num_tokens >= 0);
+  // Build the CSR adjacency eagerly: instances are constructed before
+  // any sweep thread runs, and Instance exposes no mutable graph
+  // access, so the simulator hot path always reads the flat arrays.
+  graph_.finalize();
   const auto n = static_cast<std::size_t>(graph_.num_vertices());
   have_.assign(n, TokenSet(static_cast<std::size_t>(num_tokens_)));
   want_.assign(n, TokenSet(static_cast<std::size_t>(num_tokens_)));

@@ -8,7 +8,7 @@ namespace ocd::dynamics {
 void DynamicsModel::reset(const core::Instance&, std::uint64_t) {}
 
 void DynamicsModel::observe(std::int64_t, const core::Instance&,
-                            const std::vector<TokenSet>&) {}
+                            const util::TokenMatrix&) {}
 
 // ---------------------------------------------------------------------
 // CapacityJitter

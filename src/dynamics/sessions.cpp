@@ -58,11 +58,12 @@ void SessionDynamics::reset(const core::Instance& inst, std::uint64_t) {
 }
 
 void SessionDynamics::observe(std::int64_t step, const core::Instance& inst,
-                              const std::vector<TokenSet>& possession) {
+                              const util::TokenMatrix& possession) {
   for (VertexId v = 0; v < inst.num_vertices(); ++v) {
     auto& completed = completed_at_[static_cast<std::size_t>(v)];
     if (completed < 0 &&
-        inst.want(v).is_subset_of(possession[static_cast<std::size_t>(v)])) {
+        inst.want(v).is_subset_of(
+            possession.row(static_cast<std::size_t>(v)))) {
       completed = step;
     }
   }

@@ -34,6 +34,14 @@ void ReliableAdapter::reset(const core::Instance& inst, std::uint64_t seed) {
   inflight_.clear();
   retransmissions_ = 0;
   trimmed_moves_ = 0;
+  const auto num_arcs = static_cast<std::size_t>(inst.graph().num_arcs());
+  const auto universe = static_cast<std::size_t>(inst.num_tokens());
+  budget_remaining_.assign(num_arcs, 0);
+  budget_touched_.assign(num_arcs, 0);
+  planned_.reset(num_arcs, universe);
+  touched_arcs_.clear();
+  touched_arcs_.reserve(num_arcs);
+  fresh_ = TokenSet(universe);
 }
 
 void ReliableAdapter::plan_step(const StepView& view, StepPlan& plan) {
@@ -52,27 +60,27 @@ void ReliableAdapter::plan_step(const StepView& view, StepPlan& plan) {
     }
   }
 
-  StepPlan scratch(view.graph());
-  inner_->plan_step(view, scratch);
-  if (scratch.idle_marked()) plan.mark_idle();
-  core::Timestep inner_step = scratch.take();
-  inner_step.compact();
+  scratch_.rebind(view.graph(), {});
+  inner_->plan_step(view, scratch_);
+  if (scratch_.idle_marked()) plan.mark_idle();
 
   // Per-arc budget tracking, touched arcs only.  `planned` prevents a
   // token from being charged twice when a retransmission and the inner
-  // policy pick the same (arc, token) this step.
-  struct ArcBudget {
-    std::int32_t remaining = 0;
-    TokenSet planned;
-  };
-  std::map<ArcId, ArcBudget> budgets;
-  const auto budget_for = [&](ArcId arc) -> ArcBudget& {
-    auto [it, inserted] = budgets.try_emplace(arc);
-    if (inserted) {
-      it->second.remaining = view.capacity(arc);
-      it->second.planned = TokenSet(universe);
+  // policy pick the same (arc, token) this step.  The flat arrays are
+  // cleaned up arc-by-arc from the previous step's touch list.
+  for (const ArcId arc : touched_arcs_) {
+    budget_touched_[static_cast<std::size_t>(arc)] = 0;
+    planned_.row(static_cast<std::size_t>(arc)).clear();
+  }
+  touched_arcs_.clear();
+  const auto budget_for = [&](ArcId arc) -> std::int32_t& {
+    const auto ai = static_cast<std::size_t>(arc);
+    if (!budget_touched_[ai]) {
+      budget_touched_[ai] = 1;
+      budget_remaining_[ai] = view.capacity(arc);
+      touched_arcs_.push_back(arc);
     }
-    return it->second;
+    return budget_remaining_[ai];
   };
 
   // Retransmissions first: recovering a lost token unblocks the
@@ -81,36 +89,37 @@ void ReliableAdapter::plan_step(const StepView& view, StepPlan& plan) {
   for (auto& [key, entry] : inflight_) {
     if (step < entry.retry_at) continue;
     const auto [arc, token] = key;
-    ArcBudget& budget = budget_for(arc);
-    if (budget.remaining <= 0) continue;  // retry_at stays in the past:
-                                          // eligible again next step
+    std::int32_t& remaining = budget_for(arc);
+    if (remaining <= 0) continue;  // retry_at stays in the past:
+                                   // eligible again next step
     plan.send(arc, token, universe);
     sent_any = true;
-    budget.planned.set(token);
-    --budget.remaining;
+    planned_.row(static_cast<std::size_t>(arc)).set(token);
+    --remaining;
     ++retransmissions_;
     entry.backoff = std::min(entry.backoff * 2, max_backoff_);
     entry.retry_at = step + entry.backoff;
   }
 
   // The inner policy's plan, trimmed to what the retransmissions left.
-  for (const core::ArcSend& send : inner_step.sends()) {
-    ArcBudget& budget = budget_for(send.arc);
-    TokenSet fresh = send.tokens;
-    fresh -= budget.planned;  // already on the wire this step
-    auto want = static_cast<std::int64_t>(fresh.count());
-    if (want > budget.remaining) {
-      trimmed_moves_ += want - std::max<std::int64_t>(budget.remaining, 0);
-      fresh.truncate(static_cast<std::size_t>(
-          std::max<std::int32_t>(budget.remaining, 0)));
-      want = static_cast<std::int64_t>(fresh.count());
+  for (const core::ArcSend& send : scratch_.sends()) {
+    if (send.tokens.empty()) continue;
+    std::int32_t& remaining = budget_for(send.arc);
+    fresh_.assign(send.tokens);
+    fresh_ -= planned_.row(static_cast<std::size_t>(send.arc));
+    auto want = static_cast<std::int64_t>(fresh_.count());
+    if (want > remaining) {
+      trimmed_moves_ += want - std::max<std::int64_t>(remaining, 0);
+      fresh_.truncate(
+          static_cast<std::size_t>(std::max<std::int32_t>(remaining, 0)));
+      want = static_cast<std::int64_t>(fresh_.count());
     }
     if (want == 0) continue;
-    plan.send(send.arc, fresh);
+    plan.send(send.arc, fresh_);
     sent_any = true;
-    budget.planned |= fresh;
-    budget.remaining -= static_cast<std::int32_t>(want);
-    fresh.for_each([&](TokenId t) {
+    planned_.row(static_cast<std::size_t>(send.arc)) |= fresh_;
+    remaining -= static_cast<std::int32_t>(want);
+    fresh_.for_each([&](TokenId t) {
       inflight_.try_emplace({send.arc, t},
                             InFlight{step + base_timeout_, base_timeout_});
     });

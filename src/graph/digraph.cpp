@@ -18,7 +18,28 @@ ArcId Digraph::add_arc(VertexId from, VertexId to, std::int32_t capacity) {
   arcs_.push_back(Arc{from, to, capacity});
   out_[static_cast<std::size_t>(from)].push_back(id);
   in_[static_cast<std::size_t>(to)].push_back(id);
+  csr_valid_ = false;  // topology changed; CSR must be rebuilt
   return id;
+}
+
+void Digraph::finalize() {
+  if (csr_valid_) return;
+  const auto n = static_cast<std::size_t>(num_vertices_);
+  out_offsets_.assign(n + 1, 0);
+  in_offsets_.assign(n + 1, 0);
+  out_csr_.clear();
+  out_csr_.reserve(arcs_.size());
+  in_csr_.clear();
+  in_csr_.reserve(arcs_.size());
+  for (std::size_t v = 0; v < n; ++v) {
+    out_offsets_[v] = static_cast<std::int32_t>(out_csr_.size());
+    out_csr_.insert(out_csr_.end(), out_[v].begin(), out_[v].end());
+    in_offsets_[v] = static_cast<std::int32_t>(in_csr_.size());
+    in_csr_.insert(in_csr_.end(), in_[v].begin(), in_[v].end());
+  }
+  out_offsets_[n] = static_cast<std::int32_t>(out_csr_.size());
+  in_offsets_[n] = static_cast<std::int32_t>(in_csr_.size());
+  csr_valid_ = true;
 }
 
 ArcId Digraph::add_or_merge_arc(VertexId from, VertexId to,
@@ -44,12 +65,22 @@ ArcId Digraph::find_arc(VertexId from, VertexId to) const {
 
 std::span<const ArcId> Digraph::out_arcs(VertexId v) const {
   OCD_EXPECTS(valid_vertex(v));
-  return out_[static_cast<std::size_t>(v)];
+  const auto vi = static_cast<std::size_t>(v);
+  if (csr_valid_) {
+    return {out_csr_.data() + out_offsets_[vi],
+            static_cast<std::size_t>(out_offsets_[vi + 1] - out_offsets_[vi])};
+  }
+  return out_[vi];
 }
 
 std::span<const ArcId> Digraph::in_arcs(VertexId v) const {
   OCD_EXPECTS(valid_vertex(v));
-  return in_[static_cast<std::size_t>(v)];
+  const auto vi = static_cast<std::size_t>(v);
+  if (csr_valid_) {
+    return {in_csr_.data() + in_offsets_[vi],
+            static_cast<std::size_t>(in_offsets_[vi + 1] - in_offsets_[vi])};
+  }
+  return in_[vi];
 }
 
 std::vector<VertexId> Digraph::out_neighbors(VertexId v) const {

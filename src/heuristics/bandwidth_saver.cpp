@@ -1,71 +1,87 @@
 #include "ocd/heuristics/bandwidth_saver.hpp"
 
-#include <queue>
-#include <vector>
-
-#include "ocd/util/rarity.hpp"
+#include <algorithm>
 
 namespace ocd::heuristics {
 
+void BandwidthPolicy::reset(const core::Instance& instance, std::uint64_t) {
+  const auto n = static_cast<std::size_t>(instance.graph().num_vertices());
+  const auto universe = static_cast<std::size_t>(instance.num_tokens());
+  allowed_.reset(n, universe);
+  frontier_dist_.assign(n, -1);
+  witness_.assign(n, 0);
+  needy_.clear();
+  needy_.reserve(n);
+  bfs_.clear();
+  bfs_.reserve(n);
+  candidates_ = TokenSet(universe);
+  ranked_cand_ = TokenSet(universe);
+  ranked_want_ = TokenSet(universe);
+  ranked_needs_ = TokenSet(universe);
+  ranked_flood_ = TokenSet(universe);
+  batch_ = TokenSet(universe);
+}
+
+// All per-step working sets live in the policy's scratch members (sized
+// in reset(), overwritten in place here), so a steady-state step is
+// allocation-free.
 void BandwidthPolicy::plan_step(const sim::StepView& view,
                                 sim::StepPlan& plan) {
   const Digraph& graph = view.graph();
   const core::Instance& inst = view.instance();
-  const auto& possession = view.global_possession();
-  const auto n = static_cast<std::size_t>(graph.num_vertices());
-  const auto universe = static_cast<std::size_t>(view.num_tokens());
+  const util::TokenMatrix& possession = view.global_possession();
 
   // allowed[v]: tokens v may receive this turn (needs + elected relays).
-  std::vector<TokenSet> allowed(n, TokenSet(universe));
+  allowed_.clear();
 
-  std::vector<std::int32_t> frontier_dist(n);
-  std::vector<VertexId> witness(n);
   for (TokenId t = 0; t < view.num_tokens(); ++t) {
     // Needy vertices for t.
-    std::vector<VertexId> needy;
+    needy_.clear();
     for (VertexId v = 0; v < graph.num_vertices(); ++v) {
       if (inst.want(v).test(t) &&
-          !possession[static_cast<std::size_t>(v)].test(t))
-        needy.push_back(v);
+          !possession.row(static_cast<std::size_t>(v)).test(t))
+        needy_.push_back(v);
     }
-    if (needy.empty()) continue;
-    for (VertexId v : needy) allowed[static_cast<std::size_t>(v)].set(t);
+    if (needy_.empty()) continue;
+    for (VertexId v : needy_) allowed_.row(static_cast<std::size_t>(v)).set(t);
 
     // One-hop-knowledge frontier: lacks t, has an in-neighbor holding t.
-    std::fill(frontier_dist.begin(), frontier_dist.end(), -1);
-    std::queue<VertexId> bfs;
+    std::fill(frontier_dist_.begin(), frontier_dist_.end(), -1);
+    bfs_.clear();
     for (VertexId v = 0; v < graph.num_vertices(); ++v) {
-      if (possession[static_cast<std::size_t>(v)].test(t)) continue;
+      if (possession.row(static_cast<std::size_t>(v)).test(t)) continue;
       for (ArcId a : graph.in_arcs(v)) {
-        if (possession[static_cast<std::size_t>(graph.arc(a).from)].test(t)) {
-          frontier_dist[static_cast<std::size_t>(v)] = 0;
-          witness[static_cast<std::size_t>(v)] = v;
-          bfs.push(v);
+        if (possession.row(static_cast<std::size_t>(graph.arc(a).from))
+                .test(t)) {
+          frontier_dist_[static_cast<std::size_t>(v)] = 0;
+          witness_[static_cast<std::size_t>(v)] = v;
+          bfs_.push_back(v);
           break;
         }
       }
     }
-    if (bfs.empty()) continue;  // everyone reachable already holds t
+    if (bfs_.empty()) continue;  // everyone reachable already holds t
 
     // Multi-source BFS electing, for every vertex, its nearest frontier
     // vertex (ties broken by BFS order — deterministic).
-    while (!bfs.empty()) {
-      const VertexId u = bfs.front();
-      bfs.pop();
+    for (std::size_t head = 0; head < bfs_.size(); ++head) {
+      const VertexId u = bfs_[head];
       for (ArcId a : graph.out_arcs(u)) {
         const VertexId w = graph.arc(a).to;
-        if (frontier_dist[static_cast<std::size_t>(w)] < 0) {
-          frontier_dist[static_cast<std::size_t>(w)] =
-              frontier_dist[static_cast<std::size_t>(u)] + 1;
-          witness[static_cast<std::size_t>(w)] =
-              witness[static_cast<std::size_t>(u)];
-          bfs.push(w);
+        if (frontier_dist_[static_cast<std::size_t>(w)] < 0) {
+          frontier_dist_[static_cast<std::size_t>(w)] =
+              frontier_dist_[static_cast<std::size_t>(u)] + 1;
+          witness_[static_cast<std::size_t>(w)] =
+              witness_[static_cast<std::size_t>(u)];
+          bfs_.push_back(w);
         }
       }
     }
-    for (VertexId v : needy) {
-      if (frontier_dist[static_cast<std::size_t>(v)] >= 0) {
-        allowed[static_cast<std::size_t>(witness[static_cast<std::size_t>(v)])]
+    for (VertexId v : needy_) {
+      if (frontier_dist_[static_cast<std::size_t>(v)] >= 0) {
+        allowed_
+            .row(static_cast<std::size_t>(
+                witness_[static_cast<std::size_t>(v)]))
             .set(t);
       }
     }
@@ -75,37 +91,38 @@ void BandwidthPolicy::plan_step(const sim::StepView& view,
   // before relay tokens, rarest first inside each class.  The fill is a
   // masked-word iteration over rank-space sets (ocd/util/rarity.hpp)
   // rather than a scan of the full rarity order per arc.
-  RarityRanker ranker;
-  ranker.assign_by_rarity(view.aggregate_holders(), nullptr);
+  ranker_.assign_by_rarity(view.aggregate_holders(), nullptr);
 
   for (ArcId a = 0; a < graph.num_arcs(); ++a) {
     const Arc& arc = graph.arc(a);
-    TokenSet candidates = possession[static_cast<std::size_t>(arc.from)];
-    candidates -= possession[static_cast<std::size_t>(arc.to)];
-    candidates &= allowed[static_cast<std::size_t>(arc.to)];
-    if (candidates.empty()) continue;
+    candidates_.assign(possession.row(static_cast<std::size_t>(arc.from)));
+    candidates_ -= possession.row(static_cast<std::size_t>(arc.to));
+    candidates_ &= allowed_.row(static_cast<std::size_t>(arc.to));
+    if (candidates_.empty()) continue;
 
     const auto capacity = static_cast<std::size_t>(view.capacity(a));
     if (capacity == 0) continue;
-    if (candidates.count() <= capacity) {
-      plan.send(a, candidates);
+    if (candidates_.count() <= capacity) {
+      plan.send(a, candidates_);
       continue;
     }
-    const TokenSet ranked_cand = ranker.to_ranks(candidates);
-    const TokenSet ranked_needs =
-        ranked_cand & ranker.to_ranks(inst.want(arc.to));
-    TokenSet batch(universe);
+    ranker_.to_ranks_into(candidates_, ranked_cand_);
+    ranker_.to_ranks_into(inst.want(arc.to), ranked_want_);
+    ranked_needs_.assign(ranked_cand_);
+    ranked_needs_ &= ranked_want_;
+    batch_.clear();
     std::size_t filled = 0;
     const auto take = [&](TokenId r) {
-      batch.set(ranker.token_at(r));
+      batch_.set(ranker_.token_at(r));
       return ++filled < capacity;
     };
-    TokenSet::for_each_in_intersection(ranked_cand, ranked_needs, take);
+    TokenSet::for_each_in_intersection(ranked_cand_, ranked_needs_, take);
     if (filled < capacity) {
-      const TokenSet ranked_flood = ranked_cand - ranked_needs;
-      TokenSet::for_each_in_intersection(ranked_cand, ranked_flood, take);
+      ranked_flood_.assign(ranked_cand_);
+      ranked_flood_ -= ranked_needs_;
+      TokenSet::for_each_in_intersection(ranked_cand_, ranked_flood_, take);
     }
-    plan.send(a, batch);
+    plan.send(a, batch_);
   }
 }
 

@@ -1,13 +1,26 @@
 #include "ocd/heuristics/global_greedy.hpp"
 
-#include <vector>
-
-#include "ocd/util/rarity.hpp"
+#include <algorithm>
 
 namespace ocd::heuristics {
 
-void GlobalGreedyPolicy::reset(const core::Instance&, std::uint64_t seed) {
+void GlobalGreedyPolicy::reset(const core::Instance& instance,
+                               std::uint64_t seed) {
   rng_ = Rng(seed);
+  const auto n = static_cast<std::size_t>(instance.graph().num_vertices());
+  const auto universe = static_cast<std::size_t>(instance.num_tokens());
+  const auto num_arcs = static_cast<std::size_t>(instance.graph().num_arcs());
+  ranked_poss_.reset(n, universe);
+  candidates_.reset(num_arcs, universe);
+  outstanding_.reset(n, universe);
+  remaining_.assign(num_arcs, 0);
+  grant_count_.assign(universe, 0);
+  full_ = TokenSet::full(universe);
+  wave_ok_ = TokenSet(universe);
+  capped_ = TokenSet(universe);
+  active_.clear();
+  active_.reserve(num_arcs);
+  asleep_.assign(num_arcs, 0);
 }
 
 // Coordinated greedy over (arc, token) pairs.  Assignment proceeds in
@@ -25,122 +38,143 @@ void GlobalGreedyPolicy::reset(const core::Instance&, std::uint64_t seed) {
 // incrementally: granting a token to a vertex clears its bit from every
 // in-arc of that vertex, and arcs whose candidates or capacity are
 // exhausted leave the active list for good (both only shrink).
+//
+// Every working set lives in the policy's scratch members (sized in
+// reset(), overwritten in place here), so a steady-state step is
+// allocation-free.
 void GlobalGreedyPolicy::plan_step(const sim::StepView& view,
                                    sim::StepPlan& plan) {
   const Digraph& graph = view.graph();
   const core::Instance& inst = view.instance();
-  const auto& possession = view.global_possession();
-  const auto n = static_cast<std::size_t>(graph.num_vertices());
+  const util::TokenMatrix& possession = view.global_possession();
   const auto universe = static_cast<std::size_t>(view.num_tokens());
-  const auto num_arcs = static_cast<std::size_t>(graph.num_arcs());
 
-  RarityRanker ranker;
-  ranker.assign_by_rarity(view.aggregate_holders(), &rng_);
+  ranker_.assign_by_rarity(view.aggregate_holders(), &rng_);
 
   // Possession permuted once per step; every other rank-space set is a
   // word-parallel combination of these.
-  std::vector<TokenSet> ranked_poss(n);
   for (VertexId v = 0; v < graph.num_vertices(); ++v) {
-    ranked_poss[static_cast<std::size_t>(v)] =
-        ranker.to_ranks(possession[static_cast<std::size_t>(v)]);
+    const auto vi = static_cast<std::size_t>(v);
+    ranker_.to_ranks_into(possession.row(vi), ranked_poss_.row(vi));
   }
 
   // Per-arc candidates (tail has, head lacks) and remaining capacity.
-  std::vector<TokenSet> candidates(num_arcs);
-  std::vector<std::int32_t> remaining(num_arcs, 0);
   bool anything = false;
   for (ArcId a = 0; a < graph.num_arcs(); ++a) {
     const Arc& arc = graph.arc(a);
-    TokenSet cand = ranked_poss[static_cast<std::size_t>(arc.from)];
-    cand -= ranked_poss[static_cast<std::size_t>(arc.to)];
+    const auto ai = static_cast<std::size_t>(a);
+    MutableTokenSetView cand = candidates_.row(ai);
+    cand.assign(ranked_poss_.row(static_cast<std::size_t>(arc.from)));
+    cand -= ranked_poss_.row(static_cast<std::size_t>(arc.to));
     anything = anything || !cand.empty();
-    candidates[static_cast<std::size_t>(a)] = std::move(cand);
-    remaining[static_cast<std::size_t>(a)] = view.capacity(a);
+    remaining_[ai] = view.capacity(a);
   }
   if (!anything) return;
 
   // Outstanding wants per vertex, fixed at step start.
-  std::vector<TokenSet> outstanding(n);
   for (VertexId v = 0; v < graph.num_vertices(); ++v) {
-    TokenSet out = ranker.to_ranks(inst.want(v));
-    out -= ranked_poss[static_cast<std::size_t>(v)];
-    outstanding[static_cast<std::size_t>(v)] = std::move(out);
+    const auto vi = static_cast<std::size_t>(v);
+    MutableTokenSetView out = outstanding_.row(vi);
+    ranker_.to_ranks_into(inst.want(v), out);
+    out -= ranked_poss_.row(vi);
   }
 
   // wave_ok holds the ranks whose grant count is still <= wave; ranks
   // pushed over the cap park in `capped` until the next wave relaxes it.
-  std::vector<std::int32_t> grant_count(universe, 0);
-  TokenSet wave_ok = TokenSet::full(universe);
-  TokenSet capped(universe);
+  std::fill(grant_count_.begin(), grant_count_.end(), 0);
+  wave_ok_.assign(full_);
+  capped_.clear();
 
-  std::vector<ArcId> active;
-  active.reserve(num_arcs);
+  active_.clear();
   for (ArcId a = 0; a < graph.num_arcs(); ++a) {
-    if (remaining[static_cast<std::size_t>(a)] > 0 &&
-        !candidates[static_cast<std::size_t>(a)].empty())
-      active.push_back(a);
+    const auto ai = static_cast<std::size_t>(a);
+    if (remaining_[ai] > 0 && !candidates_.row(ai).empty())
+      active_.push_back(a);
   }
 
-  const std::size_t num_words = wave_ok.words().size();
+  // An arc whose candidates are all over the duplication cap cannot pick
+  // again until the cap relaxes (its candidate set and wave_ok only
+  // shrink within a wave), so instead of rescanning it every pass it
+  // falls asleep and skips to the next relaxation: one flag check per
+  // pass instead of a full word scan.  The pick sequence — and hence the
+  // schedule — is identical to rescanning everything, because a sleeping
+  // arc could never have picked in the passes it skips, and it keeps its
+  // slot in the list so the scan order never changes.
+  const std::size_t num_words = wave_ok_.words().size();
+  const std::uint64_t* ok_w = wave_ok_.words().data();
   std::int32_t wave = 0;
-  while (!active.empty()) {
-    bool progress = false;
+  std::size_t awake = active_.size();
+  while (!active_.empty()) {
+    if (awake == 0) {
+      // Every surviving arc is capped: the full rescan would be a
+      // no-progress pass.  Relax the cap and wake everyone.
+      ++wave;
+      wave_ok_ |= capped_;
+      capped_.clear();
+      for (const ArcId a : active_) asleep_[static_cast<std::size_t>(a)] = 0;
+      awake = active_.size();
+    }
     std::size_t kept = 0;
-    for (const ArcId a : active) {
+    for (const ArcId a : active_) {
       const auto ai = static_cast<std::size_t>(a);
-      const auto head = static_cast<std::size_t>(graph.arc(a).to);
-      const auto& cand_w = candidates[ai].words();
-      const auto& out_w = outstanding[head].words();
-      const auto& ok_w = wave_ok.words();
+      if (asleep_[ai]) {
+        active_[kept++] = a;
+        continue;
+      }
+      const Arc& arc = graph.arc(a);
+      const std::uint64_t* cand_w = candidates_.row(ai).words_data();
+      const std::uint64_t* out_w =
+          outstanding_.row(static_cast<std::size_t>(arc.to)).words_data();
 
-      // Wanted deliveries first, diversity floods second; each pick is
-      // a first-set-bit over the masked words.
+      // One fused scan: the first wanted in-cap candidate wins; the
+      // first in-cap candidate of any kind is the diversity-flood
+      // fallback.
       TokenId pick = -1;
-      bool cand_left = false;
+      TokenId flood = -1;
+      std::uint64_t cand_left = 0;
       for (std::size_t wi = 0; wi < num_words; ++wi) {
-        cand_left = cand_left || cand_w[wi] != 0;
-        const std::uint64_t w = cand_w[wi] & out_w[wi] & ok_w[wi];
-        if (w != 0) {
+        const std::uint64_t cw = cand_w[wi];
+        cand_left |= cw;
+        const std::uint64_t in_cap = cw & ok_w[wi];
+        if (in_cap == 0) continue;
+        const std::uint64_t wanted = in_cap & out_w[wi];
+        if (wanted != 0) {
           pick = static_cast<TokenId>(
-              wi * 64 + static_cast<std::size_t>(__builtin_ctzll(w)));
+              wi * 64 + static_cast<std::size_t>(__builtin_ctzll(wanted)));
           break;
         }
+        if (flood < 0)
+          flood = static_cast<TokenId>(
+              wi * 64 + static_cast<std::size_t>(__builtin_ctzll(in_cap)));
       }
+      if (pick < 0) pick = flood;
       if (pick < 0) {
-        if (!cand_left) continue;  // exhausted for good: drop the arc
-        for (std::size_t wi = 0; wi < num_words; ++wi) {
-          const std::uint64_t w = cand_w[wi] & ok_w[wi];
-          if (w != 0) {
-            pick = static_cast<TokenId>(
-                wi * 64 + static_cast<std::size_t>(__builtin_ctzll(w)));
-            break;
-          }
+        // Candidates left means they are all capped: sleep until the
+        // next relaxation.  None left means the arc is done for good.
+        --awake;
+        if (cand_left != 0) {
+          asleep_[ai] = 1;
+          active_[kept++] = a;
         }
-      }
-      if (pick < 0) {  // every candidate is over the wave cap
-        active[kept++] = a;
         continue;
       }
 
-      plan.send(a, ranker.token_at(pick), universe);
-      if (++grant_count[static_cast<std::size_t>(pick)] > wave) {
-        wave_ok.reset(pick);
-        capped.set(pick);
+      plan.send(a, ranker_.token_at(pick), universe);
+      if (++grant_count_[static_cast<std::size_t>(pick)] > wave) {
+        wave_ok_.reset(pick);
+        capped_.set(pick);
       }
       // The head now holds (a grant of) this token: no arc into it may
       // offer the token again this step.
-      for (const ArcId b : graph.in_arcs(graph.arc(a).to))
-        candidates[static_cast<std::size_t>(b)].reset(pick);
-      progress = true;
-      if (--remaining[ai] > 0) active[kept++] = a;
+      for (const ArcId b : graph.in_arcs(arc.to))
+        candidates_.row(static_cast<std::size_t>(b)).reset(pick);
+      if (--remaining_[ai] > 0) {
+        active_[kept++] = a;
+      } else {
+        --awake;  // capacity exhausted: the arc leaves for good
+      }
     }
-    active.resize(kept);
-    if (active.empty()) break;
-    if (!progress) {  // relax the duplication cap and retry
-      ++wave;
-      wave_ok |= capped;
-      capped.clear();
-    }
+    active_.resize(kept);
   }
 }
 

@@ -2,8 +2,15 @@
 
 namespace ocd::heuristics {
 
-void RandomPolicy::reset(const core::Instance&, std::uint64_t seed) {
+void RandomPolicy::reset(const core::Instance& instance, std::uint64_t seed) {
   rng_ = Rng(seed);
+  const auto universe = static_cast<std::size_t>(instance.num_tokens());
+  useful_ = TokenSet(universe);
+  batch_ = TokenSet(universe);
+  pool_.clear();
+  pool_.reserve(universe);
+  chosen_.clear();
+  chosen_.reserve(universe);
 }
 
 void RandomPolicy::plan_vertex(VertexId self, const sim::StepView& view,
@@ -12,29 +19,28 @@ void RandomPolicy::plan_vertex(VertexId self, const sim::StepView& view,
   // for fresher snapshots), so every vertex marks idle and the marks
   // are overridden by any actual send.
   plan.mark_idle();
-  const TokenSet& mine = view.own_possession(self);
+  const TokenSetView mine = view.own_possession(self);
   if (mine.empty()) return;
-  const auto universe = static_cast<std::size_t>(view.num_tokens());
 
   for (ArcId arc_id : view.graph().out_arcs(self)) {
     const Arc& arc = view.graph().arc(arc_id);
-    TokenSet useful = mine;
-    useful -= view.peer_possession(self, arc.to);
-    const auto available = useful.count();
+    useful_.assign(mine);
+    useful_ -= view.peer_possession(self, arc.to);
+    const auto available = useful_.count();
     if (available == 0) continue;
     const auto capacity = static_cast<std::size_t>(view.capacity(arc_id));
     if (capacity == 0) continue;
     if (available <= capacity) {
-      plan.send(arc_id, useful);
+      plan.send(arc_id, useful_);
       continue;
     }
     // Random subset of `capacity` tokens from the useful set.
-    const std::vector<TokenId> pool = useful.to_vector();
-    TokenSet batch(universe);
-    const auto chosen = rng_.sample_indices(pool.size(), capacity);
-    for (std::size_t index : chosen)
-      batch.set(pool[index]);
-    plan.send(arc_id, batch);
+    useful_.to_vector_into(pool_);
+    batch_.clear();
+    rng_.sample_indices_into(pool_.size(), capacity, chosen_);
+    for (std::size_t index : chosen_)
+      batch_.set(pool_[index]);
+    plan.send(arc_id, batch_);
   }
 }
 

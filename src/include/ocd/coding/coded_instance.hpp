@@ -48,10 +48,10 @@ class CodedInstance {
 
   /// True when `possession` reconstructs every file v wants.
   [[nodiscard]] bool vertex_satisfied(VertexId v,
-                                      const TokenSet& possession) const;
+                                      TokenSetView possession) const;
 
   /// Completion predicate pluggable into sim::SimOptions::completion.
-  [[nodiscard]] std::function<bool(VertexId, const TokenSet&)>
+  [[nodiscard]] std::function<bool(VertexId, TokenSetView)>
   completion_predicate() const;
 
  private:

@@ -21,6 +21,7 @@
 
 #include "ocd/core/instance.hpp"
 #include "ocd/util/rng.hpp"
+#include "ocd/util/token_matrix.hpp"
 
 namespace ocd::dynamics {
 
@@ -34,10 +35,11 @@ class DynamicsModel {
   virtual void reset(const core::Instance& instance, std::uint64_t seed);
 
   /// Called once per step (before apply) with the step-initial
-  /// possession — lets state-dependent models (e.g. departure after
-  /// completion) track progress.  Default: ignored.
+  /// possession (one TokenMatrix row per vertex) — lets state-dependent
+  /// models (e.g. departure after completion) track progress.
+  /// Default: ignored.
   virtual void observe(std::int64_t step, const core::Instance& instance,
-                       const std::vector<TokenSet>& possession);
+                       const util::TokenMatrix& possession);
 
   /// Overwrites `capacity` (pre-initialized to the static capacities,
   /// one entry per arc) for this step.  Entries must stay >= 0.

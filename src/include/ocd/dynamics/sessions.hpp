@@ -61,7 +61,7 @@ class SessionDynamics final : public DynamicsModel {
   [[nodiscard]] std::string_view name() const override { return "sessions"; }
   void reset(const core::Instance& instance, std::uint64_t seed) override;
   void observe(std::int64_t step, const core::Instance& instance,
-               const std::vector<TokenSet>& possession) override;
+               const util::TokenMatrix& possession) override;
   void apply(std::int64_t step, const Digraph& graph,
              std::span<std::int32_t> capacity) override;
 

@@ -21,8 +21,10 @@
 #include <map>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "ocd/sim/policy.hpp"
+#include "ocd/util/token_matrix.hpp"
 
 namespace ocd::faults {
 
@@ -68,6 +70,15 @@ class ReliableAdapter final : public sim::Policy {
   std::map<std::pair<ArcId, TokenId>, InFlight> inflight_;
   std::int64_t retransmissions_ = 0;
   std::int64_t trimmed_moves_ = 0;
+  // Per-step scratch, reused across steps (sized at reset).  Budgets are
+  // flat per-arc arrays initialized lazily for touched arcs only and
+  // cleaned up arc-by-arc at the start of the next step.
+  sim::StepPlan scratch_;
+  std::vector<std::int32_t> budget_remaining_;
+  std::vector<char> budget_touched_;
+  util::TokenMatrix planned_;  ///< per-arc tokens already on the wire
+  std::vector<ArcId> touched_arcs_;
+  TokenSet fresh_;
 };
 
 }  // namespace ocd::faults

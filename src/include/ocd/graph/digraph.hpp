@@ -57,9 +57,22 @@ class Digraph {
     return find_arc(from, to) >= 0;
   }
 
-  /// Ids of arcs leaving / entering v.
+  /// Ids of arcs leaving / entering v.  After finalize() these are
+  /// slices of one contiguous CSR array, so iterating all vertices in
+  /// order walks memory linearly.
   [[nodiscard]] std::span<const ArcId> out_arcs(VertexId v) const;
   [[nodiscard]] std::span<const ArcId> in_arcs(VertexId v) const;
+
+  /// Builds the CSR (compressed sparse row) adjacency arrays: flat
+  /// out/in offset + arc-id vectors in vertex order, preserving each
+  /// vertex's arc insertion order, so planner iteration over
+  /// out_arcs/in_arcs touches contiguous memory.  Idempotent; adding a
+  /// new arc afterwards invalidates the CSR form (accessors fall back
+  /// to the per-vertex lists until finalize() is called again).
+  /// Instance finalizes its graph eagerly at construction, so the
+  /// simulator hot path always sees CSR adjacency.
+  void finalize();
+  [[nodiscard]] bool finalized() const noexcept { return csr_valid_; }
 
   /// Out-/in-neighbour vertex lists (deduplicated by simplicity).
   [[nodiscard]] std::vector<VertexId> out_neighbors(VertexId v) const;
@@ -79,8 +92,17 @@ class Digraph {
  private:
   std::int32_t num_vertices_ = 0;
   std::vector<Arc> arcs_;
+  // Per-vertex lists, maintained incrementally during construction so
+  // add_arc's simplicity check (find_arc) stays O(out-degree).
   std::vector<std::vector<ArcId>> out_;
   std::vector<std::vector<ArcId>> in_;
+  // CSR form built by finalize(): offsets_[v]..offsets_[v+1] slices the
+  // flat arc-id array for vertex v.
+  bool csr_valid_ = false;
+  std::vector<std::int32_t> out_offsets_;
+  std::vector<std::int32_t> in_offsets_;
+  std::vector<ArcId> out_csr_;
+  std::vector<ArcId> in_csr_;
 };
 
 }  // namespace ocd

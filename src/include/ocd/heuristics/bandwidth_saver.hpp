@@ -15,6 +15,8 @@
 #include <vector>
 
 #include "ocd/sim/policy.hpp"
+#include "ocd/util/rarity.hpp"
+#include "ocd/util/token_matrix.hpp"
 
 namespace ocd::heuristics {
 
@@ -25,7 +27,24 @@ class BandwidthPolicy final : public sim::Policy {
     return sim::KnowledgeClass::kGlobal;
   }
 
+  void reset(const core::Instance& instance, std::uint64_t seed) override;
   void plan_step(const sim::StepView& view, sim::StepPlan& plan) override;
+
+ private:
+  // Planner scratch, sized once in reset() and rewritten in place each
+  // step so steady-state planning does not allocate.
+  RarityRanker ranker_;
+  util::TokenMatrix allowed_;  ///< per-vertex receivable tokens
+  std::vector<std::int32_t> frontier_dist_;
+  std::vector<VertexId> witness_;
+  std::vector<VertexId> needy_;
+  std::vector<VertexId> bfs_;  ///< BFS worklist (vector + head cursor)
+  TokenSet candidates_;
+  TokenSet ranked_cand_;
+  TokenSet ranked_want_;
+  TokenSet ranked_needs_;
+  TokenSet ranked_flood_;
+  TokenSet batch_;
 };
 
 }  // namespace ocd::heuristics

@@ -11,7 +11,11 @@
 // Wanted deliveries are assigned before pure diversity floods.
 #pragma once
 
+#include <vector>
+
 #include "ocd/sim/policy.hpp"
+#include "ocd/util/rarity.hpp"
+#include "ocd/util/token_matrix.hpp"
 
 namespace ocd::heuristics {
 
@@ -27,6 +31,19 @@ class GlobalGreedyPolicy final : public sim::Policy {
 
  private:
   Rng rng_{1};
+  // Planner scratch, sized once in reset() and rewritten in place each
+  // step so steady-state planning does not allocate.
+  RarityRanker ranker_;
+  util::TokenMatrix ranked_poss_;   ///< per-vertex possession, rank space
+  util::TokenMatrix candidates_;    ///< per-arc (tail has, head lacks)
+  util::TokenMatrix outstanding_;   ///< per-vertex wants still missing
+  std::vector<std::int32_t> remaining_;
+  std::vector<std::int32_t> grant_count_;
+  TokenSet full_;     ///< all-ones mask, built once per reset
+  TokenSet wave_ok_;  ///< ranks whose grant count is still <= wave
+  TokenSet capped_;
+  std::vector<ArcId> active_;
+  std::vector<char> asleep_;  ///< capped arcs sleep until a wave relax
 };
 
 }  // namespace ocd::heuristics

@@ -8,6 +8,8 @@
 // wanted or not.
 #pragma once
 
+#include <vector>
+
 #include "ocd/sim/policy.hpp"
 
 namespace ocd::heuristics {
@@ -25,6 +27,12 @@ class RandomPolicy final : public sim::Policy {
 
  private:
   Rng rng_{1};
+  // Planner scratch, sized once in reset() and rewritten in place each
+  // step so steady-state planning does not allocate.
+  TokenSet useful_;
+  TokenSet batch_;
+  std::vector<TokenId> pool_;
+  std::vector<std::size_t> chosen_;
 };
 
 }  // namespace ocd::heuristics

@@ -19,6 +19,8 @@
 #include <vector>
 
 #include "ocd/sim/policy.hpp"
+#include "ocd/util/rarity.hpp"
+#include "ocd/util/token_matrix.hpp"
 
 namespace ocd::heuristics {
 
@@ -34,6 +36,18 @@ class RarestRandomPolicy final : public sim::Policy {
 
  private:
   Rng rng_{1};
+  // Planner scratch, sized once in reset() and rewritten in place each
+  // step so steady-state planning does not allocate.
+  RarityRanker ranker_;
+  util::TokenMatrix requests_;  ///< per-arc request sets
+  util::TokenMatrix offered_;   ///< per-in-arc offers (max in-degree rows)
+  std::vector<std::int32_t> budget_;
+  TokenSet offered_any_;
+  TokenSet wanted_;
+  TokenSet ranked_offered_;
+  TokenSet ranked_wanted_;
+  TokenSet wanted_pool_;
+  TokenSet flood_pool_;
 };
 
 }  // namespace ocd::heuristics

@@ -28,6 +28,8 @@ class RoundRobinPolicy final : public sim::Policy {
   /// Per-arc circular cursor: the token id after which the next scan
   /// starts.
   std::vector<TokenId> cursor_;
+  /// Per-arc batch scratch, reused across steps (no per-step allocation).
+  TokenSet batch_;
 };
 
 }  // namespace ocd::heuristics

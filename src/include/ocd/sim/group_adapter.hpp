@@ -44,6 +44,12 @@ class GroupConstrainedPolicy final : public Policy {
   std::vector<std::vector<std::int32_t>> arc_groups_;
   std::int64_t dropped_moves_ = 0;
   Rng rng_{1};
+  // Per-step scratch, reused across steps (sized at reset).
+  StepPlan scratch_;
+  std::vector<std::int32_t> remaining_;
+  TokenSet trimmed_;
+  std::vector<TokenId> pool_;
+  std::vector<std::size_t> chosen_;
 };
 
 }  // namespace ocd::sim

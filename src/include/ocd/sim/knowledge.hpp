@@ -12,10 +12,10 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <vector>
 
 #include "ocd/core/instance.hpp"
+#include "ocd/util/token_matrix.hpp"
 
 namespace ocd::sim {
 
@@ -34,15 +34,26 @@ struct Aggregates {
   /// vertex just gained (none of which it previously held) and `want`
   /// is that vertex's want set.  Equivalent to a full recompute on the
   /// post-delivery possession.
-  void apply_delivery(const TokenSet& fresh, const TokenSet& want);
+  void apply_delivery(TokenSetView fresh, TokenSetView want);
 };
 
 Aggregates compute_aggregates(const core::Instance& instance,
-                              const std::vector<TokenSet>& possession);
+                              const util::TokenMatrix& possession);
 
-/// Ring buffer of possession snapshots providing `staleness`-steps-old
-/// peer views.  With staleness 0 the freshest snapshot is returned
-/// (peers' state at the start of the current turn).
+/// In-place recompute reusing `out`'s storage (the per-step path of the
+/// stale-aggregates ablation).
+void compute_aggregates_into(const core::Instance& instance,
+                             const util::TokenMatrix& possession,
+                             Aggregates& out);
+
+/// Fixed ring buffer of possession matrices providing `staleness`-
+/// steps-old peer views.  With staleness 0 the freshest snapshot is
+/// returned (peers' state at the start of the current turn).
+///
+/// The ring holds staleness+1 slots.  Slots are allocated during the
+/// first staleness+1 pushes (warm-up) and thereafter updated strictly
+/// in place — push() is one contiguous matrix copy, never an
+/// allocation, so steady-state steps stay allocation-free.
 ///
 /// Zero-staleness runs can avoid the per-step full-universe copy
 /// entirely: after alias_live(live), push() is a no-op and stale_view()
@@ -53,26 +64,27 @@ class SnapshotBuffer {
  public:
   explicit SnapshotBuffer(std::int32_t staleness);
 
-  /// Binds the buffer to the simulator's live possession vector instead
+  /// Binds the buffer to the simulator's live possession matrix instead
   /// of copying it each step.  Requires staleness() == 0; `live` must
   /// outlive the buffer and keep its address stable.
-  void alias_live(const std::vector<TokenSet>& live);
+  void alias_live(const util::TokenMatrix& live);
 
   /// Installs the possession at the start of a new timestep.  A no-op
-  /// in aliased mode; otherwise copies, recycling the storage of the
-  /// expiring snapshot rather than reallocating.
-  void push(const std::vector<TokenSet>& possession);
+  /// in aliased mode; otherwise copies into the expiring ring slot.
+  void push(const util::TokenMatrix& possession);
 
-  /// The snapshot policies may consult this step.
-  [[nodiscard]] const std::vector<TokenSet>& stale_view() const;
+  /// The snapshot policies may consult this step: after the push for
+  /// step i, the state at the start of step max(0, i - staleness).
+  [[nodiscard]] const util::TokenMatrix& stale_view() const;
 
   [[nodiscard]] std::int32_t staleness() const noexcept { return staleness_; }
   [[nodiscard]] bool aliased() const noexcept { return live_ != nullptr; }
 
  private:
   std::int32_t staleness_;
-  const std::vector<TokenSet>* live_ = nullptr;
-  std::deque<std::vector<TokenSet>> snapshots_;
+  const util::TokenMatrix* live_ = nullptr;
+  std::vector<util::TokenMatrix> slots_;  ///< ring of staleness+1 matrices
+  std::int64_t pushes_ = 0;
 };
 
 }  // namespace ocd::sim

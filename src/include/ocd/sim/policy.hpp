@@ -15,16 +15,29 @@ struct RunStats;
 /// Mutable plan for one timestep.  Policies add sends; the simulator
 /// validates them against capacity and possession afterwards, so a
 /// buggy policy is caught rather than silently corrupting a run.
+///
+/// A StepPlan is an arena: its send slots (TokenSet storage included)
+/// and arc-slot index persist across steps.  The simulator constructs
+/// one plan per run and calls rebind() each step, which clears the
+/// previous step's sends in O(sends) without freeing anything, so the
+/// steady-state planning loop performs no heap allocation.
 class StepPlan {
  public:
+  StepPlan() = default;
   explicit StepPlan(const Digraph& graph);
   /// With per-step effective capacities (dynamics); remaining_capacity
   /// then reports against the effective values.
   StepPlan(const Digraph& graph,
            std::span<const std::int32_t> effective_capacity);
 
+  /// Re-targets the plan at (graph, effective_capacity) and clears it
+  /// for a new step.  All storage — send pool, bitsets, arc index — is
+  /// reused; only a first-time bind (or a larger graph) allocates.
+  void rebind(const Digraph& graph,
+              std::span<const std::int32_t> effective_capacity);
+
   /// Adds tokens to an arc's send set.
-  void send(ArcId arc, const TokenSet& tokens);
+  void send(ArcId arc, TokenSetView tokens);
   void send(ArcId arc, TokenId token, std::size_t universe);
 
   /// Capacity still unclaimed on `arc` within this plan.
@@ -37,16 +50,33 @@ class StepPlan {
   void mark_idle() noexcept { idle_ = true; }
   [[nodiscard]] bool idle_marked() const noexcept { return idle_; }
 
-  [[nodiscard]] const core::Timestep& timestep() const noexcept {
-    return step_;
+  [[nodiscard]] bool empty() const noexcept { return used_ == 0; }
+
+  /// The planned sends, in first-touch arc order.  The spans borrow the
+  /// pool: valid until the next rebind().  The mutable overload lets
+  /// the simulator trim lost tokens in place before recording.
+  [[nodiscard]] std::span<const core::ArcSend> sends() const noexcept {
+    return {pool_.data(), used_};
   }
-  [[nodiscard]] core::Timestep take() noexcept { return std::move(step_); }
+  [[nodiscard]] std::span<core::ArcSend> sends() noexcept {
+    return {pool_.data(), used_};
+  }
+
+  /// Copies the planned sends out as an owning Timestep (allocates;
+  /// used by schedule recording and adapter-style callers, not by the
+  /// simulator hot loop).  Empty send sets are skipped.
+  [[nodiscard]] core::Timestep take() const;
 
  private:
-  const Digraph& graph_;
+  core::ArcSend& acquire_slot(ArcId arc);
+
+  const Digraph* graph_ = nullptr;
   std::span<const std::int32_t> effective_capacity_;
-  core::Timestep step_;
-  /// arc -> index into step_.sends(), -1 when absent.  Keeps send() and
+  /// Persistent send pool; the first used_ entries are this step's plan.
+  /// Slots beyond used_ hold retired TokenSet storage awaiting reuse.
+  std::vector<core::ArcSend> pool_;
+  std::size_t used_ = 0;
+  /// arc -> index into pool_, -1 when absent.  Keeps send() and
   /// remaining_capacity() O(1) instead of scanning the send list — the
   /// scan is quadratic for policies that touch every arc each step.
   std::vector<std::int32_t> arc_slot_;

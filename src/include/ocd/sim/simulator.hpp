@@ -11,15 +11,24 @@
 // policy can observe, not O(n·|T|) per step:
 //  * validate-then-apply delivery — every send is checked against the
 //    start-of-step possession first, then recipients are mutated in
-//    place (no per-step deep copy of the possession vector);
+//    place (no per-step deep copy of the possession state);
 //  * per-arc capacity is enforced on the aggregate of all sends
 //    sharing an arc, not per ArcSend;
 //  * satisfaction is tracked with an unsatisfied-vertex counter updated
 //    on delivery instead of a full rescan;
 //  * aggregate vectors are materialized only for kLocalAggregate+
 //    policies and maintained incrementally on delivery;
-//  * zero-staleness snapshot views alias the live possession vector.
+//  * zero-staleness snapshot views alias the live possession matrix.
 // On every exit path, `stats.moves_per_step.size() == steps` holds.
+//
+// Memory layout (ISSUE 4): all per-vertex possession state lives in one
+// row-major util::TokenMatrix; policies receive TokenSetView rows, the
+// staleness buffer is a fixed ring of matrices copied in place, and the
+// per-step working set (StepPlan send pool, capacity/load arrays,
+// delivery scratch) is a SimScratch arena owned by the Simulator and
+// cleared — never reallocated — each step.  With schedule recording
+// off, a steady-state step performs zero heap allocations (asserted by
+// tests/sim/alloc_count_test.cpp).
 //
 // With a FaultModel installed the apply phase becomes lossy: validated
 // sends consume capacity, but tokens the model eats never mutate
@@ -89,8 +98,10 @@ struct SimOptions {
   /// Optional completion override (§6 encoding): a vertex counts as
   /// satisfied when this predicate accepts its possession set, instead
   /// of the default w(v) ⊆ p(v).  Policies still see the instance's
-  /// want sets; only run termination and completion_step change.
-  std::function<bool(VertexId, const TokenSet&)> completion;
+  /// want sets; only run termination and completion_step change.  The
+  /// view borrows the simulator's state and is only valid during the
+  /// call.
+  std::function<bool(VertexId, TokenSetView)> completion;
 };
 
 /// Why a run ended.  kSatisfied is the only successful outcome; the
@@ -117,11 +128,42 @@ struct RunResult {
   RunStats stats;
 };
 
-/// Runs `policy` on `instance` until completion or budget exhaustion.
+/// The simulator's reusable arena: everything a step touches that is
+/// not per-run output lives here and is cleared in place each step /
+/// resized (reusing capacity) each run.  Owned by a Simulator; separate
+/// Simulators share nothing, so one-per-thread is safe.
+struct SimScratch {
+  util::TokenMatrix possession;  ///< live p_i(v), one row per vertex
+  StepPlan plan;                 ///< send pool + arc index, rebound per step
+  Aggregates aggregates;
+  std::vector<std::int32_t> static_capacity;
+  std::vector<std::int32_t> effective_capacity;
+  std::vector<std::int32_t> arc_load;
+  TokenSet fresh;  ///< delivery scratch: tokens new to the receiver
+  TokenSet lost;   ///< fault scratch: tokens the channel ate
+  std::vector<VertexId> touched;
+  std::vector<char> touched_flag;
+  std::vector<char> satisfied;
+  std::vector<std::vector<std::int32_t>> distances;
+};
+
+/// Runs policies on instances, reusing one SimScratch arena across runs
+/// and steps.  Sequential runs on similarly sized instances settle into
+/// a zero-allocation steady state.
+class Simulator {
+ public:
+  RunResult run(const core::Instance& instance, Policy& policy,
+                const SimOptions& options = {});
+
+ private:
+  SimScratch scratch_;
+};
+
+/// Convenience wrapper: one-shot run with a private arena.
 RunResult run(const core::Instance& instance, Policy& policy,
               const SimOptions& options = {});
 
-/// Validates one timestep against the start-of-step `possession` and
+/// Validates planned sends against the start-of-step `possession` and
 /// the per-arc `effective_capacity`, throwing ocd::Error on a capacity
 /// or possession violation.  Capacity is checked on the aggregate load
 /// per arc, so multiple sends sharing an arc cannot jointly exceed
@@ -129,9 +171,9 @@ RunResult run(const core::Instance& instance, Policy& policy,
 /// scratch of size num_arcs that must be all-zero on entry; it is
 /// restored to all-zero before returning or throwing.
 void validate_sends(const core::Instance& instance,
-                    const core::Timestep& timestep,
+                    std::span<const core::ArcSend> sends,
                     std::span<const std::int32_t> effective_capacity,
-                    const std::vector<TokenSet>& possession,
+                    const util::TokenMatrix& possession,
                     std::span<std::int32_t> arc_load,
                     std::string_view policy_name, std::int64_t step);
 

@@ -30,14 +30,19 @@ enum class KnowledgeClass : std::uint8_t {
 const char* to_string(KnowledgeClass k);
 
 /// Read-only window onto the simulation at the start of one timestep.
+///
+/// Possession state is handed out as TokenSetView rows of the
+/// simulator's flat TokenMatrix; views borrow and are only valid while
+/// the StepView (and the matrices behind it) lives — policies must not
+/// retain them across steps.
 class StepView {
  public:
   /// `aggregates` may be null for policies below kLocalAggregate — the
   /// simulator materializes aggregate vectors lazily, only when the
   /// declared knowledge class can observe them.
   StepView(const core::Instance& instance,
-           const std::vector<TokenSet>& possession,
-           const std::vector<TokenSet>& stale_possession,
+           const util::TokenMatrix& possession,
+           const util::TokenMatrix& stale_possession,
            const Aggregates* aggregates,
            const std::vector<std::vector<std::int32_t>>* distances,
            KnowledgeClass granted, std::int64_t step,
@@ -59,21 +64,21 @@ class StepView {
   // capacities; we expose the whole overlay map, matching §4.1's
   // optional "additional information about the graph topology").
   [[nodiscard]] std::int32_t num_tokens() const noexcept;
-  [[nodiscard]] const TokenSet& own_possession(VertexId v) const;
+  [[nodiscard]] TokenSetView own_possession(VertexId v) const;
   [[nodiscard]] const TokenSet& own_want(VertexId v) const;
 
   // ---- kLocalPeers ---------------------------------------------------
   /// Neighbor's possession as known this step (staleness applied).
   /// `neighbor` must share an arc with `self` in either direction.
-  [[nodiscard]] const TokenSet& peer_possession(VertexId self,
-                                                VertexId neighbor) const;
+  [[nodiscard]] TokenSetView peer_possession(VertexId self,
+                                             VertexId neighbor) const;
 
   // ---- kLocalAggregate -----------------------------------------------
   [[nodiscard]] std::span<const std::int32_t> aggregate_holders() const;
   [[nodiscard]] std::span<const std::int32_t> aggregate_need() const;
 
   // ---- kGlobal ---------------------------------------------------------
-  [[nodiscard]] const std::vector<TokenSet>& global_possession() const;
+  [[nodiscard]] const util::TokenMatrix& global_possession() const;
   [[nodiscard]] const core::Instance& instance() const;
   /// All-pairs hop distances (precomputed once per run).
   [[nodiscard]] const std::vector<std::vector<std::int32_t>>& distances()
@@ -83,8 +88,8 @@ class StepView {
   void require(KnowledgeClass needed) const;
 
   const core::Instance& instance_;
-  const std::vector<TokenSet>& possession_;
-  const std::vector<TokenSet>& stale_possession_;
+  const util::TokenMatrix& possession_;
+  const util::TokenMatrix& stale_possession_;
   const Aggregates* aggregates_;
   const std::vector<std::vector<std::int32_t>>* distances_;
   KnowledgeClass granted_;

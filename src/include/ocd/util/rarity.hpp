@@ -61,20 +61,35 @@ class RarityRanker {
   }
 
   /// Permutes a token-space set into rank space.
-  [[nodiscard]] TokenSet to_ranks(const TokenSet& tokens) const;
+  [[nodiscard]] TokenSet to_ranks(TokenSetView tokens) const;
 
   /// Permutes a rank-space set back into token space.
-  [[nodiscard]] TokenSet to_tokens(const TokenSet& ranked) const;
+  [[nodiscard]] TokenSet to_tokens(TokenSetView ranked) const;
+
+  /// In-place variants: `out` must span the same universe; it is
+  /// cleared and overwritten.  Allocation-free.
+  void to_ranks_into(TokenSetView tokens, MutableTokenSetView out) const;
+  void to_tokens_into(TokenSetView ranked, MutableTokenSetView out) const;
 
  private:
+  /// Rebuilds rank_ from order_, validating the permutation.
+  void rebuild_rank();
+  /// Sorts order_ by the packed (class, position) keys in keys_.
+  void sort_by_keys();
+
   std::vector<TokenId> order_;  ///< rank -> token
   std::vector<TokenId> rank_;   ///< token -> rank
+  // Per-rebuild scratch, reused across steps so assign_by_* never
+  // allocates in steady state.  keys_ packs (sort key << 32 | position)
+  // so an in-place std::sort reproduces the stable_sort order exactly.
+  std::vector<std::uint64_t> keys_;
+  std::vector<TokenId> scratch_order_;
 };
 
 /// The shared pick: rarest token (lowest rank) present in both ranked
 /// sets, mapped back to its token id; -1 when the sets are disjoint.
 [[nodiscard]] TokenId rarest_in_intersection(const RarityRanker& ranker,
-                                             const TokenSet& ranked_a,
-                                             const TokenSet& ranked_b);
+                                             TokenSetView ranked_a,
+                                             TokenSetView ranked_b);
 
 }  // namespace ocd

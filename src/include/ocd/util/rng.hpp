@@ -74,6 +74,12 @@ class Rng {
   /// Sample k distinct indices from [0, n) in random order.
   std::vector<std::size_t> sample_indices(std::size_t n, std::size_t k);
 
+  /// As sample_indices, but writes into `out` (left holding exactly the
+  /// k samples) reusing its capacity — allocation-free once out has
+  /// capacity n.  Draw sequence is identical to sample_indices.
+  void sample_indices_into(std::size_t n, std::size_t k,
+                           std::vector<std::size_t>& out);
+
   /// Derive an independent child generator; used to give each component
   /// (per heuristic, per repetition) its own stream.
   Rng split() noexcept;

@@ -83,7 +83,8 @@ void GossipRarestPolicy::plan_step(const StepView& view, StepPlan& plan) {
   // (own_possession is a kLocalOnly accessor).
   std::vector<TokenSet> possession;
   possession.reserve(static_cast<std::size_t>(n));
-  for (VertexId v = 0; v < n; ++v) possession.push_back(view.own_possession(v));
+  for (VertexId v = 0; v < n; ++v)
+    possession.emplace_back(view.own_possession(v));
   gossip_->advance(possession, view.step());
 
   // Believed rarity per token: count of vertices believed to hold it.
@@ -93,7 +94,7 @@ void GossipRarestPolicy::plan_step(const StepView& view, StepPlan& plan) {
 
   bool sent = false;
   for (VertexId v = 0; v < n; ++v) {
-    const TokenSet& mine = view.own_possession(v);
+    const TokenSetView mine = view.own_possession(v);
     const auto in_arcs = graph.in_arcs(v);
     if (in_arcs.empty()) continue;
 

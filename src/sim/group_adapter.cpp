@@ -26,44 +26,48 @@ void GroupConstrainedPolicy::reset(const core::Instance& inst,
           static_cast<std::int32_t>(g));
     }
   }
+  remaining_.assign(groups_.size(), 0);
+  trimmed_ = TokenSet(static_cast<std::size_t>(inst.num_tokens()));
+  pool_.clear();
+  pool_.reserve(static_cast<std::size_t>(inst.num_tokens()));
+  chosen_.clear();
+  chosen_.reserve(static_cast<std::size_t>(inst.num_tokens()));
 }
 
 void GroupConstrainedPolicy::plan_step(const StepView& view, StepPlan& plan) {
-  StepPlan scratch(view.graph());
-  inner_->plan_step(view, scratch);
-  if (scratch.idle_marked()) plan.mark_idle();
+  scratch_.rebind(view.graph(), {});
+  inner_->plan_step(view, scratch_);
+  if (scratch_.idle_marked()) plan.mark_idle();
 
-  std::vector<std::int32_t> remaining(groups_.size());
   for (std::size_t g = 0; g < groups_.size(); ++g)
-    remaining[g] = groups_[g].capacity;
+    remaining_[g] = groups_[g].capacity;
 
-  const core::Timestep step = scratch.take();
-  for (const core::ArcSend& send : step.sends()) {
+  for (const core::ArcSend& send : scratch_.sends()) {
+    if (send.tokens.empty()) continue;
     // Allowance across every group this arc belongs to.
     auto allowed = static_cast<std::int64_t>(send.tokens.count());
     for (std::int32_t g : arc_groups_[static_cast<std::size_t>(send.arc)])
-      allowed = std::min<std::int64_t>(allowed,
-                                       remaining[static_cast<std::size_t>(g)]);
+      allowed = std::min<std::int64_t>(
+          allowed, remaining_[static_cast<std::size_t>(g)]);
     if (allowed <= 0) {
       dropped_moves_ += static_cast<std::int64_t>(send.tokens.count());
       continue;
     }
-    TokenSet trimmed = send.tokens;
-    if (static_cast<std::size_t>(allowed) < trimmed.count()) {
+    trimmed_.assign(send.tokens);
+    if (static_cast<std::size_t>(allowed) < trimmed_.count()) {
       // Random survivors: a congested link drops arbitrary packets.
-      const auto pool = trimmed.to_vector();
-      trimmed.clear();
-      for (std::size_t index : rng_.sample_indices(
-               pool.size(), static_cast<std::size_t>(allowed))) {
-        trimmed.set(pool[index]);
-      }
+      trimmed_.to_vector_into(pool_);
+      trimmed_.clear();
+      rng_.sample_indices_into(pool_.size(), static_cast<std::size_t>(allowed),
+                               chosen_);
+      for (std::size_t index : chosen_) trimmed_.set(pool_[index]);
     }
     dropped_moves_ += static_cast<std::int64_t>(send.tokens.count()) -
-                      static_cast<std::int64_t>(trimmed.count());
+                      static_cast<std::int64_t>(trimmed_.count());
     for (std::int32_t g : arc_groups_[static_cast<std::size_t>(send.arc)])
-      remaining[static_cast<std::size_t>(g)] -=
-          static_cast<std::int32_t>(trimmed.count());
-    plan.send(send.arc, trimmed);
+      remaining_[static_cast<std::size_t>(g)] -=
+          static_cast<std::int32_t>(trimmed_.count());
+    plan.send(send.arc, trimmed_);
   }
 }
 

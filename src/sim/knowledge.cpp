@@ -1,26 +1,44 @@
 #include "ocd/sim/knowledge.hpp"
 
+#include <algorithm>
+
 namespace ocd::sim {
 
 Aggregates compute_aggregates(const core::Instance& inst,
-                              const std::vector<TokenSet>& possession) {
-  OCD_EXPECTS(possession.size() ==
-              static_cast<std::size_t>(inst.num_vertices()));
+                              const util::TokenMatrix& possession) {
   Aggregates agg;
-  agg.holders.assign(static_cast<std::size_t>(inst.num_tokens()), 0);
-  agg.need.assign(static_cast<std::size_t>(inst.num_tokens()), 0);
-  for (VertexId v = 0; v < inst.num_vertices(); ++v) {
-    possession[static_cast<std::size_t>(v)].for_each(
-        [&](TokenId t) { ++agg.holders[static_cast<std::size_t>(t)]; });
-    const TokenSet missing =
-        inst.want(v) - possession[static_cast<std::size_t>(v)];
-    missing.for_each(
-        [&](TokenId t) { ++agg.need[static_cast<std::size_t>(t)]; });
-  }
+  compute_aggregates_into(inst, possession, agg);
   return agg;
 }
 
-void Aggregates::apply_delivery(const TokenSet& fresh, const TokenSet& want) {
+void compute_aggregates_into(const core::Instance& inst,
+                             const util::TokenMatrix& possession,
+                             Aggregates& out) {
+  OCD_EXPECTS(possession.rows() ==
+              static_cast<std::size_t>(inst.num_vertices()));
+  OCD_EXPECTS(possession.universe_size() ==
+              static_cast<std::size_t>(inst.num_tokens()));
+  out.holders.assign(static_cast<std::size_t>(inst.num_tokens()), 0);
+  out.need.assign(static_cast<std::size_t>(inst.num_tokens()), 0);
+  for (VertexId v = 0; v < inst.num_vertices(); ++v) {
+    const TokenSetView mine = possession.row(static_cast<std::size_t>(v));
+    mine.for_each(
+        [&](TokenId t) { ++out.holders[static_cast<std::size_t>(t)]; });
+    // Wanted-but-missing, without materializing the difference: iterate
+    // want masked by the complement of possession word by word.
+    const TokenSet& want = inst.want(v);
+    for (std::size_t wi = 0, e = mine.num_words(); wi < e; ++wi) {
+      std::uint64_t w = want.words()[wi] & ~mine.word(wi);
+      while (w != 0) {
+        const int b = __builtin_ctzll(w);
+        ++out.need[wi * 64 + static_cast<std::size_t>(b)];
+        w &= w - 1;
+      }
+    }
+  }
+}
+
+void Aggregates::apply_delivery(TokenSetView fresh, TokenSetView want) {
   fresh.for_each([&](TokenId t) {
     const auto i = static_cast<std::size_t>(t);
     ++holders[i];
@@ -33,32 +51,35 @@ SnapshotBuffer::SnapshotBuffer(std::int32_t staleness)
   OCD_EXPECTS(staleness >= 0);
 }
 
-void SnapshotBuffer::alias_live(const std::vector<TokenSet>& live) {
+void SnapshotBuffer::alias_live(const util::TokenMatrix& live) {
   OCD_EXPECTS(staleness_ == 0);
-  OCD_EXPECTS(snapshots_.empty());
+  OCD_EXPECTS(pushes_ == 0);
   live_ = &live;
 }
 
-void SnapshotBuffer::push(const std::vector<TokenSet>& possession) {
+void SnapshotBuffer::push(const util::TokenMatrix& possession) {
   if (live_ != nullptr) {
     OCD_EXPECTS(&possession == live_);
-    return;  // the live vector is the freshest snapshot already
+    return;  // the live matrix is the freshest snapshot already
   }
-  // Keep staleness_+1 entries: front is the stale view, back the newest.
-  if (snapshots_.size() > static_cast<std::size_t>(staleness_)) {
-    std::vector<TokenSet> recycled = std::move(snapshots_.front());
-    snapshots_.pop_front();
-    recycled = possession;  // element-wise copy reuses the bitset storage
-    snapshots_.push_back(std::move(recycled));
+  const auto cap = static_cast<std::size_t>(staleness_) + 1;
+  const auto slot = static_cast<std::size_t>(pushes_) % cap;
+  if (slots_.size() <= slot) {
+    slots_.push_back(possession);  // warm-up: first cap pushes allocate
   } else {
-    snapshots_.push_back(possession);
+    slots_[slot].copy_from(possession);  // steady state: in-place copy
   }
+  ++pushes_;
 }
 
-const std::vector<TokenSet>& SnapshotBuffer::stale_view() const {
+const util::TokenMatrix& SnapshotBuffer::stale_view() const {
   if (live_ != nullptr) return *live_;
-  OCD_EXPECTS(!snapshots_.empty());
-  return snapshots_.front();
+  OCD_EXPECTS(pushes_ > 0);
+  const auto cap = static_cast<std::int64_t>(staleness_) + 1;
+  // Oldest retained push = state at step max(0, i - staleness) when
+  // push #i (0-based) was the latest.
+  const std::int64_t oldest = std::max<std::int64_t>(0, pushes_ - cap);
+  return slots_[static_cast<std::size_t>(oldest % cap)];
 }
 
 }  // namespace ocd::sim

@@ -2,54 +2,92 @@
 
 namespace ocd::sim {
 
-StepPlan::StepPlan(const Digraph& graph)
-    : graph_(graph), arc_slot_(static_cast<std::size_t>(graph.num_arcs()), -1) {}
+StepPlan::StepPlan(const Digraph& graph) { rebind(graph, {}); }
 
 StepPlan::StepPlan(const Digraph& graph,
-                   std::span<const std::int32_t> effective_capacity)
-    : graph_(graph),
-      effective_capacity_(effective_capacity),
-      arc_slot_(static_cast<std::size_t>(graph.num_arcs()), -1) {
+                   std::span<const std::int32_t> effective_capacity) {
   OCD_EXPECTS(effective_capacity.size() ==
               static_cast<std::size_t>(graph.num_arcs()));
+  rebind(graph, effective_capacity);
 }
 
-void StepPlan::send(ArcId arc, const TokenSet& tokens) {
-  OCD_EXPECTS(arc >= 0 && arc < graph_.num_arcs());
+void StepPlan::rebind(const Digraph& graph,
+                      std::span<const std::int32_t> effective_capacity) {
+  OCD_EXPECTS(effective_capacity.empty() ||
+              effective_capacity.size() ==
+                  static_cast<std::size_t>(graph.num_arcs()));
+  const auto num_arcs = static_cast<std::size_t>(graph.num_arcs());
+  if (graph_ != &graph || arc_slot_.size() != num_arcs) {
+    graph_ = &graph;
+    arc_slot_.assign(num_arcs, -1);
+  } else {
+    // Same graph: undo only the slots the previous step touched.
+    for (std::size_t i = 0; i < used_; ++i)
+      arc_slot_[static_cast<std::size_t>(pool_[i].arc)] = -1;
+  }
+  effective_capacity_ = effective_capacity;
+  used_ = 0;
+  idle_ = false;
+}
+
+core::ArcSend& StepPlan::acquire_slot(ArcId arc) {
+  arc_slot_[static_cast<std::size_t>(arc)] = static_cast<std::int32_t>(used_);
+  if (used_ == pool_.size()) pool_.emplace_back();
+  core::ArcSend& slot = pool_[used_++];
+  slot.arc = arc;
+  return slot;
+}
+
+void StepPlan::send(ArcId arc, TokenSetView tokens) {
+  OCD_EXPECTS(graph_ != nullptr);
+  OCD_EXPECTS(arc >= 0 && arc < graph_->num_arcs());
   if (tokens.empty()) return;
-  std::int32_t& slot = arc_slot_[static_cast<std::size_t>(arc)];
+  const std::int32_t slot = arc_slot_[static_cast<std::size_t>(arc)];
   if (slot >= 0) {
-    step_.sends()[static_cast<std::size_t>(slot)].tokens |= tokens;
+    pool_[static_cast<std::size_t>(slot)].tokens |= tokens;
     return;
   }
-  slot = static_cast<std::int32_t>(step_.sends().size());
-  step_.sends().push_back(core::ArcSend{arc, tokens});
+  acquire_slot(arc).tokens.assign(tokens);  // reuses the slot's storage
 }
 
 void StepPlan::send(ArcId arc, TokenId token, std::size_t universe) {
-  OCD_EXPECTS(arc >= 0 && arc < graph_.num_arcs());
-  std::int32_t& slot = arc_slot_[static_cast<std::size_t>(arc)];
+  OCD_EXPECTS(graph_ != nullptr);
+  OCD_EXPECTS(arc >= 0 && arc < graph_->num_arcs());
+  const std::int32_t slot = arc_slot_[static_cast<std::size_t>(arc)];
   if (slot >= 0) {
-    step_.sends()[static_cast<std::size_t>(slot)].tokens.set(token);
+    pool_[static_cast<std::size_t>(slot)].tokens.set(token);
     return;
   }
-  slot = static_cast<std::int32_t>(step_.sends().size());
-  TokenSet s(universe);
-  s.set(token);
-  step_.sends().push_back(core::ArcSend{arc, std::move(s)});
+  core::ArcSend& fresh = acquire_slot(arc);
+  if (fresh.tokens.universe_size() != universe) {
+    fresh.tokens = TokenSet(universe);
+  } else {
+    fresh.tokens.clear();
+  }
+  fresh.tokens.set(token);
 }
 
 std::int32_t StepPlan::remaining_capacity(ArcId arc) const {
-  OCD_EXPECTS(arc >= 0 && arc < graph_.num_arcs());
+  OCD_EXPECTS(graph_ != nullptr);
+  OCD_EXPECTS(arc >= 0 && arc < graph_->num_arcs());
   const std::int32_t capacity =
       effective_capacity_.empty()
-          ? graph_.arc(arc).capacity
+          ? graph_->arc(arc).capacity
           : effective_capacity_[static_cast<std::size_t>(arc)];
   const std::int32_t slot = arc_slot_[static_cast<std::size_t>(arc)];
   if (slot < 0) return capacity;
-  return capacity - static_cast<std::int32_t>(
-                        step_.sends()[static_cast<std::size_t>(slot)]
-                            .tokens.count());
+  return capacity -
+         static_cast<std::int32_t>(
+             pool_[static_cast<std::size_t>(slot)].tokens.count());
+}
+
+core::Timestep StepPlan::take() const {
+  core::Timestep step;
+  for (const core::ArcSend& send : sends()) {
+    if (send.tokens.empty()) continue;
+    step.sends().push_back(send);
+  }
+  return step;
 }
 
 void Policy::reset(const core::Instance&, std::uint64_t) {}

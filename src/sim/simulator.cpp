@@ -1,5 +1,6 @@
 #include "ocd/sim/simulator.hpp"
 
+#include <algorithm>
 #include <sstream>
 
 #include "ocd/dynamics/model.hpp"
@@ -29,6 +30,12 @@ namespace {
 /// model is active.
 constexpr std::int64_t kDefaultNoProgressWindow = 256;
 
+/// Cap on the up-front reservation of the per-step stats vectors: long
+/// enough that every realistic run records without reallocating (so
+/// steady-state steps stay allocation-free), bounded so the default
+/// max_steps of a million does not pin megabytes per run.
+constexpr std::int64_t kStatsReserveCap = 65536;
+
 void validate_options(const SimOptions& options) {
   if (options.max_steps < 0) {
     throw Error("SimOptions.max_steps must be >= 0, got " +
@@ -49,64 +56,72 @@ void validate_options(const SimOptions& options) {
 /// Per-vertex satisfaction: the instance's want-subset rule, or the
 /// caller's completion override (coding thresholds etc).
 bool vertex_satisfied(const core::Instance& inst, const SimOptions& options,
-                      VertexId v, const TokenSet& possession) {
+                      VertexId v, TokenSetView possession) {
   if (options.completion) return options.completion(v, possession);
   return inst.want(v).is_subset_of(possession);
 }
 
 }  // namespace
 
-void validate_sends(const core::Instance& inst, const core::Timestep& timestep,
+void validate_sends(const core::Instance& inst,
+                    std::span<const core::ArcSend> sends,
                     std::span<const std::int32_t> effective_capacity,
-                    const std::vector<TokenSet>& possession,
+                    const util::TokenMatrix& possession,
                     std::span<std::int32_t> arc_load,
                     std::string_view policy_name, std::int64_t step) {
   OCD_EXPECTS(arc_load.size() == effective_capacity.size());
   const auto fail = [&](const Arc& arc, const char* what) {
-    for (const core::ArcSend& send : timestep.sends())
+    for (const core::ArcSend& send : sends)
       arc_load[static_cast<std::size_t>(send.arc)] = 0;
     std::ostringstream msg;
     msg << "policy '" << policy_name << "' " << what << " on arc (" << arc.from
         << "," << arc.to << ") at step " << step;
     throw Error(msg.str());
   };
-  for (const core::ArcSend& send : timestep.sends()) {
+  for (const core::ArcSend& send : sends) {
     const Arc& arc = inst.graph().arc(send.arc);
     const auto index = static_cast<std::size_t>(send.arc);
     arc_load[index] += static_cast<std::int32_t>(send.tokens.count());
     if (arc_load[index] > effective_capacity[index])
       fail(arc, "exceeded capacity");
     if (!send.tokens.is_subset_of(
-            possession[static_cast<std::size_t>(arc.from)]))
+            possession.row(static_cast<std::size_t>(arc.from))))
       fail(arc, "sent unpossessed tokens");
   }
-  for (const core::ArcSend& send : timestep.sends())
+  for (const core::ArcSend& send : sends)
     arc_load[static_cast<std::size_t>(send.arc)] = 0;
 }
 
-RunResult run(const core::Instance& inst, Policy& policy,
-              const SimOptions& options) {
+RunResult Simulator::run(const core::Instance& inst, Policy& policy,
+                         const SimOptions& options) {
   validate_options(options);
   inst.validate();
   Stopwatch timer;
   RunResult result;
   const auto n = static_cast<std::size_t>(inst.num_vertices());
+  const auto m = static_cast<std::size_t>(inst.num_tokens());
 
-  std::vector<TokenSet> possession(n);
+  scratch_.possession.reset(n, m);
   for (VertexId v = 0; v < inst.num_vertices(); ++v)
-    possession[static_cast<std::size_t>(v)] = inst.have(v);
+    scratch_.possession.assign_row(static_cast<std::size_t>(v), inst.have(v));
+  util::TokenMatrix& possession = scratch_.possession;
 
   result.stats.sent_by_vertex.assign(n, 0);
   result.stats.completion_step.assign(n, -1);
+  const auto reserve_steps = static_cast<std::size_t>(
+      std::min<std::int64_t>(options.max_steps, kStatsReserveCap));
+  result.stats.moves_per_step.reserve(reserve_steps);
+  result.stats.lost_per_step.reserve(reserve_steps);
 
   // Satisfaction is tracked incrementally: one boolean per vertex plus
   // an unsatisfied counter, updated only for vertices whose possession
   // changed this step (the predicate is a pure function of possession).
-  std::vector<char> satisfied(n, 0);
+  scratch_.satisfied.assign(n, 0);
+  std::vector<char>& satisfied = scratch_.satisfied;
   std::int64_t unsatisfied = 0;
   for (VertexId v = 0; v < inst.num_vertices(); ++v) {
     const auto i = static_cast<std::size_t>(v);
-    if (vertex_satisfied(inst, options, v, possession[i])) {
+    if (vertex_satisfied(inst, options, v, possession.row(i))) {
       satisfied[i] = 1;
       result.stats.completion_step[i] = 0;
     } else {
@@ -117,8 +132,7 @@ RunResult run(const core::Instance& inst, Policy& policy,
   const bool needs_distances =
       options.precompute_distances ||
       policy.knowledge_class() == KnowledgeClass::kGlobal;
-  std::vector<std::vector<std::int32_t>> distances;
-  if (needs_distances) distances = all_pairs_distances(inst.graph());
+  if (needs_distances) scratch_.distances = all_pairs_distances(inst.graph());
 
   policy.reset(inst, options.seed);
   if (options.dynamics != nullptr) options.dynamics->reset(inst, options.seed);
@@ -141,30 +155,34 @@ RunResult run(const core::Instance& inst, Policy& policy,
   const bool needs_aggregates =
       static_cast<int>(policy.knowledge_class()) >=
       static_cast<int>(KnowledgeClass::kLocalAggregate);
-  Aggregates aggregates;
+  Aggregates& aggregates = scratch_.aggregates;
   if (needs_aggregates && !options.stale_aggregates)
-    aggregates = compute_aggregates(inst, possession);
+    compute_aggregates_into(inst, possession, aggregates);
 
   const auto num_arcs = static_cast<std::size_t>(inst.graph().num_arcs());
-  std::vector<std::int32_t> static_capacity(num_arcs);
+  scratch_.static_capacity.resize(num_arcs);
   for (ArcId a = 0; a < inst.graph().num_arcs(); ++a)
-    static_capacity[static_cast<std::size_t>(a)] = inst.graph().arc(a).capacity;
-  std::vector<std::int32_t> effective_capacity = static_capacity;
+    scratch_.static_capacity[static_cast<std::size_t>(a)] =
+        inst.graph().arc(a).capacity;
+  scratch_.effective_capacity = scratch_.static_capacity;
+  std::vector<std::int32_t>& effective_capacity = scratch_.effective_capacity;
 
-  // Reusable per-step scratch, cleared between steps instead of
-  // reallocated inside the loop.
-  std::vector<std::int32_t> arc_load(num_arcs, 0);
-  TokenSet fresh(static_cast<std::size_t>(inst.num_tokens()));
-  TokenSet lost_scratch(static_cast<std::size_t>(inst.num_tokens()));
-  std::vector<VertexId> touched;
-  std::vector<char> touched_flag(n, 0);
+  // Per-step scratch, cleared between steps instead of reallocated.
+  scratch_.arc_load.assign(num_arcs, 0);
+  scratch_.fresh = TokenSet(m);
+  scratch_.lost = TokenSet(m);
+  scratch_.touched.clear();
+  scratch_.touched.reserve(n);
+  scratch_.touched_flag.assign(n, 0);
+  TokenSet& fresh = scratch_.fresh;
+  TokenSet& lost = scratch_.lost;
 
   std::int64_t step = 0;
   std::int64_t no_progress = 0;
   Termination termination = Termination::kMaxSteps;
   while (step < options.max_steps && unsatisfied > 0) {
     if (options.dynamics != nullptr) {
-      effective_capacity = static_capacity;
+      effective_capacity = scratch_.static_capacity;
       options.dynamics->observe(step, inst, possession);
       options.dynamics->apply(step, inst.graph(), effective_capacity);
       for (std::int32_t c : effective_capacity) OCD_ASSERT(c >= 0);
@@ -175,18 +193,16 @@ RunResult run(const core::Instance& inst, Policy& policy,
 
     snapshots.push(possession);
     if (needs_aggregates && options.stale_aggregates)
-      aggregates = compute_aggregates(inst, snapshots.stale_view());
+      compute_aggregates_into(inst, snapshots.stale_view(), aggregates);
     const StepView view(inst, possession, snapshots.stale_view(),
                         needs_aggregates ? &aggregates : nullptr,
-                        needs_distances ? &distances : nullptr,
+                        needs_distances ? &scratch_.distances : nullptr,
                         policy.knowledge_class(), step, effective_capacity);
-    StepPlan plan(inst.graph(), effective_capacity);
+    StepPlan& plan = scratch_.plan;
+    plan.rebind(inst.graph(), effective_capacity);
     policy.plan_step(view, plan);
-    const bool intentional_idle = plan.idle_marked();
-    core::Timestep timestep = plan.take();
-    timestep.compact();
 
-    if (timestep.empty() && !intentional_idle && options.dynamics == nullptr) {
+    if (plan.empty() && !plan.idle_marked() && options.dynamics == nullptr) {
       // Stalled policy: wants outstanding but nothing sent.  Under a
       // dynamics model an empty step can be the network's fault, so
       // the run continues (bounded by max_steps and the watchdog).
@@ -200,57 +216,65 @@ RunResult run(const core::Instance& inst, Policy& policy,
     // step, `send.tokens - possession[to]` at apply time equals the
     // tokens not yet held at step start nor granted earlier this step,
     // so the useful/redundant split matches simultaneous delivery.
-    validate_sends(inst, timestep, effective_capacity, possession, arc_load,
-                   policy.name(), step);
+    validate_sends(inst, plan.sends(), effective_capacity, possession,
+                   scratch_.arc_load, policy.name(), step);
 
     std::int64_t step_moves = 0;
     std::int64_t step_lost = 0;
     std::int64_t step_useful = 0;
-    for (core::ArcSend& send : timestep.sends()) {
+    for (core::ArcSend& send : plan.sends()) {
       const Arc& arc = inst.graph().arc(send.arc);
       const auto count = static_cast<std::int64_t>(send.tokens.count());
       step_moves += count;
       result.stats.sent_by_vertex[static_cast<std::size_t>(arc.from)] += count;
       if (faulted) {
-        lost_scratch.clear();
-        options.faults->lost(step, send.arc, send.tokens, lost_scratch);
-        lost_scratch &= send.tokens;  // a model may only lose what was sent
-        const auto lost_count = static_cast<std::int64_t>(lost_scratch.count());
+        lost.clear();
+        options.faults->lost(step, send.arc, send.tokens, lost);
+        lost &= send.tokens;  // a model may only lose what was sent
+        const auto lost_count = static_cast<std::int64_t>(lost.count());
         if (lost_count > 0) {
           step_lost += lost_count;
           // The recorded schedule keeps deliveries only, so it stays a
           // valid loss-free schedule reaching the same final state.
-          send.tokens -= lost_scratch;
+          send.tokens -= lost;
         }
       }
       const auto delivered = static_cast<std::int64_t>(send.tokens.count());
       const auto to = static_cast<std::size_t>(arc.to);
-      fresh = send.tokens;
-      fresh -= possession[to];
+      fresh.assign(send.tokens);
+      fresh -= possession.row(to);
       const auto fresh_count = static_cast<std::int64_t>(fresh.count());
       result.stats.useful_moves += fresh_count;
       result.stats.redundant_moves += delivered - fresh_count;
       step_useful += fresh_count;
       if (fresh_count == 0) continue;
-      possession[to] |= fresh;
+      possession.row(to) |= fresh;
       if (needs_aggregates && !options.stale_aggregates)
         aggregates.apply_delivery(fresh, inst.want(arc.to));
-      if (!touched_flag[to]) {
-        touched_flag[to] = 1;
-        touched.push_back(arc.to);
+      if (!scratch_.touched_flag[to]) {
+        scratch_.touched_flag[to] = 1;
+        scratch_.touched.push_back(arc.to);
       }
     }
     result.stats.moves_per_step.push_back(step_moves);
     result.stats.lost_per_step.push_back(step_lost);
     result.stats.lost_moves += step_lost;
-    if (step_lost > 0) timestep.compact();  // drop fully-eaten sends
-    if (options.record_schedule) result.schedule.append(std::move(timestep));
+    if (options.record_schedule) {
+      // Copy the surviving sends out of the plan pool; loss trimming may
+      // have emptied some, which are dropped (the former compact()).
+      core::Timestep timestep;
+      for (const core::ArcSend& send : plan.sends()) {
+        if (send.tokens.empty()) continue;
+        timestep.sends().push_back(send);
+      }
+      result.schedule.append(std::move(timestep));
+    }
 
     ++step;
-    for (VertexId v : touched) {
+    for (VertexId v : scratch_.touched) {
       const auto i = static_cast<std::size_t>(v);
-      touched_flag[i] = 0;
-      const bool now = vertex_satisfied(inst, options, v, possession[i]);
+      scratch_.touched_flag[i] = 0;
+      const bool now = vertex_satisfied(inst, options, v, possession.row(i));
       if (now == static_cast<bool>(satisfied[i])) continue;
       satisfied[i] = now ? 1 : 0;
       if (now) {
@@ -261,7 +285,7 @@ RunResult run(const core::Instance& inst, Policy& policy,
         ++unsatisfied;  // a non-monotone completion override regressed
       }
     }
-    touched.clear();
+    scratch_.touched.clear();
 
     if (step_useful > 0) {
       no_progress = 0;
@@ -281,6 +305,12 @@ RunResult run(const core::Instance& inst, Policy& policy,
   result.stats.wall_seconds = timer.seconds();
   OCD_ENSURES(result.stats.consistent_with_steps(result.steps));
   return result;
+}
+
+RunResult run(const core::Instance& inst, Policy& policy,
+              const SimOptions& options) {
+  Simulator simulator;
+  return simulator.run(inst, policy, options);
 }
 
 }  // namespace ocd::sim

@@ -17,8 +17,8 @@ const char* to_string(KnowledgeClass k) {
 }
 
 StepView::StepView(const core::Instance& instance,
-                   const std::vector<TokenSet>& possession,
-                   const std::vector<TokenSet>& stale_possession,
+                   const util::TokenMatrix& possession,
+                   const util::TokenMatrix& stale_possession,
                    const Aggregates* aggregates,
                    const std::vector<std::vector<std::int32_t>>* distances,
                    KnowledgeClass granted, std::int64_t step,
@@ -48,20 +48,20 @@ std::int32_t StepView::num_tokens() const noexcept {
   return instance_.num_tokens();
 }
 
-const TokenSet& StepView::own_possession(VertexId v) const {
-  return possession_[static_cast<std::size_t>(v)];
+TokenSetView StepView::own_possession(VertexId v) const {
+  return possession_.row(static_cast<std::size_t>(v));
 }
 
 const TokenSet& StepView::own_want(VertexId v) const {
   return instance_.want(v);
 }
 
-const TokenSet& StepView::peer_possession(VertexId self,
-                                          VertexId neighbor) const {
+TokenSetView StepView::peer_possession(VertexId self,
+                                       VertexId neighbor) const {
   require(KnowledgeClass::kLocalPeers);
   OCD_EXPECTS(instance_.graph().has_arc(self, neighbor) ||
               instance_.graph().has_arc(neighbor, self));
-  return stale_possession_[static_cast<std::size_t>(neighbor)];
+  return stale_possession_.row(static_cast<std::size_t>(neighbor));
 }
 
 std::span<const std::int32_t> StepView::aggregate_holders() const {
@@ -78,7 +78,7 @@ std::span<const std::int32_t> StepView::aggregate_need() const {
   return aggregates_->need;
 }
 
-const std::vector<TokenSet>& StepView::global_possession() const {
+const util::TokenMatrix& StepView::global_possession() const {
   require(KnowledgeClass::kGlobal);
   return possession_;
 }

@@ -7,6 +7,10 @@ namespace ocd {
 
 void RarityRanker::assign(std::vector<TokenId> order) {
   order_ = std::move(order);
+  rebuild_rank();
+}
+
+void RarityRanker::rebuild_rank() {
   rank_.assign(order_.size(), -1);
   for (std::size_t r = 0; r < order_.size(); ++r) {
     const TokenId t = order_[r];
@@ -16,56 +20,83 @@ void RarityRanker::assign(std::vector<TokenId> order) {
   }
 }
 
+void RarityRanker::sort_by_keys() {
+  // keys_[i] = (sort key << 32) | i over the pre-sort order_.  Since the
+  // low 32 bits make every key unique and preserve position order,
+  // sorting the packed keys in place reproduces exactly what a
+  // stable_sort by the high bits would produce — without stable_sort's
+  // temporary buffer.
+  std::sort(keys_.begin(), keys_.end());
+  scratch_order_ = order_;  // same size: copy reuses capacity
+  for (std::size_t i = 0; i < keys_.size(); ++i)
+    order_[i] = scratch_order_[static_cast<std::size_t>(
+        keys_[i] & 0xffffffffULL)];
+  rebuild_rank();
+}
+
 void RarityRanker::assign_by_rarity(std::span<const std::int32_t> holders,
                                     Rng* rng) {
-  std::vector<TokenId> order(holders.size());
-  std::iota(order.begin(), order.end(), 0);
-  if (rng != nullptr) rng->shuffle(order);
-  std::stable_sort(order.begin(), order.end(), [&](TokenId a, TokenId b) {
-    return holders[static_cast<std::size_t>(a)] <
-           holders[static_cast<std::size_t>(b)];
-  });
-  assign(std::move(order));
+  order_.resize(holders.size());
+  std::iota(order_.begin(), order_.end(), 0);
+  if (rng != nullptr) rng->shuffle(order_);
+  keys_.resize(holders.size());
+  for (std::size_t i = 0; i < order_.size(); ++i) {
+    const auto h = static_cast<std::uint64_t>(
+        holders[static_cast<std::size_t>(order_[i])]);
+    keys_[i] = (h << 32) | static_cast<std::uint64_t>(i);
+  }
+  sort_by_keys();
 }
 
 void RarityRanker::assign_by_need_then_rarity(
     std::span<const std::int32_t> holders, std::span<const std::int32_t> need,
     Rng* rng) {
   OCD_EXPECTS(holders.size() == need.size());
-  std::vector<TokenId> order(holders.size());
-  std::iota(order.begin(), order.end(), 0);
-  if (rng != nullptr) rng->shuffle(order);
-  std::stable_sort(order.begin(), order.end(), [&](TokenId a, TokenId b) {
-    const bool needed_a = need[static_cast<std::size_t>(a)] > 0;
-    const bool needed_b = need[static_cast<std::size_t>(b)] > 0;
-    if (needed_a != needed_b) return needed_a;
-    return holders[static_cast<std::size_t>(a)] <
-           holders[static_cast<std::size_t>(b)];
-  });
-  assign(std::move(order));
+  order_.resize(holders.size());
+  std::iota(order_.begin(), order_.end(), 0);
+  if (rng != nullptr) rng->shuffle(order_);
+  keys_.resize(holders.size());
+  for (std::size_t i = 0; i < order_.size(); ++i) {
+    const auto t = static_cast<std::size_t>(order_[i]);
+    const std::uint64_t unneeded = need[t] > 0 ? 0 : 1;
+    const auto h = static_cast<std::uint64_t>(holders[t]);
+    keys_[i] = (unneeded << 63) | (h << 32) | static_cast<std::uint64_t>(i);
+  }
+  sort_by_keys();
 }
 
-TokenSet RarityRanker::to_ranks(const TokenSet& tokens) const {
-  OCD_EXPECTS(tokens.universe_size() == order_.size());
+TokenSet RarityRanker::to_ranks(TokenSetView tokens) const {
   TokenSet ranked(order_.size());
-  tokens.for_each([&](TokenId t) {
-    ranked.set(rank_[static_cast<std::size_t>(t)]);
-  });
+  to_ranks_into(tokens, ranked);
   return ranked;
 }
 
-TokenSet RarityRanker::to_tokens(const TokenSet& ranked) const {
-  OCD_EXPECTS(ranked.universe_size() == order_.size());
+TokenSet RarityRanker::to_tokens(TokenSetView ranked) const {
   TokenSet tokens(order_.size());
-  ranked.for_each([&](TokenId r) {
-    tokens.set(order_[static_cast<std::size_t>(r)]);
-  });
+  to_tokens_into(ranked, tokens);
   return tokens;
 }
 
+void RarityRanker::to_ranks_into(TokenSetView tokens,
+                                 MutableTokenSetView out) const {
+  OCD_EXPECTS(tokens.universe_size() == order_.size());
+  OCD_EXPECTS(out.universe_size() == order_.size());
+  out.clear();
+  tokens.for_each(
+      [&](TokenId t) { out.set(rank_[static_cast<std::size_t>(t)]); });
+}
+
+void RarityRanker::to_tokens_into(TokenSetView ranked,
+                                  MutableTokenSetView out) const {
+  OCD_EXPECTS(ranked.universe_size() == order_.size());
+  OCD_EXPECTS(out.universe_size() == order_.size());
+  out.clear();
+  ranked.for_each(
+      [&](TokenId r) { out.set(order_[static_cast<std::size_t>(r)]); });
+}
+
 TokenId rarest_in_intersection(const RarityRanker& ranker,
-                               const TokenSet& ranked_a,
-                               const TokenSet& ranked_b) {
+                               TokenSetView ranked_a, TokenSetView ranked_b) {
   const TokenId rank = TokenSet::first_in_intersection(ranked_a, ranked_b);
   return rank < 0 ? rank : ranker.token_at(rank);
 }

@@ -63,17 +63,23 @@ bool Rng::chance(double p) noexcept {
 }
 
 std::vector<std::size_t> Rng::sample_indices(std::size_t n, std::size_t k) {
+  std::vector<std::size_t> idx;
+  sample_indices_into(n, k, idx);
+  return idx;
+}
+
+void Rng::sample_indices_into(std::size_t n, std::size_t k,
+                              std::vector<std::size_t>& out) {
   OCD_EXPECTS(k <= n);
   // Partial Fisher-Yates over an index vector; O(n) setup, fine for the
   // sizes used in this library (n <= a few thousand).
-  std::vector<std::size_t> idx(n);
-  for (std::size_t i = 0; i < n; ++i) idx[i] = i;
+  out.resize(n);
+  for (std::size_t i = 0; i < n; ++i) out[i] = i;
   for (std::size_t i = 0; i < k; ++i) {
     const std::size_t j = i + static_cast<std::size_t>(below(n - i));
-    std::swap(idx[i], idx[j]);
+    std::swap(out[i], out[j]);
   }
-  idx.resize(k);
-  return idx;
+  out.resize(k);
 }
 
 Rng Rng::split() noexcept {

@@ -21,119 +21,6 @@ TokenSet TokenSet::of(std::size_t universe,
   return s;
 }
 
-std::size_t TokenSet::count() const noexcept {
-  std::size_t n = 0;
-  for (std::uint64_t w : words_) n += static_cast<std::size_t>(__builtin_popcountll(w));
-  return n;
-}
-
-bool TokenSet::empty() const noexcept {
-  for (std::uint64_t w : words_)
-    if (w != 0) return false;
-  return true;
-}
-
-bool TokenSet::is_subset_of(const TokenSet& other) const {
-  check_same_universe(other);
-  for (std::size_t i = 0; i < words_.size(); ++i)
-    if ((words_[i] & ~other.words_[i]) != 0) return false;
-  return true;
-}
-
-bool TokenSet::intersects(const TokenSet& other) const {
-  check_same_universe(other);
-  for (std::size_t i = 0; i < words_.size(); ++i)
-    if ((words_[i] & other.words_[i]) != 0) return true;
-  return false;
-}
-
-TokenSet& TokenSet::operator|=(const TokenSet& other) {
-  check_same_universe(other);
-  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
-  return *this;
-}
-
-TokenSet& TokenSet::operator&=(const TokenSet& other) {
-  check_same_universe(other);
-  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
-  return *this;
-}
-
-TokenSet& TokenSet::operator-=(const TokenSet& other) {
-  check_same_universe(other);
-  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= ~other.words_[i];
-  return *this;
-}
-
-TokenSet& TokenSet::operator^=(const TokenSet& other) {
-  check_same_universe(other);
-  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] ^= other.words_[i];
-  return *this;
-}
-
-TokenId TokenSet::first_in_intersection(const TokenSet& a, const TokenSet& b) {
-  a.check_same_universe(b);
-  for (std::size_t wi = 0; wi < a.words_.size(); ++wi) {
-    const std::uint64_t w = a.words_[wi] & b.words_[wi];
-    if (w != 0) {
-      return static_cast<TokenId>(wi * 64 +
-                                  static_cast<std::size_t>(__builtin_ctzll(w)));
-    }
-  }
-  return -1;
-}
-
-std::size_t TokenSet::count_intersection(const TokenSet& a,
-                                         const TokenSet& b) {
-  a.check_same_universe(b);
-  std::size_t n = 0;
-  for (std::size_t wi = 0; wi < a.words_.size(); ++wi) {
-    n += static_cast<std::size_t>(
-        __builtin_popcountll(a.words_[wi] & b.words_[wi]));
-  }
-  return n;
-}
-
-TokenId TokenSet::first() const noexcept {
-  for (std::size_t wi = 0; wi < words_.size(); ++wi) {
-    if (words_[wi] != 0) {
-      return static_cast<TokenId>(wi * 64 +
-                                  static_cast<std::size_t>(__builtin_ctzll(words_[wi])));
-    }
-  }
-  return -1;
-}
-
-TokenId TokenSet::next(TokenId t) const {
-  if (t < 0) t = 0;
-  if (static_cast<std::size_t>(t) >= universe_) return -1;
-  std::size_t wi = word_of(t);
-  std::uint64_t w = words_[wi] & (~0ULL << bit_of(t));
-  while (true) {
-    if (w != 0) {
-      return static_cast<TokenId>(wi * 64 +
-                                  static_cast<std::size_t>(__builtin_ctzll(w)));
-    }
-    if (++wi >= words_.size()) return -1;
-    w = words_[wi];
-  }
-}
-
-TokenId TokenSet::next_circular(TokenId t) const {
-  if (universe_ == 0) return -1;
-  if (t < 0 || static_cast<std::size_t>(t) >= universe_) t = 0;
-  const TokenId found = next(t);
-  if (found >= 0) return found;
-  return first();
-}
-
-std::vector<TokenId> TokenSet::to_vector() const {
-  std::vector<TokenId> out;
-  out.reserve(count());
-  for_each([&](TokenId t) { out.push_back(t); });
-  return out;
-}
-
 void TokenSet::truncate(std::size_t k) {
   std::size_t seen = 0;
   for (std::size_t wi = 0; wi < words_.size(); ++wi) {
@@ -157,7 +44,7 @@ void TokenSet::truncate(std::size_t k) {
   }
 }
 
-std::string TokenSet::to_string() const {
+std::string TokenSetView::to_string() const {
   std::ostringstream out;
   out << '{';
   bool first_item = true;
@@ -168,6 +55,10 @@ std::string TokenSet::to_string() const {
   });
   out << '}';
   return out.str();
+}
+
+std::string TokenSet::to_string() const {
+  return TokenSetView(*this).to_string();
 }
 
 std::size_t TokenSet::hash() const noexcept {

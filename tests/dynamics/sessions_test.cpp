@@ -59,9 +59,11 @@ TEST(SessionDynamics, AbsentVerticesHaveZeroCapacity) {
 
   std::vector<std::int32_t> caps;
   for (const Arc& arc : inst.graph().arcs()) caps.push_back(arc.capacity);
-  std::vector<TokenSet> possession;
+  util::TokenMatrix possession;
+  possession.reset(static_cast<std::size_t>(inst.num_vertices()),
+                   static_cast<std::size_t>(inst.num_tokens()));
   for (VertexId v = 0; v < inst.num_vertices(); ++v)
-    possession.push_back(inst.have(v));
+    possession.assign_row(static_cast<std::size_t>(v), inst.have(v));
   dynamics.observe(0, inst, possession);
   dynamics.apply(0, inst.graph(), caps);
 
@@ -82,12 +84,14 @@ TEST(SessionDynamics, LingerDepartsAfterCompletion) {
   dynamics.reset(inst, 1);
 
   // Simulate vertex 2 completing at step 4.
-  std::vector<TokenSet> possession;
+  util::TokenMatrix possession;
+  possession.reset(static_cast<std::size_t>(inst.num_vertices()),
+                   static_cast<std::size_t>(inst.num_tokens()));
   for (VertexId v = 0; v < inst.num_vertices(); ++v)
-    possession.push_back(inst.have(v));
+    possession.assign_row(static_cast<std::size_t>(v), inst.have(v));
   for (std::int64_t step = 0; step < 4; ++step)
     dynamics.observe(step, inst, possession);
-  possession[2] |= inst.want(2);
+  possession.row(2) |= inst.want(2);
   dynamics.observe(4, inst, possession);
 
   EXPECT_TRUE(dynamics.present(2, 4));

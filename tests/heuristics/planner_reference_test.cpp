@@ -62,8 +62,8 @@ class ReferenceGlobalGreedy final : public sim::Policy {
     bool anything = false;
     for (ArcId a = 0; a < graph.num_arcs(); ++a) {
       const Arc& arc = graph.arc(a);
-      TokenSet cand = possession[static_cast<std::size_t>(arc.from)];
-      cand -= possession[static_cast<std::size_t>(arc.to)];
+      TokenSet cand(possession.row(static_cast<std::size_t>(arc.from)));
+      cand -= possession.row(static_cast<std::size_t>(arc.to));
       anything = anything || !cand.empty();
       candidates[static_cast<std::size_t>(a)] = std::move(cand);
       remaining[static_cast<std::size_t>(a)] = view.capacity(a);
@@ -73,7 +73,7 @@ class ReferenceGlobalGreedy final : public sim::Policy {
     std::vector<TokenSet> outstanding(n, TokenSet(universe));
     for (VertexId v = 0; v < graph.num_vertices(); ++v) {
       outstanding[static_cast<std::size_t>(v)] =
-          inst.want(v) - possession[static_cast<std::size_t>(v)];
+          inst.want(v) - possession.row(static_cast<std::size_t>(v));
     }
 
     std::vector<TokenSet> granted(n, TokenSet(universe));
@@ -158,7 +158,7 @@ class ReferenceRarestRandom final : public sim::Policy {
       budget[static_cast<std::size_t>(a)] = view.capacity(a);
 
     for (VertexId v = 0; v < graph.num_vertices(); ++v) {
-      const TokenSet& mine = view.own_possession(v);
+      const TokenSetView mine = view.own_possession(v);
       const auto in_arcs = graph.in_arcs(v);
       if (in_arcs.empty()) continue;
 
@@ -166,7 +166,7 @@ class ReferenceRarestRandom final : public sim::Policy {
       offered.reserve(in_arcs.size());
       bool anything = false;
       for (ArcId a : in_arcs) {
-        TokenSet tokens = view.peer_possession(v, graph.arc(a).from);
+        TokenSet tokens(view.peer_possession(v, graph.arc(a).from));
         tokens -= mine;
         anything = anything || !tokens.empty();
         offered.push_back(std::move(tokens));
@@ -244,7 +244,7 @@ class ReferenceBandwidthSaver final : public sim::Policy {
       std::vector<VertexId> needy;
       for (VertexId v = 0; v < graph.num_vertices(); ++v) {
         if (inst.want(v).test(t) &&
-            !possession[static_cast<std::size_t>(v)].test(t))
+            !possession.row(static_cast<std::size_t>(v)).test(t))
           needy.push_back(v);
       }
       if (needy.empty()) continue;
@@ -253,10 +253,10 @@ class ReferenceBandwidthSaver final : public sim::Policy {
       std::fill(frontier_dist.begin(), frontier_dist.end(), -1);
       std::queue<VertexId> bfs;
       for (VertexId v = 0; v < graph.num_vertices(); ++v) {
-        if (possession[static_cast<std::size_t>(v)].test(t)) continue;
+        if (possession.row(static_cast<std::size_t>(v)).test(t)) continue;
         for (ArcId a : graph.in_arcs(v)) {
-          if (possession[static_cast<std::size_t>(graph.arc(a).from)].test(
-                  t)) {
+          if (possession.row(static_cast<std::size_t>(graph.arc(a).from))
+                  .test(t)) {
             frontier_dist[static_cast<std::size_t>(v)] = 0;
             witness[static_cast<std::size_t>(v)] = v;
             bfs.push(v);
@@ -300,8 +300,8 @@ class ReferenceBandwidthSaver final : public sim::Policy {
 
     for (ArcId a = 0; a < graph.num_arcs(); ++a) {
       const Arc& arc = graph.arc(a);
-      TokenSet candidates = possession[static_cast<std::size_t>(arc.from)];
-      candidates -= possession[static_cast<std::size_t>(arc.to)];
+      TokenSet candidates(possession.row(static_cast<std::size_t>(arc.from)));
+      candidates -= possession.row(static_cast<std::size_t>(arc.to));
       candidates &= allowed[static_cast<std::size_t>(arc.to)];
       if (candidates.empty()) continue;
 

@@ -20,9 +20,18 @@ core::Instance two_vertex_instance() {
   return inst;
 }
 
+util::TokenMatrix have_matrix(const core::Instance& inst) {
+  util::TokenMatrix m;
+  m.reset(static_cast<std::size_t>(inst.num_vertices()),
+          static_cast<std::size_t>(inst.num_tokens()));
+  for (VertexId v = 0; v < inst.num_vertices(); ++v)
+    m.assign_row(static_cast<std::size_t>(v), inst.have(v));
+  return m;
+}
+
 TEST(Aggregates, CountsHoldersAndNeed) {
   const core::Instance inst = two_vertex_instance();
-  std::vector<TokenSet> possession{inst.have(0), inst.have(1)};
+  const util::TokenMatrix possession = have_matrix(inst);
   const Aggregates agg = compute_aggregates(inst, possession);
   EXPECT_EQ(agg.holders[0], 1);
   EXPECT_EQ(agg.holders[1], 1);
@@ -34,8 +43,8 @@ TEST(Aggregates, CountsHoldersAndNeed) {
 
 TEST(Aggregates, NeedDropsAsPossessionGrows) {
   const core::Instance inst = two_vertex_instance();
-  std::vector<TokenSet> possession{inst.have(0), inst.have(1)};
-  possession[1].set(0);
+  util::TokenMatrix possession = have_matrix(inst);
+  possession.row(1).set(0);
   const Aggregates agg = compute_aggregates(inst, possession);
   EXPECT_EQ(agg.need[0], 0);
   EXPECT_EQ(agg.holders[0], 2);
@@ -43,12 +52,12 @@ TEST(Aggregates, NeedDropsAsPossessionGrows) {
 
 TEST(Aggregates, ApplyDeliveryMatchesRecompute) {
   const core::Instance inst = two_vertex_instance();
-  std::vector<TokenSet> possession{inst.have(0), inst.have(1)};
+  util::TokenMatrix possession = have_matrix(inst);
   Aggregates agg = compute_aggregates(inst, possession);
 
   // Vertex 1 gains tokens {0, 1}: 0 is wanted (need drops), 1 is not.
   const TokenSet fresh = TokenSet::of(3, {0, 1});
-  possession[1] |= fresh;
+  possession.row(1) |= fresh;
   agg.apply_delivery(fresh, inst.want(1));
 
   const Aggregates recomputed = compute_aggregates(inst, possession);
@@ -58,23 +67,28 @@ TEST(Aggregates, ApplyDeliveryMatchesRecompute) {
 
 TEST(SnapshotBuffer, ZeroStalenessReturnsLatest) {
   SnapshotBuffer buffer(0);
-  std::vector<TokenSet> a{TokenSet::of(2, {0})};
-  std::vector<TokenSet> b{TokenSet::of(2, {0, 1})};
+  util::TokenMatrix a;
+  a.reset(1, 2);
+  a.assign_row(0, TokenSet::of(2, {0}));
+  util::TokenMatrix b;
+  b.reset(1, 2);
+  b.assign_row(0, TokenSet::of(2, {0, 1}));
   buffer.push(a);
-  EXPECT_EQ(buffer.stale_view()[0].count(), 1u);
+  EXPECT_EQ(buffer.stale_view().row(0).count(), 1u);
   buffer.push(b);
-  EXPECT_EQ(buffer.stale_view()[0].count(), 2u);
+  EXPECT_EQ(buffer.stale_view().row(0).count(), 2u);
 }
 
 TEST(SnapshotBuffer, StalenessLagsByK) {
   SnapshotBuffer buffer(2);
+  util::TokenMatrix snap;
+  snap.reset(1, 10);
   for (int i = 1; i <= 5; ++i) {
-    std::vector<TokenSet> snap{TokenSet(10)};
-    for (int t = 0; t < i; ++t) snap[0].set(t);
+    snap.row(0).set(i - 1);  // snapshot i holds tokens {0..i-1}
     buffer.push(snap);
     // After pushing snapshot i, the stale view is snapshot max(1, i-2).
     const auto expect = static_cast<std::size_t>(std::max(1, i - 2));
-    EXPECT_EQ(buffer.stale_view()[0].count(), expect) << "i=" << i;
+    EXPECT_EQ(buffer.stale_view().row(0).count(), expect) << "i=" << i;
   }
 }
 
@@ -84,44 +98,48 @@ TEST(SnapshotBuffer, EmptyBufferThrows) {
   EXPECT_THROW(SnapshotBuffer(-1), ContractViolation);
 }
 
-TEST(SnapshotBuffer, AliasedModeTracksLiveVectorWithoutCopying) {
+TEST(SnapshotBuffer, AliasedModeTracksLiveMatrixWithoutCopying) {
   SnapshotBuffer buffer(0);
-  std::vector<TokenSet> live{TokenSet(4)};
+  util::TokenMatrix live;
+  live.reset(1, 4);
   buffer.alias_live(live);
   EXPECT_TRUE(buffer.aliased());
   buffer.push(live);
   EXPECT_EQ(&buffer.stale_view(), &live);  // aliases, never copies
-  live[0].set(2);  // in-place mutation is visible through the view
-  EXPECT_TRUE(buffer.stale_view()[0].test(2));
+  live.row(0).set(2);  // in-place mutation is visible through the view
+  EXPECT_TRUE(buffer.stale_view().row(0).test(2));
 }
 
 TEST(SnapshotBuffer, AliasRequiresZeroStaleness) {
   SnapshotBuffer stale(1);
-  std::vector<TokenSet> live{TokenSet(4)};
+  util::TokenMatrix live;
+  live.reset(1, 4);
   EXPECT_THROW(stale.alias_live(live), ContractViolation);
-  // Pushing a different vector than the bound one is a caller bug.
+  // Pushing a different matrix than the bound one is a caller bug.
   SnapshotBuffer bound(0);
   bound.alias_live(live);
-  std::vector<TokenSet> other{TokenSet(4)};
+  util::TokenMatrix other;
+  other.reset(1, 4);
   EXPECT_THROW(bound.push(other), ContractViolation);
 }
 
 TEST(SnapshotBuffer, CopyingModeIsUnaffectedByRecycling) {
-  // Push more snapshots than the window holds; the recycled storage
+  // Push more snapshots than the window holds; the recycled ring slots
   // must not leak stale contents into later views.
   SnapshotBuffer buffer(1);
+  util::TokenMatrix snap;
+  snap.reset(1, 64);
   for (int i = 1; i <= 6; ++i) {
-    std::vector<TokenSet> snap{TokenSet(64)};
-    for (int t = 0; t < i; ++t) snap[0].set(t);
+    snap.row(0).set(i - 1);
     buffer.push(snap);
     const auto expect = static_cast<std::size_t>(std::max(1, i - 1));
-    EXPECT_EQ(buffer.stale_view()[0].count(), expect) << "i=" << i;
+    EXPECT_EQ(buffer.stale_view().row(0).count(), expect) << "i=" << i;
   }
 }
 
 TEST(StepView, AccessorsGatedByKnowledgeClass) {
   const core::Instance inst = two_vertex_instance();
-  std::vector<TokenSet> possession{inst.have(0), inst.have(1)};
+  const util::TokenMatrix possession = have_matrix(inst);
   const Aggregates agg = compute_aggregates(inst, possession);
 
   const StepView local(inst, possession, possession, &agg, nullptr,
@@ -152,7 +170,7 @@ TEST(StepView, NullAggregatesTripOnAccessNotConstruction) {
   // Lazy materialization: the simulator passes nullptr for policies
   // below kLocalAggregate; touching the accessors must fail loudly.
   const core::Instance inst = two_vertex_instance();
-  std::vector<TokenSet> possession{inst.have(0), inst.have(1)};
+  const util::TokenMatrix possession = have_matrix(inst);
   const StepView view(inst, possession, possession, nullptr, nullptr,
                       KnowledgeClass::kGlobal, 0);
   EXPECT_THROW((void)view.aggregate_holders(), ContractViolation);
@@ -164,7 +182,8 @@ TEST(StepView, PeerAccessRequiresAdjacency) {
   Digraph g(3);
   g.add_arc(0, 1, 1);  // 2 is isolated from 0
   core::Instance inst(std::move(g), 1);
-  std::vector<TokenSet> possession{TokenSet(1), TokenSet(1), TokenSet(1)};
+  util::TokenMatrix possession;
+  possession.reset(3, 1);
   const Aggregates agg = compute_aggregates(inst, possession);
   const StepView view(inst, possession, possession, &agg, nullptr,
                       KnowledgeClass::kLocalPeers, 0);

@@ -64,6 +64,17 @@ RunResult reference_run(const core::Instance& inst, Policy& policy,
   std::vector<std::vector<std::int32_t>> distances;
   if (needs_distances) distances = all_pairs_distances(inst.graph());
 
+  // The view layer consumes TokenMatrix rows; the reference mirrors its
+  // per-vertex sets into one with a full deep copy every step (the seed
+  // simulator's copying behavior, expressed against the new API).
+  util::TokenMatrix matrix;
+  matrix.reset(n, static_cast<std::size_t>(inst.num_tokens()));
+  const auto mirror = [&] {
+    for (VertexId v = 0; v < inst.num_vertices(); ++v)
+      matrix.assign_row(static_cast<std::size_t>(v),
+                        possession[static_cast<std::size_t>(v)]);
+  };
+
   policy.reset(inst, options.seed);
   if (options.dynamics != nullptr) options.dynamics->reset(inst, options.seed);
   SnapshotBuffer snapshots(options.staleness);
@@ -78,16 +89,17 @@ RunResult reference_run(const core::Instance& inst, Policy& policy,
   while (step < options.max_steps) {
     if (ref_all_satisfied(inst, options, possession)) break;
 
+    mirror();
     if (options.dynamics != nullptr) {
       effective_capacity = static_capacity;
-      options.dynamics->observe(step, inst, possession);
+      options.dynamics->observe(step, inst, matrix);
       options.dynamics->apply(step, inst.graph(), effective_capacity);
     }
 
-    snapshots.push(possession);
+    snapshots.push(matrix);
     const Aggregates aggregates = compute_aggregates(
-        inst, options.stale_aggregates ? snapshots.stale_view() : possession);
-    const StepView view(inst, possession, snapshots.stale_view(), &aggregates,
+        inst, options.stale_aggregates ? snapshots.stale_view() : matrix);
+    const StepView view(inst, matrix, snapshots.stale_view(), &aggregates,
                         needs_distances ? &distances : nullptr,
                         policy.knowledge_class(), step, effective_capacity);
     StepPlan plan(inst.graph(), effective_capacity);
@@ -258,9 +270,9 @@ TEST(SimulatorReference, CompletionOverride) {
     const core::Instance& inst = instances[i];
     SimOptions options;
     options.seed = 23;
-    options.completion = [&inst](VertexId v, const TokenSet& possession) {
+    options.completion = [&inst](VertexId v, TokenSetView possession) {
       if (inst.want(v).empty()) return true;
-      return (possession & inst.want(v)).count() >= 2 ||
+      return TokenSet::count_intersection(possession, inst.want(v)) >= 2 ||
              inst.want(v).is_subset_of(possession);
     };
     compare(inst, "random", options, "inst" + std::to_string(i) + "/coded");

@@ -207,15 +207,18 @@ TEST(Simulator, CapacityIsAggregatedPerArc) {
   for (TokenId t = 0; t < 4; ++t) inst.add_have(0, t);
   inst.add_want(1, 0);
 
-  std::vector<TokenSet> possession{inst.have(0), inst.have(1)};
+  util::TokenMatrix possession;
+  possession.reset(2, 4);
+  possession.assign_row(0, inst.have(0));
+  possession.assign_row(1, inst.have(1));
   std::vector<std::int32_t> capacity{2};
   std::vector<std::int32_t> arc_load{0};
 
   core::Timestep split;
   split.sends().push_back(core::ArcSend{0, TokenSet::of(4, {0, 1})});
   split.sends().push_back(core::ArcSend{0, TokenSet::of(4, {2, 3})});
-  EXPECT_THROW(validate_sends(inst, split, capacity, possession, arc_load,
-                              "split", 0),
+  EXPECT_THROW(validate_sends(inst, split.sends(), capacity, possession,
+                              arc_load, "split", 0),
                Error);
   // The scratch buffer is restored to zero even on the throwing path.
   EXPECT_EQ(arc_load[0], 0);
@@ -223,15 +226,16 @@ TEST(Simulator, CapacityIsAggregatedPerArc) {
   core::Timestep fits;
   fits.sends().push_back(core::ArcSend{0, TokenSet::of(4, {0})});
   fits.sends().push_back(core::ArcSend{0, TokenSet::of(4, {1})});
-  EXPECT_NO_THROW(validate_sends(inst, fits, capacity, possession, arc_load,
-                                 "split", 0));
+  EXPECT_NO_THROW(validate_sends(inst, fits.sends(), capacity, possession,
+                                 arc_load, "split", 0));
   EXPECT_EQ(arc_load[0], 0);
 
   core::Timestep ghost;
   ghost.sends().push_back(core::ArcSend{0, TokenSet::of(4, {0})});
-  std::vector<TokenSet> empty_handed{TokenSet(4), TokenSet(4)};
-  EXPECT_THROW(validate_sends(inst, ghost, capacity, empty_handed, arc_load,
-                              "ghost", 0),
+  util::TokenMatrix empty_handed;
+  empty_handed.reset(2, 4);
+  EXPECT_THROW(validate_sends(inst, ghost.sends(), capacity, empty_handed,
+                              arc_load, "ghost", 0),
                Error);
   EXPECT_EQ(arc_load[0], 0);
 }
