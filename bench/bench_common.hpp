@@ -6,14 +6,10 @@
 // pass --csv to emit machine-readable output instead of the box table.
 #pragma once
 
-#include <atomic>
 #include <cstdlib>
-#include <exception>
 #include <iostream>
-#include <mutex>
 #include <string>
 #include <string_view>
-#include <thread>
 #include <type_traits>
 #include <vector>
 
@@ -22,6 +18,7 @@
 #include "ocd/core/validate.hpp"
 #include "ocd/heuristics/factory.hpp"
 #include "ocd/sim/simulator.hpp"
+#include "ocd/util/parallel.hpp"
 #include "ocd/util/stopwatch.hpp"
 #include "ocd/util/table.hpp"
 
@@ -78,27 +75,23 @@ inline PolicyRun run_policy(const core::Instance& instance,
   return out;
 }
 
-/// Worker count for threaded sweeps: OCD_JOBS when set to a positive
-/// integer, hardware_concurrency otherwise (1 when unknown).
-inline unsigned sweep_jobs() {
-  if (const char* env = std::getenv("OCD_JOBS")) {
-    const int requested = std::atoi(env);
-    if (requested > 0) return static_cast<unsigned>(requested);
-  }
-  const unsigned hw = std::thread::hardware_concurrency();
-  return hw > 0 ? hw : 1;
-}
+/// Worker count for threaded sweeps: the shared ocd::util budget —
+/// OCD_JOBS when set (validated; garbage throws ocd::Error), hardware
+/// concurrency otherwise.
+inline unsigned sweep_jobs() { return util::parallel_jobs(); }
 
-/// Runs fn(config) for every entry of `configs` on a pool of `jobs`
-/// worker threads and returns the results in configuration order — the
-/// output is independent of scheduling, so a threaded sweep emits the
-/// same rows as a serial (OCD_JOBS=1) one.
+/// Runs fn(config) for every entry of `configs` on the shared ocd::util
+/// worker pool, `jobs` wide, and returns the results in configuration
+/// order — the output is independent of scheduling, so a threaded sweep
+/// emits the same rows as a serial (OCD_JOBS=1) one.
 ///
 /// `fn` must be safe to call concurrently on distinct configs: no
 /// shared mutable state (run_policy qualifies — each call builds a
-/// fresh policy and Rng, and sim::run keeps all run state local).  The
-/// first exception thrown by any worker is rethrown on the caller's
-/// thread after the pool drains.
+/// fresh policy and Rng, and sim::run keeps all run state local).
+/// Nested parallelism is safe and budget-shared: a parallel_for issued
+/// inside fn (a planner step, the simulator apply phase) runs inline on
+/// the sweep worker instead of fanning out again.  The lowest-config
+/// exception is rethrown on the caller's thread after the pool drains.
 template <typename Config, typename Fn>
 auto run_grid(const std::vector<Config>& configs, Fn fn,
               unsigned jobs = sweep_jobs())
@@ -107,34 +100,15 @@ auto run_grid(const std::vector<Config>& configs, Fn fn,
   std::vector<Result> results(configs.size());
   if (configs.empty()) return results;
   if (jobs < 1) jobs = 1;
-  if (jobs > configs.size()) jobs = static_cast<unsigned>(configs.size());
-
-  if (jobs == 1) {
-    for (std::size_t i = 0; i < configs.size(); ++i)
-      results[i] = fn(configs[i]);
-    return results;
-  }
-
-  std::atomic<std::size_t> next{0};
-  std::mutex failure_mutex;
-  std::exception_ptr failure;
-  const auto worker = [&] {
-    while (true) {
-      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= configs.size()) return;
-      try {
-        results[i] = fn(configs[i]);
-      } catch (...) {
-        const std::lock_guard<std::mutex> lock(failure_mutex);
-        if (!failure) failure = std::current_exception();
-      }
-    }
-  };
-  std::vector<std::thread> pool;
-  pool.reserve(jobs);
-  for (unsigned j = 0; j < jobs; ++j) pool.emplace_back(worker);
-  for (std::thread& t : pool) t.join();
-  if (failure) std::rethrow_exception(failure);
+  // Grain 1 = one chunk per config (up to the runtime's chunk cap, when
+  // configs rides above it a chunk covers a few consecutive configs);
+  // each chunk writes only its own slice of `results`.
+  util::parallel_for_capped(configs.size(), 1, jobs,
+                            [&](util::ChunkRange chunk) {
+                              for (std::size_t i = chunk.begin; i < chunk.end;
+                                   ++i)
+                                results[i] = fn(configs[i]);
+                            });
   return results;
 }
 

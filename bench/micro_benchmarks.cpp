@@ -17,6 +17,7 @@
 #include "ocd/sim/simulator.hpp"
 #include "ocd/topology/random_graph.hpp"
 #include "ocd/topology/transit_stub.hpp"
+#include "ocd/util/parallel.hpp"
 
 namespace {
 
@@ -188,12 +189,17 @@ BENCHMARK_CAPTURE(BM_SimulatorStepsPerSec, random_stale4, "random", 4)
 // Per-policy planning throughput (steps/sec) on a fixed workload.  A
 // bounded window of steps per iteration isolates plan_step cost; the
 // 1000v x 512t point is the ISSUE-2 acceptance workload (>= 5x for
-// `global` vs the pre-kernel planner).  reproduce_all.sh snapshots
-// these series to BENCH_planner.json so scripts/compare_bench.py can
-// flag regressions across PRs; per-step plan time is 1 / items_per_sec.
+// `global` vs the pre-kernel planner).  The third argument is the
+// intra-run worker budget (ISSUE 5: /threads:1 is the serial baseline,
+// /threads:2 and /threads:8 exercise the sharded planner + apply
+// paths — outputs are bit-identical, only the wall clock may move).
+// reproduce_all.sh snapshots these series to BENCH_planner.json so
+// scripts/compare_bench.py can flag regressions across PRs; per-step
+// plan time is 1 / items_per_sec.
 void BM_PlannerStepsPerSec(benchmark::State& state, const char* name) {
   const auto n = static_cast<std::int32_t>(state.range(0));
   const auto tokens = static_cast<std::int32_t>(state.range(1));
+  util::set_parallel_jobs(static_cast<unsigned>(state.range(2)));
   Rng rng(29);
   Digraph g = topology::random_overlay(n, rng);
   const auto inst = core::single_source_all_receivers(std::move(g), tokens, 0);
@@ -209,27 +215,43 @@ void BM_PlannerStepsPerSec(benchmark::State& state, const char* name) {
     steps += result.steps;
     benchmark::DoNotOptimize(result.bandwidth);
   }
+  util::set_parallel_jobs(0);
   state.SetItemsProcessed(steps);  // items/sec == planned steps/sec
 }
 BENCHMARK_CAPTURE(BM_PlannerStepsPerSec, global, "global")
-    ->Args({200, 128})
-    ->Args({1000, 512})
+    ->ArgNames({"", "", "threads"})
+    ->Args({200, 128, 1})
+    ->Args({1000, 512, 1})
+    ->Args({1000, 512, 2})
+    ->Args({1000, 512, 8})
     ->Unit(benchmark::kMillisecond);
 BENCHMARK_CAPTURE(BM_PlannerStepsPerSec, local, "local")
-    ->Args({200, 128})
-    ->Args({1000, 512})
+    ->ArgNames({"", "", "threads"})
+    ->Args({200, 128, 1})
+    ->Args({1000, 512, 1})
+    ->Args({1000, 512, 2})
+    ->Args({1000, 512, 8})
     ->Unit(benchmark::kMillisecond);
 BENCHMARK_CAPTURE(BM_PlannerStepsPerSec, random, "random")
-    ->Args({200, 128})
-    ->Args({1000, 512})
+    ->ArgNames({"", "", "threads"})
+    ->Args({200, 128, 1})
+    ->Args({1000, 512, 1})
+    ->Args({1000, 512, 2})
+    ->Args({1000, 512, 8})
     ->Unit(benchmark::kMillisecond);
 BENCHMARK_CAPTURE(BM_PlannerStepsPerSec, round_robin, "round-robin")
-    ->Args({200, 128})
-    ->Args({1000, 512})
+    ->ArgNames({"", "", "threads"})
+    ->Args({200, 128, 1})
+    ->Args({1000, 512, 1})
+    ->Args({1000, 512, 2})
+    ->Args({1000, 512, 8})
     ->Unit(benchmark::kMillisecond);
 BENCHMARK_CAPTURE(BM_PlannerStepsPerSec, bandwidth, "bandwidth")
-    ->Args({200, 128})
-    ->Args({1000, 512})
+    ->ArgNames({"", "", "threads"})
+    ->Args({200, 128, 1})
+    ->Args({1000, 512, 1})
+    ->Args({1000, 512, 2})
+    ->Args({1000, 512, 8})
     ->Unit(benchmark::kMillisecond);
 
 // Fault path: the same bounded-window workload with 20% uniform loss

@@ -23,21 +23,26 @@ if [[ -n "${OCD_SAN_FILTER:-}" ]]; then
 fi
 ctest "${ctest_args[@]}"
 
-# ThreadSanitizer pass: the threaded sweep harness (bench/bench_common.hpp
-# run_grid) is the only intentionally concurrent code; the SweepGrid suite
-# drives it, including a full (policy x seed) grid of run_policy calls, so
-# any shared mutable state in the planners shows up here.  FaultSweep runs
-# the lossy fig_loss workload shape (fault models + reliable adapters) on
-# the same pool.  The flat-memory suites ride along: TokenMatrix /
-# SnapshotRing exercise the view kernels and snapshot ring (view-lifetime
-# bugs are ASan's bread and butter, caught in the pass above), and
-# AllocCount re-checks the zero-allocation steady state with the
-# sanitizer allocators interposed.
+# ThreadSanitizer pass: all intentionally concurrent code sits on the
+# ocd::util parallel runtime — the Parallel suite drives the pool
+# primitives directly, Determinism replays whole planner/fault runs
+# under OCD_JOBS in {1,2,8} (sharded wave scan + sharded apply phase),
+# and SweepGrid drives run_grid, including a full (policy x seed) grid
+# of run_policy calls, so any shared mutable state in the planners
+# shows up here.  FaultSweep runs the lossy fig_loss workload shape
+# (fault models + reliable adapters) on the same pool.  The flat-memory
+# suites ride along: TokenMatrix / SnapshotRing exercise the view
+# kernels and snapshot ring (view-lifetime bugs are ASan's bread and
+# butter, caught in the pass above), and AllocCount re-checks the
+# zero-allocation steady state with the sanitizer allocators
+# interposed.  OCD_JOBS=8 is forced so every primitive actually fans
+# out — with the hardware default a small CI box would run the whole
+# pass serially and the races TSan exists to catch would never execute.
 cmake --preset tsan
 cmake --build --preset tsan -j "$(nproc)" --target ocd_tests ocd_alloc_tests
 
 export TSAN_OPTIONS="halt_on_error=1"
-ctest --preset tsan -j "$(nproc)" \
-  -R "${OCD_TSAN_FILTER:-SweepGrid|FaultSweep|TokenMatrix|SnapshotRing|AllocCount}"
+OCD_JOBS=8 ctest --preset tsan -j "$(nproc)" \
+  -R "${OCD_TSAN_FILTER:-Parallel|Determinism|SweepGrid|FaultSweep|TokenMatrix|SnapshotRing|AllocCount}"
 
 echo "Sanitizer run clean."

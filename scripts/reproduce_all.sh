@@ -13,6 +13,13 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+# Fail fast on a typo'd OCD_JOBS instead of hours into the sweep — the
+# same validation the ocd::util parallel runtime applies in-process.
+if [[ -n "${OCD_JOBS:-}" && ! "${OCD_JOBS}" =~ ^[1-9][0-9]*$ ]]; then
+  echo "error: OCD_JOBS must be a positive integer, got '${OCD_JOBS}'" >&2
+  exit 1
+fi
+
 cmake --preset default
 cmake --build --preset default -j "$(nproc)"
 
@@ -46,17 +53,21 @@ build-bench/bench/micro_benchmarks \
   --benchmark_out_format=json | tee results/micro_benchmarks.txt
 
 # The regression gate refuses debug-build snapshots and insists the
-# full planner grid is present — every family, including bandwidth, at
-# the large 1000v/512t point — so a silently dropped benchmark cannot
-# pass unnoticed.
+# full planner grid is present — every family at the large 1000v/512t
+# point, the serial (/threads:1) baseline AND the sharded /threads:2
+# and /threads:8 variants (ISSUE 5) — so a silently dropped benchmark
+# cannot pass unnoticed.
 if [[ -n "${OCD_BENCH_BASELINE:-}" ]]; then
   python3 scripts/compare_bench.py "${OCD_BENCH_BASELINE}" \
     results/BENCH_planner.json \
-    --require 'PlannerStepsPerSec/global/1000/512' \
-    --require 'PlannerStepsPerSec/local/1000/512' \
-    --require 'PlannerStepsPerSec/random/1000/512' \
-    --require 'PlannerStepsPerSec/round_robin/1000/512' \
-    --require 'PlannerStepsPerSec/bandwidth/1000/512' ||
+    --require 'PlannerStepsPerSec/global/1000/512/threads:1' \
+    --require 'PlannerStepsPerSec/global/1000/512/threads:2' \
+    --require 'PlannerStepsPerSec/global/1000/512/threads:8' \
+    --require 'PlannerStepsPerSec/local/1000/512/threads:1' \
+    --require 'PlannerStepsPerSec/local/1000/512/threads:8' \
+    --require 'PlannerStepsPerSec/random/1000/512/threads:1' \
+    --require 'PlannerStepsPerSec/round_robin/1000/512/threads:1' \
+    --require 'PlannerStepsPerSec/bandwidth/1000/512/threads:1' ||
     echo "WARNING: planner kernel throughput regressed vs baseline."
 fi
 

@@ -30,6 +30,15 @@
 // off, a steady-state step performs zero heap allocations (asserted by
 // tests/sim/alloc_count_test.cpp).
 //
+// Parallel apply (ISSUE 5): with OCD_JOBS > 1, steps with enough sends
+// shard the apply phase over destination vertices on the shared
+// ocd::util worker pool — fault trimming and counters stay serial in
+// plan order, each destination's sends are applied to its own
+// possession row (disjoint rows per chunk), and aggregates/touched
+// bookkeeping merges serially in destination order.  The result is
+// bit-identical to the serial apply for any OCD_JOBS (asserted by
+// tests/faults/determinism_test.cpp).
+//
 // With a FaultModel installed the apply phase becomes lossy: validated
 // sends consume capacity, but tokens the model eats never mutate
 // possession, aggregates, or snapshots (knowledge stays truthful — a
@@ -145,6 +154,16 @@ struct SimScratch {
   std::vector<char> touched_flag;
   std::vector<char> satisfied;
   std::vector<std::vector<std::int32_t>> distances;
+  // Sharded apply-phase arenas, sized only when the run may shard
+  // deliveries over destination vertices (OCD_JOBS > 1; see the apply
+  // phase in simulator.cpp).  Sends are grouped into per-destination
+  // chains so each chunk of destinations owns disjoint possession rows.
+  util::TokenMatrix apply_fresh;  ///< per-chunk fresh scratch, one row each
+  util::TokenMatrix apply_union;  ///< per-vertex union of fresh deliveries
+  std::vector<VertexId> dest_list;
+  std::vector<std::int32_t> dest_head;  ///< per-vertex first send index, -1
+  std::vector<std::int32_t> dest_tail;
+  std::vector<std::int32_t> send_next;  ///< per-send chain links
 };
 
 /// Runs policies on instances, reusing one SimScratch arena across runs

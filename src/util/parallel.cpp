@@ -1,0 +1,191 @@
+#include "ocd/util/parallel.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <exception>
+#include <limits>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace ocd::util {
+namespace {
+
+thread_local bool tls_pool_worker = false;
+
+std::atomic<unsigned> g_jobs_override{0};
+
+/// The process-shared worker pool.  One region runs at a time
+/// (publication is serialized by submit_m_); workers and the caller
+/// claim fixed-boundary chunks off a shared cursor under the region
+/// mutex — which worker runs which chunk is the only scheduling
+/// freedom, and chunk outputs are index-addressed, so no output ever
+/// depends on it.
+class Pool {
+ public:
+  static Pool& instance() {
+    static Pool pool;
+    return pool;
+  }
+
+  bool run(std::size_t n_chunks, unsigned workers,
+           void (*invoke)(void*, std::size_t), void* ctx) {
+    if (tls_pool_worker || n_chunks <= 1 || workers <= 1) return false;
+    if (workers > n_chunks) workers = static_cast<unsigned>(n_chunks);
+
+    // One region at a time; a second top-level caller waits its turn.
+    const std::lock_guard<std::mutex> submit(submit_m_);
+    ensure_threads(workers - 1);
+
+    std::unique_lock<std::mutex> lock(m_);
+    invoke_ = invoke;
+    ctx_ = ctx;
+    n_chunks_ = n_chunks;
+    next_ = 0;
+    done_ = 0;
+    seats_ = workers - 1;
+    error_ = nullptr;
+    error_chunk_ = std::numeric_limits<std::size_t>::max();
+    ++generation_;
+    cv_work_.notify_all();
+
+    // The caller is a worker too (and counts against the budget).  Its
+    // chunk bodies must see nested primitives run inline.
+    tls_pool_worker = true;
+    drain(lock);
+    tls_pool_worker = false;
+
+    cv_done_.wait(lock, [&] { return done_ == n_chunks_; });
+    seats_ = 0;
+    invoke_ = nullptr;
+    std::exception_ptr error = error_;
+    error_ = nullptr;
+    lock.unlock();
+
+    if (error) std::rethrow_exception(error);
+    return true;
+  }
+
+ private:
+  Pool() = default;
+
+  ~Pool() {
+    {
+      const std::lock_guard<std::mutex> lock(m_);
+      shutdown_ = true;
+      cv_work_.notify_all();
+    }
+    for (std::thread& t : threads_) t.join();
+  }
+
+  /// Grows the pool to at least `count` resident workers.  Only called
+  /// under submit_m_, so thread creation never races a region.
+  void ensure_threads(unsigned count) {
+    while (threads_.size() < count)
+      threads_.emplace_back([this] { worker_loop(); });
+  }
+
+  /// Claims and runs chunks until the cursor is exhausted.  Expects
+  /// `lock` held on entry; holds it again on exit.
+  void drain(std::unique_lock<std::mutex>& lock) {
+    while (next_ < n_chunks_) {
+      const std::size_t chunk = next_++;
+      auto* const invoke = invoke_;
+      void* const ctx = ctx_;
+      lock.unlock();
+      std::exception_ptr error;
+      try {
+        invoke(ctx, chunk);
+      } catch (...) {
+        error = std::current_exception();
+      }
+      lock.lock();
+      if (error && chunk < error_chunk_) {
+        // Keep the lowest-index exception: all chunks run regardless,
+        // so the choice is a pure function of the chunk outcomes, not
+        // of scheduling.
+        error_chunk_ = chunk;
+        error_ = error;
+      }
+      ++done_;
+    }
+  }
+
+  void worker_loop() {
+    tls_pool_worker = true;
+    std::unique_lock<std::mutex> lock(m_);
+    // A worker spawned after a region was published must still join it:
+    // start behind every real generation.
+    std::uint64_t seen = 0;
+    while (true) {
+      cv_work_.wait(lock, [&] { return shutdown_ || generation_ != seen; });
+      if (shutdown_) return;
+      seen = generation_;
+      if (seats_ == 0) continue;  // region already fully crewed
+      --seats_;
+      drain(lock);
+      if (done_ == n_chunks_) cv_done_.notify_all();
+    }
+  }
+
+  std::mutex submit_m_;  ///< serializes regions (held across run())
+  std::mutex m_;         ///< guards all fields below
+  std::condition_variable cv_work_;
+  std::condition_variable cv_done_;
+  std::vector<std::thread> threads_;
+  bool shutdown_ = false;
+  std::uint64_t generation_ = 0;
+  // The active region.
+  void (*invoke_)(void*, std::size_t) = nullptr;
+  void* ctx_ = nullptr;
+  std::size_t n_chunks_ = 0;
+  std::size_t next_ = 0;
+  std::size_t done_ = 0;
+  unsigned seats_ = 0;  ///< worker threads still allowed to join
+  std::exception_ptr error_;
+  std::size_t error_chunk_ = 0;
+};
+
+}  // namespace
+
+unsigned parse_jobs_value(const char* text) {
+  const std::string value = text == nullptr ? "" : text;
+  std::size_t consumed = 0;
+  long parsed = -1;
+  try {
+    parsed = std::stol(value, &consumed);
+  } catch (const std::exception&) {
+    consumed = 0;
+  }
+  if (consumed == 0 || consumed != value.size() || parsed <= 0 ||
+      parsed > std::numeric_limits<int>::max()) {
+    throw Error("OCD_JOBS must be a positive integer, got '" + value + "'");
+  }
+  return static_cast<unsigned>(parsed);
+}
+
+unsigned parallel_jobs() {
+  const unsigned override = g_jobs_override.load(std::memory_order_relaxed);
+  if (override > 0) return override;
+  if (const char* env = std::getenv("OCD_JOBS")) return parse_jobs_value(env);
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+void set_parallel_jobs(unsigned jobs) {
+  g_jobs_override.store(jobs, std::memory_order_relaxed);
+}
+
+bool on_parallel_worker() { return tls_pool_worker; }
+
+namespace detail {
+
+bool pool_run(std::size_t n_chunks, unsigned workers,
+              void (*invoke)(void*, std::size_t), void* ctx) {
+  return Pool::instance().run(n_chunks, workers, invoke, ctx);
+}
+
+}  // namespace detail
+}  // namespace ocd::util

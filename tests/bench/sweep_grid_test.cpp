@@ -64,10 +64,17 @@ TEST(SweepGrid, WorkerExceptionPropagates) {
 TEST(SweepGrid, JobsEnvOverride) {
   ASSERT_EQ(setenv("OCD_JOBS", "3", 1), 0);
   EXPECT_EQ(sweep_jobs(), 3u);
-  ASSERT_EQ(setenv("OCD_JOBS", "0", 1), 0);  // invalid: fall back to hardware
-  const unsigned hw = std::thread::hardware_concurrency();
-  EXPECT_EQ(sweep_jobs(), hw > 0 ? hw : 1u);
+  // Invalid values are rejected loudly (ocd::Error naming the variable)
+  // instead of silently falling back — a typo'd OCD_JOBS=O8 would
+  // otherwise burn a day of single-threaded sweeping.
+  ASSERT_EQ(setenv("OCD_JOBS", "0", 1), 0);
+  EXPECT_THROW(sweep_jobs(), Error);
+  ASSERT_EQ(setenv("OCD_JOBS", "-2", 1), 0);
+  EXPECT_THROW(sweep_jobs(), Error);
+  ASSERT_EQ(setenv("OCD_JOBS", "eight", 1), 0);
+  EXPECT_THROW(sweep_jobs(), Error);
   ASSERT_EQ(unsetenv("OCD_JOBS"), 0);
+  const unsigned hw = std::thread::hardware_concurrency();
   EXPECT_EQ(sweep_jobs(), hw > 0 ? hw : 1u);
 }
 

@@ -1,7 +1,10 @@
 // Determinism regression: every stochastic model (dynamics and faults)
 // must produce bit-identical traces when run twice from the same seed,
 // and genuinely different traces from different seeds.  Catches both
-// hidden global state and accidentally shared RNG streams.
+// hidden global state and accidentally shared RNG streams.  The final
+// section replays whole runs under OCD_JOBS ∈ {1, 2, 8}: the parallel
+// runtime guarantees bit-identical output for any worker budget, so
+// schedules, step counts, bandwidth and loss accounting must agree.
 #include <gtest/gtest.h>
 
 #include <functional>
@@ -14,6 +17,7 @@
 #include "ocd/heuristics/factory.hpp"
 #include "ocd/sim/simulator.hpp"
 #include "ocd/topology/random_graph.hpp"
+#include "ocd/util/parallel.hpp"
 
 namespace ocd::faults {
 namespace {
@@ -173,6 +177,96 @@ TEST(Determinism, FaultedRunsReplayBitIdentically) {
     EXPECT_EQ(a.stats.lost_moves, b.stats.lost_moves) << c.label;
     EXPECT_EQ(a.stats.lost_per_step, b.stats.lost_per_step) << c.label;
     EXPECT_EQ(a.stats.moves_per_step, b.stats.moves_per_step) << c.label;
+  }
+}
+
+// ---- worker-budget invariance: OCD_JOBS ∈ {1, 2, 8} ----------------
+
+/// ArcSend has no operator==, so schedules are compared send by send.
+void expect_schedules_identical(const core::Schedule& a,
+                                const core::Schedule& b, const char* label) {
+  ASSERT_EQ(a.length(), b.length()) << label;
+  ASSERT_EQ(a.bandwidth(), b.bandwidth()) << label;
+  for (std::size_t s = 0; s < a.steps().size(); ++s) {
+    const auto& sa = a.steps()[s].sends();
+    const auto& sb = b.steps()[s].sends();
+    ASSERT_EQ(sa.size(), sb.size()) << label << " step " << s;
+    for (std::size_t i = 0; i < sa.size(); ++i) {
+      EXPECT_EQ(sa[i].arc, sb[i].arc) << label << " step " << s;
+      EXPECT_EQ(sa[i].tokens, sb[i].tokens) << label << " step " << s;
+    }
+  }
+}
+
+/// Large enough that the sharded planner wave scan (>= 256 awake arcs)
+/// and the sharded apply phase (>= 64 sends) actually engage at 8 jobs.
+core::Instance parallel_scale_instance(std::uint64_t seed) {
+  Rng rng(seed);
+  Digraph g = topology::random_overlay(80, rng);
+  return core::single_source_all_receivers(std::move(g), 64, 0);
+}
+
+TEST(Determinism, PlannerRunsReplayAcrossJobCounts) {
+  const auto inst = parallel_scale_instance(65);
+  for (const auto& policy_name : {"global", "local", "random"}) {
+    auto run_with_jobs = [&](unsigned jobs) {
+      util::set_parallel_jobs(jobs);
+      auto policy = heuristics::make_policy(policy_name);
+      sim::SimOptions options;
+      options.seed = 29;
+      options.max_steps = 50'000;
+      const auto result = sim::run(inst, *policy, options);
+      util::set_parallel_jobs(0);
+      return result;
+    };
+    const auto serial = run_with_jobs(1);
+    for (const unsigned jobs : {2u, 8u}) {
+      const auto parallel = run_with_jobs(jobs);
+      EXPECT_EQ(parallel.steps, serial.steps) << policy_name << "@" << jobs;
+      EXPECT_EQ(parallel.bandwidth, serial.bandwidth)
+          << policy_name << "@" << jobs;
+      EXPECT_EQ(parallel.stats.useful_moves, serial.stats.useful_moves)
+          << policy_name << "@" << jobs;
+      EXPECT_EQ(parallel.stats.redundant_moves, serial.stats.redundant_moves)
+          << policy_name << "@" << jobs;
+      EXPECT_EQ(parallel.stats.moves_per_step, serial.stats.moves_per_step)
+          << policy_name << "@" << jobs;
+      EXPECT_EQ(parallel.stats.completion_step, serial.stats.completion_step)
+          << policy_name << "@" << jobs;
+      expect_schedules_identical(parallel.schedule, serial.schedule,
+                                 policy_name);
+    }
+  }
+}
+
+TEST(Determinism, FaultedRunsReplayAcrossJobCounts) {
+  const auto inst = parallel_scale_instance(66);
+  for (const auto& c : fault_cases()) {
+    auto run_with_jobs = [&](unsigned jobs) {
+      util::set_parallel_jobs(jobs);
+      auto model = c.make();
+      auto policy = heuristics::make_policy("global");
+      sim::SimOptions options;
+      options.seed = 31;
+      options.faults = model.get();
+      options.max_steps = 50'000;
+      const auto result = sim::run(inst, *policy, options);
+      util::set_parallel_jobs(0);
+      return result;
+    };
+    const auto serial = run_with_jobs(1);
+    for (const unsigned jobs : {2u, 8u}) {
+      const auto parallel = run_with_jobs(jobs);
+      EXPECT_EQ(parallel.steps, serial.steps) << c.label << "@" << jobs;
+      EXPECT_EQ(parallel.bandwidth, serial.bandwidth) << c.label << "@" << jobs;
+      EXPECT_EQ(parallel.stats.lost_moves, serial.stats.lost_moves)
+          << c.label << "@" << jobs;
+      EXPECT_EQ(parallel.stats.lost_per_step, serial.stats.lost_per_step)
+          << c.label << "@" << jobs;
+      EXPECT_EQ(parallel.stats.moves_per_step, serial.stats.moves_per_step)
+          << c.label << "@" << jobs;
+      expect_schedules_identical(parallel.schedule, serial.schedule, c.label);
+    }
   }
 }
 

@@ -19,6 +19,7 @@
 #include "ocd/heuristics/factory.hpp"
 #include "ocd/sim/simulator.hpp"
 #include "ocd/topology/random_graph.hpp"
+#include "ocd/util/parallel.hpp"
 
 namespace {
 std::atomic<std::uint64_t> g_allocations{0};
@@ -111,6 +112,47 @@ TEST(AllocCount, SteadyStateStepsAreAllocationFree) {
         << (long_allocs - short_allocs) << " allocations across "
         << (kLong - kShort) << " steady-state steps";
   }
+}
+
+// ISSUE 5: the sharded planner/apply paths must hold the same bar.
+// With a worker budget of 4, the 64v x 256t instance (~500 arcs)
+// engages both the wave prescore and the sharded apply; the warm run
+// spawns the pool threads and sizes the per-chunk arenas, after which
+// parallel steady-state steps must not touch the heap (region publish
+// is a type-erased pointer handshake, reduce slots live on the stack).
+TEST(AllocCount, ParallelSteadyStateStepsAreAllocationFree) {
+  util::set_parallel_jobs(4);
+  const core::Instance inst = slow_fig2_instance();
+  constexpr std::int64_t kShort = 6;
+  constexpr std::int64_t kLong = 16;
+
+  for (const char* name : {"global", "local"}) {
+    SCOPED_TRACE(name);
+    const auto policy = heuristics::make_policy(name);
+    Simulator simulator;
+    SimOptions options;
+    options.seed = 17;
+    options.record_schedule = false;
+
+    options.max_steps = kLong;
+    (void)simulator.run(inst, *policy, options);
+
+    std::int64_t short_steps = 0;
+    std::int64_t long_steps = 0;
+    options.max_steps = kShort;
+    const std::uint64_t short_allocs =
+        allocations_during(simulator, inst, *policy, options, &short_steps);
+    options.max_steps = kLong;
+    const std::uint64_t long_allocs =
+        allocations_during(simulator, inst, *policy, options, &long_steps);
+
+    ASSERT_EQ(short_steps, kShort);
+    ASSERT_EQ(long_steps, kLong);
+    EXPECT_EQ(long_allocs, short_allocs)
+        << (long_allocs - short_allocs) << " allocations across "
+        << (kLong - kShort) << " parallel steady-state steps";
+  }
+  util::set_parallel_jobs(0);
 }
 
 TEST(AllocCount, HarnessCountsAllocations) {
