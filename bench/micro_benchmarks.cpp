@@ -18,10 +18,15 @@
 #include "ocd/topology/random_graph.hpp"
 #include "ocd/topology/transit_stub.hpp"
 #include "ocd/util/parallel.hpp"
+#include "ocd/util/simd.hpp"
+
+#include <cstring>
+#include <thread>
 
 namespace {
 
 using namespace ocd;
+namespace simd = ocd::util::simd;
 
 void BM_TokenSetUnion(benchmark::State& state) {
   const auto universe = static_cast<std::size_t>(state.range(0));
@@ -60,6 +65,95 @@ void BM_TokenSetForEach(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_TokenSetForEach)->Arg(512)->Arg(4096);
+
+// Word-kernel micro-benchmarks, one family per (kernel, dispatch
+// level), so a vectorization win (or regression) is attributable to a
+// specific kernel instead of being smeared across a whole planner run.
+// Inputs are sized by universe bits (state.range(0)); items/sec counts
+// universe bits per call, so families are comparable across levels at
+// the same size.  Subset/intersects/first run their worst case (full
+// scan, no early exit); fresh-union runs the full four-array pass.
+// Levels the host cannot run are skipped with a note instead of
+// silently benchmarking the wrong code.
+void BM_TokenKernel(benchmark::State& state, const char* kernel,
+                    simd::Level level) {
+  if (level > simd::max_supported_level()) {
+    state.SkipWithError("simd level unsupported on this host");
+    return;
+  }
+  simd::set_simd_level(level);
+  const auto universe = static_cast<std::size_t>(state.range(0));
+  Rng rng(31);
+  TokenSet a(universe);
+  TokenSet b(universe);
+  for (std::size_t i = 0; i < universe / 2; ++i) {
+    a.set(static_cast<TokenId>(rng.below(universe)));
+    b.set(static_cast<TokenId>(rng.below(universe)));
+  }
+  TokenSet superset = a;
+  superset |= b;
+  TokenSet disjoint = TokenSet::full(universe);
+  disjoint -= a;
+  TokenSet dst = b;
+  TokenSet uni(universe);
+  TokenSet fresh(universe);
+  std::int64_t sink = 0;
+  if (std::strcmp(kernel, "count_intersection") == 0) {
+    for (auto _ : state)
+      sink += static_cast<std::int64_t>(TokenSet::count_intersection(a, b));
+  } else if (std::strcmp(kernel, "first_in_intersection") == 0) {
+    for (auto _ : state)
+      sink += TokenSet::first_in_intersection(a, disjoint);  // full scan
+  } else if (std::strcmp(kernel, "for_each_in_intersection") == 0) {
+    for (auto _ : state) {
+      TokenSet::for_each_in_intersection(a, b,
+                                         [&](TokenId t) { sink += t; });
+    }
+  } else if (std::strcmp(kernel, "is_subset") == 0) {
+    for (auto _ : state)
+      sink += static_cast<std::int64_t>(a.is_subset_of(superset));
+  } else if (std::strcmp(kernel, "intersects") == 0) {
+    for (auto _ : state)
+      sink += static_cast<std::int64_t>(a.intersects(disjoint));
+  } else if (std::strcmp(kernel, "fresh_union_apply") == 0) {
+    for (auto _ : state) {
+      sink += static_cast<std::int64_t>(MutableTokenSetView::apply_fresh_union(
+          dst, a, fresh));
+    }
+  } else if (std::strcmp(kernel, "fresh_union_apply_merge") == 0) {
+    for (auto _ : state) {
+      sink += static_cast<std::int64_t>(
+          MutableTokenSetView::apply_fresh_union_merge(dst, uni, a, fresh));
+    }
+  } else {
+    state.SkipWithError("unknown kernel");
+  }
+  benchmark::DoNotOptimize(sink);
+  simd::clear_simd_level();
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(universe));
+}
+#define OCD_TOKEN_KERNEL_BENCH(kernel)                                      \
+  BENCHMARK_CAPTURE(BM_TokenKernel, kernel##_scalar, #kernel,               \
+                    simd::Level::kScalar)                                   \
+      ->Arg(512)                                                            \
+      ->Arg(4096);                                                          \
+  BENCHMARK_CAPTURE(BM_TokenKernel, kernel##_avx2, #kernel,                 \
+                    simd::Level::kAvx2)                                     \
+      ->Arg(512)                                                            \
+      ->Arg(4096);                                                          \
+  BENCHMARK_CAPTURE(BM_TokenKernel, kernel##_avx512, #kernel,               \
+                    simd::Level::kAvx512)                                   \
+      ->Arg(512)                                                            \
+      ->Arg(4096)
+OCD_TOKEN_KERNEL_BENCH(count_intersection);
+OCD_TOKEN_KERNEL_BENCH(first_in_intersection);
+OCD_TOKEN_KERNEL_BENCH(for_each_in_intersection);
+OCD_TOKEN_KERNEL_BENCH(is_subset);
+OCD_TOKEN_KERNEL_BENCH(intersects);
+OCD_TOKEN_KERNEL_BENCH(fresh_union_apply);
+OCD_TOKEN_KERNEL_BENCH(fresh_union_apply_merge);
+#undef OCD_TOKEN_KERNEL_BENCH
 
 void BM_RandomOverlay(benchmark::State& state) {
   const auto n = static_cast<std::int32_t>(state.range(0));
@@ -346,6 +440,18 @@ int main(int argc, char** argv) {
 #else
   benchmark::AddCustomContext("ocd_build_type", "debug");
 #endif
+  // The stock "num_cpus" context reports what the benchmark *library*
+  // saw at its build/run; record what this process observes so
+  // scripts/compare_bench.py can refuse /threads:N gates against
+  // snapshots captured on hosts with fewer than N cores ("parity" on a
+  // single-core box says nothing about contention).
+  benchmark::AddCustomContext(
+      "hardware_concurrency",
+      std::to_string(std::thread::hardware_concurrency()));
+  benchmark::AddCustomContext(
+      "ocd_simd", simd::level_name(simd::active_level()));
+  benchmark::AddCustomContext(
+      "ocd_simd_max", simd::level_name(simd::max_supported_level()));
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

@@ -23,6 +23,27 @@ if [[ -n "${OCD_SAN_FILTER:-}" ]]; then
 fi
 ctest "${ctest_args[@]}"
 
+# SIMD kernel differential pass: the vectorized token kernels promise
+# bit-identity with scalar AND sanitizer-cleanliness (unaligned loads
+# only, scalar tails, never a byte past num_words).  The fuzz +
+# dispatch + planner-replay suites run with OCD_SIMD forced to scalar
+# and again to the widest level this host can execute, so ASan/UBSan
+# see every dispatch table actually run — the default auto-resolution
+# above only exercises one.  The shell probe mirrors the C++ cpuid
+# probe (avx512 needs VPOPCNTDQ, not just the F foundation).
+simd_levels=(scalar)
+if grep -qw avx512_vpopcntdq /proc/cpuinfo 2>/dev/null \
+    && grep -qw avx512f /proc/cpuinfo 2>/dev/null; then
+  simd_levels+=(avx512)
+elif grep -qw avx2 /proc/cpuinfo 2>/dev/null; then
+  simd_levels+=(avx2)
+fi
+for level in "${simd_levels[@]}"; do
+  echo "== SIMD differential pass: OCD_SIMD=${level} =="
+  OCD_SIMD="${level}" ctest --preset asan-ubsan -j "$(nproc)" \
+    -R 'Simd|TokenMatrix|TokenSet'
+done
+
 # ThreadSanitizer pass: all intentionally concurrent code sits on the
 # ocd::util parallel runtime — the Parallel suite drives the pool
 # primitives directly, Determinism replays whole planner/fault runs

@@ -19,9 +19,15 @@ Snapshot hygiene: comparing against a debug-build capture is
 meaningless (debug throughput is an order of magnitude off release),
 so any input whose context reports library_build_type "debug" is
 refused unless --allow-debug is given, which downgrades the refusal to
-a loud warning.  --require PATTERN (repeatable) additionally fails the
-run if no compared benchmark matches the pattern — guarding against a
-renamed or silently dropped benchmark slipping past the gate.
+a loud warning.  Likewise, a /threads:N benchmark captured on a host
+with fewer than N cores never experienced real contention — "parity"
+in such a snapshot is vacuous — so those comparisons are refused when
+either file's recorded core count (context.hardware_concurrency,
+falling back to the stock num_cpus) is below N, unless
+--allow-undersized-host downgrades the refusal to warn-and-skip.
+--require PATTERN (repeatable) additionally fails the run if no
+matched benchmark matches the pattern — guarding against a renamed or
+silently dropped benchmark slipping past the gate.
 """
 
 from __future__ import annotations
@@ -60,7 +66,28 @@ def check_build_type(path: Path, data: dict, allow_debug: bool) -> None:
           file=sys.stderr)
 
 
-def load_benchmarks(path: Path, allow_debug: bool) -> dict[str, dict]:
+def recorded_cores(data: dict) -> int | None:
+    """Core count of the capturing host, or None for old snapshots.
+
+    "hardware_concurrency" is injected by the benchmark binary; the
+    stock "num_cpus" is the fallback for snapshots that predate it.
+    """
+    context = data.get("context", {})
+    for field in ("hardware_concurrency", "num_cpus"):
+        value = context.get(field)
+        if value is None:
+            continue
+        try:
+            cores = int(value)
+        except (TypeError, ValueError):
+            continue
+        if cores > 0:
+            return cores
+    return None
+
+
+def load_benchmarks(path: Path,
+                    allow_debug: bool) -> tuple[dict[str, dict], int | None]:
     try:
         data = json.loads(path.read_text())
     except (OSError, json.JSONDecodeError) as exc:
@@ -70,6 +97,10 @@ def load_benchmarks(path: Path, allow_debug: bool) -> dict[str, dict]:
     has_aggregates = any(r.get("run_type") == "aggregate" for r in rows)
     out: dict[str, dict] = {}
     for row in rows:
+        # Rows recorded via SkipWithError (e.g. a SIMD level the host
+        # cannot run) carry no measurement; comparing them is noise.
+        if row.get("error_occurred"):
+            continue
         if has_aggregates:
             if row.get("aggregate_name") != "mean":
                 continue
@@ -77,7 +108,18 @@ def load_benchmarks(path: Path, allow_debug: bool) -> dict[str, dict]:
         else:
             name = row["name"]
         out[name] = row
-    return out
+    return out, recorded_cores(data)
+
+
+THREADS_RE = re.compile(r"/threads:(\d+)\b")
+
+
+def undersized_for(name: str, cores: int | None) -> bool:
+    """True when `name` is a /threads:N benchmark and the host that
+    recorded it had fewer than N cores."""
+    match = THREADS_RE.search(name)
+    return (match is not None and cores is not None
+            and cores < int(match.group(1)))
 
 
 def metric(row: dict) -> tuple[str, float, bool]:
@@ -103,6 +145,12 @@ def main() -> int:
         help="downgrade the debug-build-snapshot refusal to a warning",
     )
     parser.add_argument(
+        "--allow-undersized-host",
+        action="store_true",
+        help="downgrade the undersized-host /threads:N refusal to a "
+        "warning and skip those comparisons",
+    )
+    parser.add_argument(
         "--require",
         action="append",
         default=[],
@@ -112,8 +160,8 @@ def main() -> int:
     )
     args = parser.parse_args()
 
-    base = load_benchmarks(args.baseline, args.allow_debug)
-    curr = load_benchmarks(args.current, args.allow_debug)
+    base, base_cores = load_benchmarks(args.baseline, args.allow_debug)
+    curr, curr_cores = load_benchmarks(args.current, args.allow_debug)
     common = [name for name in base if name in curr]
     if not common:
         sys.exit("error: no benchmark names in common between the two files")
@@ -122,6 +170,39 @@ def main() -> int:
     if missing:
         sys.exit("error: required benchmark(s) absent from the comparison: "
                  + ", ".join(missing))
+
+    # A /threads:N family recorded on a host with fewer than N cores
+    # measured oversubscription, not contention — parity there proves
+    # nothing about a real N-core regression.  --require patterns were
+    # checked above, against the pre-skip names: the benchmarks exist in
+    # both files, only their regression comparison is vacuous.
+    undersized = [
+        name for name in common
+        if undersized_for(name, base_cores) or undersized_for(
+            name, curr_cores)
+    ]
+    if undersized:
+        cores = min(c for c in (base_cores, curr_cores) if c is not None)
+        message = (
+            f"{len(undersized)} /threads:N benchmark(s) were captured on "
+            f"a host recording only {cores} core(s) "
+            f"(context.hardware_concurrency/num_cpus): "
+            + ", ".join(undersized))
+        if not args.allow_undersized_host:
+            sys.exit(
+                f"error: {message}\nRe-record on a host with enough "
+                "cores, or pass --allow-undersized-host to skip these "
+                "comparisons.")
+        print(f"WARNING: {message}", file=sys.stderr)
+        print(
+            "WARNING: skipping their comparison because of "
+            "--allow-undersized-host.",
+            file=sys.stderr)
+        common = [name for name in common if name not in set(undersized)]
+        if not common:
+            print("\nOK: nothing left to compare after undersized-host "
+                  "skips (0 compared)")
+            return 0
 
     regressions = []
     width = max(len(n) for n in common)

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "ocd/util/error.hpp"
+#include "ocd/util/simd.hpp"
 
 namespace ocd {
 
@@ -55,11 +56,8 @@ class TokenSetView {
   }
 
   /// Number of tokens in the set.
-  [[nodiscard]] std::size_t count() const noexcept {
-    std::size_t n = 0;
-    for (std::size_t wi = 0, e = num_words(); wi < e; ++wi)
-      n += static_cast<std::size_t>(__builtin_popcountll(words_[wi]));
-    return n;
+  [[nodiscard]] std::size_t count() const {
+    return util::simd::kernels().count(words_, num_words());
   }
 
   [[nodiscard]] bool empty() const noexcept {
@@ -72,16 +70,12 @@ class TokenSetView {
   /// True when every token of this set is also in `other`.
   [[nodiscard]] bool is_subset_of(TokenSetView other) const {
     check_same_universe(other);
-    for (std::size_t wi = 0, e = num_words(); wi < e; ++wi)
-      if ((words_[wi] & ~other.words_[wi]) != 0) return false;
-    return true;
+    return util::simd::kernels().is_subset(words_, other.words_, num_words());
   }
 
   [[nodiscard]] bool intersects(TokenSetView other) const {
     check_same_universe(other);
-    for (std::size_t wi = 0, e = num_words(); wi < e; ++wi)
-      if ((words_[wi] & other.words_[wi]) != 0) return true;
-    return false;
+    return util::simd::kernels().intersects(words_, other.words_, num_words());
   }
 
   /// Smallest token id in the set, or -1 when empty.
@@ -141,37 +135,43 @@ class TokenSetView {
   [[nodiscard]] static TokenId first_in_intersection(TokenSetView a,
                                                      TokenSetView b) {
     a.check_same_universe(b);
-    for (std::size_t wi = 0, e = a.num_words(); wi < e; ++wi) {
-      const std::uint64_t w = a.words_[wi] & b.words_[wi];
-      if (w != 0) {
-        return static_cast<TokenId>(
-            wi * 64 + static_cast<std::size_t>(__builtin_ctzll(w)));
-      }
-    }
-    return -1;
+    const std::size_t e = a.num_words();
+    const std::size_t wi =
+        util::simd::kernels().first_and_word(a.words_, b.words_, 0, e);
+    if (wi >= e) return -1;
+    return static_cast<TokenId>(
+        wi * 64 + static_cast<std::size_t>(
+                      __builtin_ctzll(a.words_[wi] & b.words_[wi])));
   }
 
   /// |a & b| without materializing the intersection.
   [[nodiscard]] static std::size_t count_intersection(TokenSetView a,
                                                       TokenSetView b) {
     a.check_same_universe(b);
-    std::size_t n = 0;
-    for (std::size_t wi = 0, e = a.num_words(); wi < e; ++wi) {
-      n += static_cast<std::size_t>(
-          __builtin_popcountll(a.words_[wi] & b.words_[wi]));
-    }
-    return n;
+    return util::simd::kernels().count_intersection(a.words_, b.words_,
+                                                    a.num_words());
   }
 
   /// Masked-word iteration: invokes fn for every id of a & b in
   /// increasing order.  fn may return void, or bool to stop early
   /// (false = stop).  Returns false iff the iteration was stopped.
+  /// Nonzero masked words are consumed bit by bit exactly as before;
+  /// runs of zero masked words are skipped through the vectorized
+  /// first_and_word kernel, so dense iterations pay no dispatch cost
+  /// and sparse ones scan whole vectors at a time.
   template <typename Fn>
   static bool for_each_in_intersection(TokenSetView a, TokenSetView b,
                                        Fn&& fn) {
     a.check_same_universe(b);
-    for (std::size_t wi = 0, e = a.num_words(); wi < e; ++wi) {
+    const std::size_t e = a.num_words();
+    for (std::size_t wi = 0; wi < e; ++wi) {
       std::uint64_t w = a.words_[wi] & b.words_[wi];
+      if (w == 0) {
+        wi = util::simd::kernels().first_and_word(a.words_, b.words_, wi + 1,
+                                                  e);
+        if (wi >= e) break;
+        w = a.words_[wi] & b.words_[wi];
+      }
       while (w != 0) {
         const int bit = __builtin_ctzll(w);
         const auto t =
@@ -210,6 +210,25 @@ class TokenSetView {
   }
   [[nodiscard]] std::uint64_t word(std::size_t wi) const noexcept {
     return words_[wi];
+  }
+
+  /// Mask of the valid bits in the last word (all ones when the
+  /// universe is a multiple of 64).
+  [[nodiscard]] constexpr std::uint64_t tail_mask() const noexcept {
+    const unsigned rem = static_cast<unsigned>(universe_ % 64);
+    return rem == 0 ? ~0ULL : (1ULL << rem) - 1;
+  }
+
+  /// Tail-word invariant: bits at index >= universe in the last word
+  /// are zero.  Every kernel — scalar and vectorized alike — iterates
+  /// whole words, so popcounts and scans are only correct under this
+  /// invariant.  Mutation paths assert it after any word-level write;
+  /// callers of mutable_words() that fill or complement raw words must
+  /// re-establish it (mask with tail_mask()) before using any kernel.
+  void assert_tail_zero() const {
+    OCD_ASSERT_MSG(
+        universe_ == 0 || (words_[num_words() - 1] & ~tail_mask()) == 0,
+        "tail bits past the universe must stay zero");
   }
 
   friend bool operator==(TokenSetView a, TokenSetView b) noexcept {
@@ -269,12 +288,14 @@ class MutableTokenSetView : public TokenSetView {
     check_same_universe(other);
     for (std::size_t wi = 0, e = num_words(); wi < e; ++wi)
       mut()[wi] = other.word(wi);
+    assert_tail_zero();
   }
 
   const MutableTokenSetView& operator|=(TokenSetView other) const {
     check_same_universe(other);
     for (std::size_t wi = 0, e = num_words(); wi < e; ++wi)
       mut()[wi] |= other.word(wi);
+    assert_tail_zero();
     return *this;
   }
 
@@ -297,7 +318,41 @@ class MutableTokenSetView : public TokenSetView {
     check_same_universe(other);
     for (std::size_t wi = 0, e = num_words(); wi < e; ++wi)
       mut()[wi] ^= other.word(wi);
+    assert_tail_zero();
     return *this;
+  }
+
+  /// Fused simulator-apply kernel: in one pass over memory,
+  ///   fresh = src - dst (set difference), dst |= src,
+  /// returning |fresh| — the tokens of `src` genuinely new to `dst`.
+  /// Equivalent to the assign / subtract / count / or-assign sequence
+  /// the apply phase used to issue, at a quarter of the word traffic.
+  /// All three views must share a universe.
+  static std::size_t apply_fresh_union(MutableTokenSetView dst,
+                                       TokenSetView src,
+                                       MutableTokenSetView fresh) {
+    dst.check_same_universe(src);
+    dst.check_same_universe(fresh);
+    const std::size_t n = util::simd::kernels().fresh_union_apply(
+        dst.mut(), src.words_data(), fresh.mut(), dst.num_words());
+    dst.assert_tail_zero();
+    return n;
+  }
+
+  /// apply_fresh_union that additionally folds the fresh set into an
+  /// accumulator: uni |= fresh.  The sharded apply phase keeps the
+  /// union of a destination's fresh deliveries for the serial merge.
+  static std::size_t apply_fresh_union_merge(MutableTokenSetView dst,
+                                             MutableTokenSetView uni,
+                                             TokenSetView src,
+                                             MutableTokenSetView fresh) {
+    dst.check_same_universe(src);
+    dst.check_same_universe(fresh);
+    dst.check_same_universe(uni);
+    const std::size_t n = util::simd::kernels().fresh_union_apply_merge(
+        dst.mut(), uni.mut(), src.words_data(), fresh.mut(), dst.num_words());
+    dst.assert_tail_zero();
+    return n;
   }
 
   [[nodiscard]] std::uint64_t* mutable_words() const noexcept { return mut(); }
@@ -361,7 +416,7 @@ class TokenSet {
   }
 
   /// Number of tokens in the set.
-  [[nodiscard]] std::size_t count() const noexcept {
+  [[nodiscard]] std::size_t count() const {
     return TokenSetView(*this).count();
   }
 

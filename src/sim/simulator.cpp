@@ -275,14 +275,15 @@ RunResult Simulator::run(const core::Instance& inst, Policy& policy,
         }
         const auto delivered = static_cast<std::int64_t>(send.tokens.count());
         const auto to = static_cast<std::size_t>(arc.to);
-        fresh.assign(send.tokens);
-        fresh -= possession.row(to);
-        const auto fresh_count = static_cast<std::int64_t>(fresh.count());
+        // Fused kernel: fresh = send - possession, possession |= send,
+        // in one pass (a no-op on possession when nothing is fresh).
+        const auto fresh_count =
+            static_cast<std::int64_t>(MutableTokenSetView::apply_fresh_union(
+                possession.row(to), send.tokens, fresh));
         result.stats.useful_moves += fresh_count;
         result.stats.redundant_moves += delivered - fresh_count;
         step_useful += fresh_count;
         if (fresh_count == 0) continue;
-        possession.row(to) |= fresh;
         if (needs_aggregates && !options.stale_aggregates)
           aggregates.apply_delivery(fresh, inst.want(arc.to));
         if (!scratch_.touched_flag[to]) {
@@ -349,14 +350,11 @@ RunResult Simulator::run(const core::Instance& inst, Policy& policy,
                    s = scratch_.send_next[static_cast<std::size_t>(s)]) {
                 const core::ArcSend& send = sends[static_cast<std::size_t>(s)];
                 t.delivered += static_cast<std::int64_t>(send.tokens.count());
-                chunk_fresh.assign(send.tokens);
-                chunk_fresh -= poss;
-                const auto fresh_count =
-                    static_cast<std::int64_t>(chunk_fresh.count());
-                t.useful += fresh_count;
-                if (fresh_count == 0) continue;
-                poss |= chunk_fresh;
-                uni |= chunk_fresh;
+                // Fused kernel: fresh = send - poss, poss |= send,
+                // uni |= fresh, one pass (no-ops when nothing is fresh).
+                t.useful += static_cast<std::int64_t>(
+                    MutableTokenSetView::apply_fresh_union_merge(
+                        poss, uni, send.tokens, chunk_fresh));
               }
             }
             return t;

@@ -1,0 +1,158 @@
+// AVX-512 word kernels: 8 x uint64 per 512-bit vector, native vpopcntq
+// (AVX-512VPOPCNTDQ) popcounts and mask-register emptiness tests.
+// Unaligned loads only; sub-vector remainders go scalar rather than
+// through masked loads, so no instruction ever touches memory past
+// num_words (keeps ASan exact) and no alignment beyond
+// alignof(uint64_t) is assumed.  Compiled with -mavx512f
+// -mavx512vpopcntdq; degrades to a nullptr table otherwise.
+#include "simd_internal.hpp"
+
+#if defined(__AVX512F__) && defined(__AVX512VPOPCNTDQ__)
+
+#include <immintrin.h>
+
+namespace ocd::util::simd::detail {
+namespace {
+
+inline __m512i load(const std::uint64_t* p) { return _mm512_loadu_si512(p); }
+
+inline void store(std::uint64_t* p, __m512i v) { _mm512_storeu_si512(p, v); }
+
+std::size_t avx512_count(const std::uint64_t* a, std::size_t n) {
+  __m512i acc = _mm512_setzero_si512();
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8)
+    acc = _mm512_add_epi64(acc, _mm512_popcnt_epi64(load(a + i)));
+  std::size_t total = static_cast<std::size_t>(_mm512_reduce_add_epi64(acc));
+  for (; i < n; ++i)
+    total += static_cast<std::size_t>(__builtin_popcountll(a[i]));
+  return total;
+}
+
+std::size_t avx512_count_intersection(const std::uint64_t* a,
+                                      const std::uint64_t* b, std::size_t n) {
+  __m512i acc = _mm512_setzero_si512();
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m512i both = _mm512_and_epi64(load(a + i), load(b + i));
+    acc = _mm512_add_epi64(acc, _mm512_popcnt_epi64(both));
+  }
+  std::size_t total = static_cast<std::size_t>(_mm512_reduce_add_epi64(acc));
+  for (; i < n; ++i)
+    total += static_cast<std::size_t>(__builtin_popcountll(a[i] & b[i]));
+  return total;
+}
+
+bool avx512_is_subset(const std::uint64_t* a, const std::uint64_t* b,
+                      std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m512i stray = _mm512_andnot_epi64(load(b + i), load(a + i));
+    if (_mm512_test_epi64_mask(stray, stray) != 0) return false;
+  }
+  for (; i < n; ++i)
+    if ((a[i] & ~b[i]) != 0) return false;
+  return true;
+}
+
+bool avx512_intersects(const std::uint64_t* a, const std::uint64_t* b,
+                       std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    if (_mm512_test_epi64_mask(load(a + i), load(b + i)) != 0) return true;
+  }
+  for (; i < n; ++i)
+    if ((a[i] & b[i]) != 0) return true;
+  return false;
+}
+
+std::size_t avx512_first_and_word(const std::uint64_t* a,
+                                  const std::uint64_t* b, std::size_t from,
+                                  std::size_t n) {
+  std::size_t i = from;
+  for (; i + 8 <= n; i += 8) {
+    const __mmask8 hits = _mm512_test_epi64_mask(load(a + i), load(b + i));
+    if (hits != 0)
+      return i + static_cast<std::size_t>(__builtin_ctz(
+                     static_cast<unsigned>(hits)));
+  }
+  for (; i < n; ++i)
+    if ((a[i] & b[i]) != 0) return i;
+  return n;
+}
+
+std::size_t avx512_fresh_union_apply(std::uint64_t* dst,
+                                     const std::uint64_t* src,
+                                     std::uint64_t* fresh, std::size_t n) {
+  __m512i acc = _mm512_setzero_si512();
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m512i vd = load(dst + i);
+    const __m512i vs = load(src + i);
+    const __m512i vf = _mm512_andnot_epi64(vd, vs);  // src & ~dst
+    store(fresh + i, vf);
+    store(dst + i, _mm512_or_epi64(vd, vs));
+    acc = _mm512_add_epi64(acc, _mm512_popcnt_epi64(vf));
+  }
+  std::size_t total = static_cast<std::size_t>(_mm512_reduce_add_epi64(acc));
+  for (; i < n; ++i) {
+    const std::uint64_t f = src[i] & ~dst[i];
+    fresh[i] = f;
+    dst[i] |= src[i];
+    total += static_cast<std::size_t>(__builtin_popcountll(f));
+  }
+  return total;
+}
+
+std::size_t avx512_fresh_union_apply_merge(std::uint64_t* dst,
+                                           std::uint64_t* uni,
+                                           const std::uint64_t* src,
+                                           std::uint64_t* fresh,
+                                           std::size_t n) {
+  __m512i acc = _mm512_setzero_si512();
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m512i vd = load(dst + i);
+    const __m512i vs = load(src + i);
+    const __m512i vf = _mm512_andnot_epi64(vd, vs);
+    store(fresh + i, vf);
+    store(dst + i, _mm512_or_epi64(vd, vs));
+    store(uni + i, _mm512_or_epi64(load(uni + i), vf));
+    acc = _mm512_add_epi64(acc, _mm512_popcnt_epi64(vf));
+  }
+  std::size_t total = static_cast<std::size_t>(_mm512_reduce_add_epi64(acc));
+  for (; i < n; ++i) {
+    const std::uint64_t f = src[i] & ~dst[i];
+    fresh[i] = f;
+    dst[i] |= src[i];
+    uni[i] |= f;
+    total += static_cast<std::size_t>(__builtin_popcountll(f));
+  }
+  return total;
+}
+
+constexpr Kernels kAvx512Kernels = {
+    avx512_count,
+    avx512_count_intersection,
+    avx512_is_subset,
+    avx512_intersects,
+    avx512_first_and_word,
+    avx512_fresh_union_apply,
+    avx512_fresh_union_apply_merge,
+};
+
+}  // namespace
+
+const Kernels* avx512_kernels() noexcept { return &kAvx512Kernels; }
+
+}  // namespace ocd::util::simd::detail
+
+#else  // !(__AVX512F__ && __AVX512VPOPCNTDQ__)
+
+namespace ocd::util::simd::detail {
+
+const Kernels* avx512_kernels() noexcept { return nullptr; }
+
+}  // namespace ocd::util::simd::detail
+
+#endif

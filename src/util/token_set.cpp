@@ -8,9 +8,12 @@ TokenSet TokenSet::full(std::size_t universe) {
   TokenSet s(universe);
   if (universe == 0) return s;
   for (auto& w : s.words_) w = ~0ULL;
-  // Mask off bits beyond the universe in the last word.
+  // Mask off bits beyond the universe in the last word: every kernel
+  // (scalar or vectorized) iterates whole words and relies on the tail
+  // bits staying zero.
   const unsigned rem = universe % 64;
   if (rem != 0) s.words_.back() = (1ULL << rem) - 1;
+  TokenSetView(s).assert_tail_zero();
   return s;
 }
 
@@ -40,6 +43,7 @@ void TokenSet::truncate(std::size_t k) {
     }
     words_[wi] = kept;
     for (std::size_t wj = wi + 1; wj < words_.size(); ++wj) words_[wj] = 0;
+    TokenSetView(*this).assert_tail_zero();
     return;
   }
 }

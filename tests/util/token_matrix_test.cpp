@@ -15,6 +15,7 @@
 
 #include "ocd/sim/knowledge.hpp"
 #include "ocd/util/rng.hpp"
+#include "ocd/util/simd.hpp"
 
 namespace ocd::util {
 namespace {
@@ -152,6 +153,101 @@ TEST(TokenMatrixFuzz, BoundaryBitsStayInsideTheirRow) {
     EXPECT_EQ(m.row(1).count(), universe == 1 ? 1u : 2u);
     m.row(1).clear();
     EXPECT_TRUE(m.row(1).empty());
+  }
+}
+
+// ---- SIMD dispatch differential fuzz -------------------------------
+//
+// Every vectorized kernel level must be bit-identical to the scalar
+// reference on every input, including the word-boundary universes where
+// the tail word is partial (63/65/127/129) or exactly full (64/128).
+// For each universe the fuzz draws randomized rows, evaluates every
+// kernel once per dispatch level, and compares results — including the
+// full post-state of the mutating fused apply kernels — bit for bit
+// against the scalar run.
+
+/// Everything the kernel API can produce from one (a, b, dst) triple.
+struct KernelResults {
+  std::size_t count_a = 0;
+  std::size_t count_intersection = 0;
+  bool subset = false;
+  bool intersects = false;
+  TokenId first_in_intersection = -1;
+  std::vector<TokenId> intersection_members;
+  std::size_t fresh_count = 0;
+  TokenSet fresh{0};
+  TokenSet dst_after{0};
+  std::size_t merge_fresh_count = 0;
+  TokenSet merge_fresh{0};
+  TokenSet merge_dst_after{0};
+  TokenSet merge_uni_after{0};
+
+  bool operator==(const KernelResults&) const = default;
+};
+
+KernelResults run_all_kernels(TokenSetView a, TokenSetView b, TokenSetView dst,
+                              TokenSetView uni) {
+  KernelResults r;
+  r.count_a = a.count();
+  r.count_intersection = TokenSet::count_intersection(a, b);
+  r.subset = a.is_subset_of(b);
+  r.intersects = a.intersects(b);
+  r.first_in_intersection = TokenSet::first_in_intersection(a, b);
+  TokenSet::for_each_in_intersection(
+      a, b, [&](TokenId t) { r.intersection_members.push_back(t); });
+  r.dst_after = TokenSet(dst);
+  r.fresh = TokenSet(a);  // arbitrary non-zero prior contents
+  r.fresh_count = MutableTokenSetView::apply_fresh_union(r.dst_after, b,
+                                                         r.fresh);
+  r.merge_dst_after = TokenSet(dst);
+  r.merge_uni_after = TokenSet(uni);
+  r.merge_fresh = TokenSet(a);
+  r.merge_fresh_count = MutableTokenSetView::apply_fresh_union_merge(
+      r.merge_dst_after, r.merge_uni_after, b, r.merge_fresh);
+  return r;
+}
+
+TEST(TokenMatrixFuzz, KernelsBitIdenticalAcrossDispatchLevels) {
+  namespace simd = ocd::util::simd;
+  // Restore auto resolution however the test exits (ASSERT included).
+  const struct LevelGuard {
+    ~LevelGuard() { ocd::util::simd::clear_simd_level(); }
+  } guard;
+  std::vector<simd::Level> levels;
+  for (int lv = 0; lv <= static_cast<int>(simd::max_supported_level()); ++lv)
+    levels.push_back(static_cast<simd::Level>(lv));
+  ASSERT_GE(levels.size(), 1u);
+  for (const std::size_t universe : {63u, 64u, 65u, 127u, 128u, 129u}) {
+    Rng rng(211 + universe);
+    for (int iter = 0; iter < 120; ++iter) {
+      // Rows of a matrix, as in the simulator, not standalone sets —
+      // the vector kernels must respect row extents exactly.
+      TokenMatrix m(4, universe);
+      m.row(0) |= random_set(universe, rng);
+      m.row(1) |= random_set(universe, rng);
+      m.row(2) |= random_set(universe, rng);
+      m.row(3) |= random_set(universe, rng);
+      // Occasionally make b a superset/subset so both branches of the
+      // subset test and empty intersections get exercised.
+      if (iter % 5 == 0) m.row(1) |= m.row(0);
+      if (iter % 7 == 0) m.row(1).clear();
+
+      simd::set_simd_level(simd::Level::kScalar);
+      const KernelResults reference = run_all_kernels(
+          std::as_const(m).row(0), std::as_const(m).row(1),
+          std::as_const(m).row(2), std::as_const(m).row(3));
+      for (const simd::Level level : levels) {
+        if (level == simd::Level::kScalar) continue;
+        simd::set_simd_level(level);
+        const KernelResults vectored = run_all_kernels(
+            std::as_const(m).row(0), std::as_const(m).row(1),
+            std::as_const(m).row(2), std::as_const(m).row(3));
+        ASSERT_EQ(vectored, reference)
+            << "level=" << simd::level_name(level) << " universe=" << universe
+            << " iter=" << iter;
+      }
+      simd::clear_simd_level();
+    }
   }
 }
 
