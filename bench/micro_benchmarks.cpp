@@ -14,6 +14,7 @@
 #include "ocd/graph/algorithms.hpp"
 #include "ocd/heuristics/factory.hpp"
 #include "ocd/lp/simplex.hpp"
+#include "ocd/shard/runtime.hpp"
 #include "ocd/sim/simulator.hpp"
 #include "ocd/topology/random_graph.hpp"
 #include "ocd/topology/transit_stub.hpp"
@@ -379,6 +380,47 @@ BENCHMARK_CAPTURE(BM_PlannerStepsPerSecLossy, random_reliable,
     ->Args({1000, 512})
     ->Unit(benchmark::kMillisecond);
 
+// Sharded-runtime per-step cost: the same bounded-window workload as
+// BM_PlannerStepsPerSec, run through shard::run_sharded with the
+// in-process transport, so the snapshot prices the barrier protocol
+// (plan / apply / commit rounds + BinStream codec) against the
+// single-process planner at matched shard counts.  shards:1 isolates
+// the protocol's fixed overhead; shards:2/4 add the cross-shard
+// delivery traffic.  Outputs are bit-identical at every shard count,
+// only the wall clock may move.
+void BM_ShardStep(benchmark::State& state, const char* name) {
+  const auto n = static_cast<std::int32_t>(state.range(0));
+  const auto tokens = static_cast<std::int32_t>(state.range(1));
+  const auto shards = static_cast<std::int32_t>(state.range(2));
+  Rng rng(29);
+  Digraph g = topology::random_overlay(n, rng);
+  const auto inst = core::single_source_all_receivers(std::move(g), tokens, 0);
+  shard::ShardOptions options;
+  options.num_shards = shards;
+  options.sim.seed = 7;
+  options.sim.record_schedule = false;
+  options.sim.max_steps = 24;  // bounded window: measures steps, not runs
+  std::int64_t steps = 0;
+  for (auto _ : state) {
+    const auto result = shard::run_sharded(inst, name, options);
+    steps += result.steps;
+    benchmark::DoNotOptimize(result.bandwidth);
+  }
+  state.SetItemsProcessed(steps);  // items/sec == simulated steps/sec
+}
+BENCHMARK_CAPTURE(BM_ShardStep, round_robin, "round-robin")
+    ->ArgNames({"", "", "shards"})
+    ->Args({1000, 512, 1})
+    ->Args({1000, 512, 2})
+    ->Args({1000, 512, 4})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_ShardStep, local, "local")
+    ->ArgNames({"", "", "shards"})
+    ->Args({1000, 512, 1})
+    ->Args({1000, 512, 2})
+    ->Args({1000, 512, 4})
+    ->Unit(benchmark::kMillisecond);
+
 void BM_ValidateAndPrune(benchmark::State& state) {
   Rng rng(13);
   Digraph g = topology::random_overlay(60, rng);
@@ -448,6 +490,12 @@ int main(int argc, char** argv) {
   benchmark::AddCustomContext(
       "hardware_concurrency",
       std::to_string(std::thread::hardware_concurrency()));
+  // The intra-run worker budget these benchmarks actually ran under
+  // (OCD_JOBS when set, hardware concurrency otherwise) — /shards:N
+  // rows step all N shards on this pool, so a snapshot captured under
+  // a clamped budget must say so.
+  benchmark::AddCustomContext("ocd_jobs",
+                              std::to_string(util::parallel_jobs()));
   benchmark::AddCustomContext(
       "ocd_simd", simd::level_name(simd::active_level()));
   benchmark::AddCustomContext(

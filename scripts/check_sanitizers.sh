@@ -51,19 +51,29 @@ done
 # and SweepGrid drives run_grid, including a full (policy x seed) grid
 # of run_policy calls, so any shared mutable state in the planners
 # shows up here.  FaultSweep runs the lossy fig_loss workload shape
-# (fault models + reliable adapters) on the same pool.  The flat-memory
-# suites ride along: TokenMatrix / SnapshotRing exercise the view
-# kernels and snapshot ring (view-lifetime bugs are ASan's bread and
-# butter, caught in the pass above), and AllocCount re-checks the
-# zero-allocation steady state with the sanitizer allocators
-# interposed.  OCD_JOBS=8 is forced so every primitive actually fans
-# out — with the hardware default a small CI box would run the whole
-# pass serially and the races TSan exists to catch would never execute.
+# (fault models + reliable adapters) on the same pool.  The vertex-
+# shard runtime rides the same pool: ShardDeterminism steps every
+# shard of the in-process transport as pool chunks (the two-mailbox
+# grids between phases are exactly the handoffs TSan must vet), and
+# ShardPartition/BinStream cover the partitioner and the message codec
+# (their data races would surface as corrupt frames, so they run here
+# AND in the ASan pass above).  ShardForkTransport is deliberately
+# absent from the filter: fork() from a threaded test binary is
+# outside TSan's supported envelope — the forked transport's
+# correctness is pinned by the differential suites in the default and
+# ASan builds instead.  The flat-memory suites ride along: TokenMatrix
+# / SnapshotRing exercise the view kernels and snapshot ring
+# (view-lifetime bugs are ASan's bread and butter, caught in the pass
+# above), and AllocCount re-checks the zero-allocation steady state
+# with the sanitizer allocators interposed.  OCD_JOBS=8 is forced so
+# every primitive actually fans out — with the hardware default a
+# small CI box would run the whole pass serially and the races TSan
+# exists to catch would never execute.
 cmake --preset tsan
 cmake --build --preset tsan -j "$(nproc)" --target ocd_tests ocd_alloc_tests
 
 export TSAN_OPTIONS="halt_on_error=1"
 OCD_JOBS=8 ctest --preset tsan -j "$(nproc)" \
-  -R "${OCD_TSAN_FILTER:-Parallel|Determinism|SweepGrid|FaultSweep|TokenMatrix|SnapshotRing|AllocCount}"
+  -R "${OCD_TSAN_FILTER:-Parallel|Determinism|SweepGrid|FaultSweep|TokenMatrix|SnapshotRing|AllocCount|ShardDeterminism|ShardPartition|BinStream}"
 
 echo "Sanitizer run clean."

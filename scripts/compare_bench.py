@@ -28,6 +28,13 @@ falling back to the stock num_cpus) is below N, unless
 --require PATTERN (repeatable) additionally fails the run if no
 matched benchmark matches the pattern — guarding against a renamed or
 silently dropped benchmark slipping past the gate.
+--require-any PATTERN is the host-aware variant: the pattern must
+still match some common benchmark (same rename guard), but when every
+match was skipped by the undersized-host rule the gate is waived with
+a warning instead of failing — the right semantics for /shards:N and
+/threads:N families that only a big-enough host can meaningfully
+gate.  The /threads:N rule applies equally to /shards:N names: both
+encode a worker budget the capturing host must actually have.
 """
 
 from __future__ import annotations
@@ -111,12 +118,12 @@ def load_benchmarks(path: Path,
     return out, recorded_cores(data)
 
 
-THREADS_RE = re.compile(r"/threads:(\d+)\b")
+THREADS_RE = re.compile(r"/(?:threads|shards):(\d+)\b")
 
 
 def undersized_for(name: str, cores: int | None) -> bool:
-    """True when `name` is a /threads:N benchmark and the host that
-    recorded it had fewer than N cores."""
+    """True when `name` is a /threads:N (or /shards:N) benchmark and
+    the host that recorded it had fewer than N cores."""
     match = THREADS_RE.search(name)
     return (match is not None and cores is not None
             and cores < int(match.group(1)))
@@ -158,6 +165,14 @@ def main() -> int:
         help="fail unless some compared benchmark matches this regex "
         "(repeatable)",
     )
+    parser.add_argument(
+        "--require-any",
+        action="append",
+        default=[],
+        metavar="PATTERN",
+        help="like --require, but waived with a warning when every "
+        "match was skipped by the undersized-host rule (repeatable)",
+    )
     args = parser.parse_args()
 
     base, base_cores = load_benchmarks(args.baseline, args.allow_debug)
@@ -165,7 +180,7 @@ def main() -> int:
     common = [name for name in base if name in curr]
     if not common:
         sys.exit("error: no benchmark names in common between the two files")
-    missing = [p for p in args.require
+    missing = [p for p in args.require + args.require_any
                if not any(re.search(p, name) for name in common)]
     if missing:
         sys.exit("error: required benchmark(s) absent from the comparison: "
@@ -199,6 +214,16 @@ def main() -> int:
             "--allow-undersized-host.",
             file=sys.stderr)
         common = [name for name in common if name not in set(undersized)]
+        # --require-any gates whose every match was undersized-skipped
+        # are waived on this host (they were present pre-skip — the
+        # rename guard above already vouched for that).
+        for pattern in args.require_any:
+            if not any(re.search(pattern, name) for name in common):
+                print(
+                    f"WARNING: --require-any gate '{pattern}' waived: "
+                    "every matching benchmark was captured on an "
+                    "undersized host.",
+                    file=sys.stderr)
         if not common:
             print("\nOK: nothing left to compare after undersized-host "
                   "skips (0 compared)")

@@ -11,7 +11,12 @@ and asserts the behaviors the CI gates rely on:
      naming the skipped family still match (the benchmarks exist at
      parity; only the vacuous comparison is dropped);
   3. rows recorded via SkipWithError (error_occurred) are excluded, so
-     a --require pattern that only an errored row matches fails.
+     a --require pattern that only an errored row matches fails;
+  4. the undersized-host rule covers /shards:N names exactly like
+     /threads:N ones;
+  5. --require-any fails on a genuinely absent family, is waived with
+     a warning when every match was undersized-skipped, and is
+     enforced (regression fails) when the matches survive.
 
 Exits 0 when every check passes.  No inputs; safe to run anywhere
 python3 is available.
@@ -43,6 +48,7 @@ def snapshot(cores: str, ips_scale: float) -> dict:
                     "hardware_concurrency": cores},
         "benchmarks": [
             row("BM_PlannerStepsPerSec/global/threads:8", 8000.0),
+            row("BM_ShardStep/round_robin/1000/512/shards:4", 4000.0),
             row("BM_TokenKernel/count_intersection_scalar/512", 1e9),
             row("BM_TokenKernel/count_intersection_avx512/512", 0.0,
                 error=True),
@@ -78,6 +84,9 @@ def main() -> int:
             and "BM_PlannerStepsPerSec/global/threads:8" in proc.stderr
             and "1 core" in proc.stderr,
             "undersized-host /threads:8 gate is refused", proc)
+        check(
+            "BM_ShardStep/round_robin/1000/512/shards:4" in proc.stderr,
+            "undersized-host rule covers /shards:N names", proc)
 
         proc = run(str(base), str(curr), "--allow-undersized-host",
                    "--require", r"BM_PlannerStepsPerSec/.*/threads:8",
@@ -103,6 +112,35 @@ def main() -> int:
         proc = run(str(base), str(slow), "--allow-undersized-host")
         check(proc.returncode != 0 and "REGRESSION" in proc.stdout,
               "regressions still fail after undersized-host skips", proc)
+
+        # --require-any: absent families still fail the rename guard.
+        proc = run(str(base), str(curr), "--allow-undersized-host",
+                   "--require-any", r"BM_DoesNotExist")
+        check(proc.returncode != 0 and "BM_DoesNotExist" in proc.stderr,
+              "--require-any fails on an absent family", proc)
+
+        # --require-any: waived (warn + pass) when every match was
+        # captured on an undersized host.
+        proc = run(str(base), str(curr), "--allow-undersized-host",
+                   "--require-any", r"BM_ShardStep/.*/shards:4")
+        check(
+            proc.returncode == 0 and "waived" in proc.stderr
+            and "BM_ShardStep" in proc.stderr,
+            "--require-any is waived when all matches are undersized",
+            proc)
+
+        # --require-any: enforced when the matches survive — a shard
+        # regression between two big-host snapshots still fails.
+        big_base = Path(tmp) / "big_base.json"
+        big_slow = Path(tmp) / "big_slow.json"
+        big_base.write_text(json.dumps(snapshot(cores="8", ips_scale=1.0)))
+        big_slow.write_text(json.dumps(snapshot(cores="8", ips_scale=0.5)))
+        proc = run(str(big_base), str(big_slow),
+                   "--require-any", r"BM_ShardStep/.*/shards:4")
+        check(
+            proc.returncode != 0 and "REGRESSION" in proc.stdout
+            and "waived" not in proc.stderr,
+            "--require-any is enforced on a big-enough host", proc)
 
     print("compare_bench_selftest: all checks passed")
     return 0

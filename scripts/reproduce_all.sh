@@ -30,6 +30,14 @@ fi
 mkdir -p results
 ctest --preset default 2>&1 | tee results/tests.txt
 
+# Vertex-shard replay: re-run the shard-count-invariance and fork-
+# transport differential suites on their own and archive the log, so
+# the bit-identity gate (schedules and stats identical across shards
+# {1,2,4}, both transports, with and without fault models) is visible
+# at a glance rather than buried in the full suite output.
+ctest --preset default -R 'ShardDeterminism|ShardForkTransport' \
+  --output-on-failure 2>&1 | tee results/shard_replay.txt
+
 # Benchmarks are built separately at full optimisation (-O3 -DNDEBUG,
 # the `release-bench` preset); tests stay on the default RelWithDebInfo
 # build with assertions enabled.
@@ -44,12 +52,12 @@ for bench in build-bench/bench/*; do
   "$bench" | tee "results/${name}.txt"
 done
 
-# Planner-kernel and token-kernel micro-benchmarks: human-readable
-# console output plus a machine-readable snapshot for
+# Planner-kernel, token-kernel, and shard-step micro-benchmarks:
+# human-readable console output plus a machine-readable snapshot for
 # scripts/compare_bench.py.
-echo "== micro_benchmarks (planner + token kernels) =="
+echo "== micro_benchmarks (planner + token kernels + shard steps) =="
 build-bench/bench/micro_benchmarks \
-  --benchmark_filter='PlannerStepsPerSec|TokenKernel' \
+  --benchmark_filter='PlannerStepsPerSec|TokenKernel|ShardStep' \
   --benchmark_out=results/BENCH_planner.json \
   --benchmark_out_format=json | tee results/micro_benchmarks.txt
 
@@ -87,6 +95,9 @@ if [[ -n "${OCD_BENCH_BASELINE:-}" ]]; then
     --require 'PlannerStepsPerSec/random/1000/512/threads:1' \
     --require 'PlannerStepsPerSec/round_robin/1000/512/threads:1' \
     --require 'PlannerStepsPerSec/bandwidth/1000/512/threads:1' \
+    --require-any 'ShardStep/round_robin/1000/512/shards:1' \
+    --require-any 'ShardStep/round_robin/1000/512/shards:4' \
+    --require-any 'ShardStep/local/1000/512/shards:4' \
     "${simd_requires[@]}" ||
     echo "WARNING: planner kernel throughput regressed vs baseline."
 fi

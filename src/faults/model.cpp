@@ -14,21 +14,27 @@ UniformLoss::UniformLoss(double rate) : rate_(rate) {
 }
 
 void UniformLoss::reset(const core::Instance&, std::uint64_t seed) {
-  rng_ = Rng(seed ^ 0x70553a11ULL);
+  seed_ = seed ^ 0x70553a11ULL;
 }
 
-void UniformLoss::lost(std::int64_t, ArcId, const TokenSet& sent,
+void UniformLoss::lost(std::int64_t step, ArcId arc, const TokenSet& sent,
                        TokenSet& lost) {
-  // Rate-0 draws nothing, so a zero-rate model leaves the run (and its
-  // own RNG stream) bit-identical to a no-faults run; rate-1 loses
-  // everything without consuming randomness either.
+  // Rate-0 draws nothing, so a zero-rate model leaves the run
+  // bit-identical to a no-faults run; rate-1 loses everything without
+  // consuming randomness either.
   if (rate_ == 0.0) return;
   if (rate_ == 1.0) {
     lost |= sent;
     return;
   }
+  // Drops draw from a stream derived per (step, arc), not from one
+  // sequential stream: the drop pattern for an arc depends only on
+  // (seed, step, arc, sent), so any shard — or several concurrently —
+  // computes the same losses regardless of query order.
+  Rng rng(derive_seed(seed_, static_cast<std::uint64_t>(step),
+                      static_cast<std::uint64_t>(arc)));
   sent.for_each([&](TokenId t) {
-    if (rng_.chance(rate_)) lost.set(t);
+    if (rng.chance(rate_)) lost.set(t);
   });
 }
 
@@ -50,7 +56,7 @@ GilbertElliott::GilbertElliott(double p_good_to_bad, double p_bad_to_good,
 void GilbertElliott::reset(const core::Instance& inst, std::uint64_t seed) {
   bad_.assign(static_cast<std::size_t>(inst.graph().num_arcs()), 0);
   state_rng_ = Rng(seed ^ 0x6e5b4a09ULL);
-  drop_rng_ = Rng(seed ^ 0x1b2d6c4fULL);
+  drop_seed_ = seed ^ 0x1b2d6c4fULL;
 }
 
 void GilbertElliott::begin_step(std::int64_t, const Digraph& graph) {
@@ -69,7 +75,7 @@ bool GilbertElliott::bad(ArcId arc) const {
   return bad_[static_cast<std::size_t>(arc)] != 0;
 }
 
-void GilbertElliott::lost(std::int64_t, ArcId arc, const TokenSet& sent,
+void GilbertElliott::lost(std::int64_t step, ArcId arc, const TokenSet& sent,
                           TokenSet& lost) {
   const double rate = bad(arc) ? loss_bad_ : loss_good_;
   if (rate == 0.0) return;
@@ -77,8 +83,12 @@ void GilbertElliott::lost(std::int64_t, ArcId arc, const TokenSet& sent,
     lost |= sent;
     return;
   }
+  // Per-(step, arc) derived stream — see UniformLoss::lost.  The state
+  // chain stays sequential (begin_step), but drop queries are pure.
+  Rng rng(derive_seed(drop_seed_, static_cast<std::uint64_t>(step),
+                      static_cast<std::uint64_t>(arc)));
   sent.for_each([&](TokenId t) {
-    if (drop_rng_.chance(rate)) lost.set(t);
+    if (rng.chance(rate)) lost.set(t);
   });
 }
 

@@ -3,7 +3,7 @@
 namespace ocd::heuristics {
 
 void RandomPolicy::reset(const core::Instance& instance, std::uint64_t seed) {
-  rng_ = Rng(seed);
+  seed_ = seed;
   const auto universe = static_cast<std::size_t>(instance.num_tokens());
   useful_ = TokenSet(universe);
   batch_ = TokenSet(universe);
@@ -22,6 +22,12 @@ void RandomPolicy::plan_vertex(VertexId self, const sim::StepView& view,
   const TokenSetView mine = view.own_possession(self);
   if (mine.empty()) return;
 
+  // One derived stream per (step, vertex): this vertex's random
+  // subsets are a pure function of (seed, step, self), independent of
+  // how many other vertices planned before it — the property the
+  // sharded runtime relies on for bit-identical schedules.
+  Rng rng(derive_seed(seed_, static_cast<std::uint64_t>(view.step()),
+                      static_cast<std::uint64_t>(self)));
   for (ArcId arc_id : view.graph().out_arcs(self)) {
     const Arc& arc = view.graph().arc(arc_id);
     useful_.assign(mine);
@@ -37,7 +43,7 @@ void RandomPolicy::plan_vertex(VertexId self, const sim::StepView& view,
     // Random subset of `capacity` tokens from the useful set.
     useful_.to_vector_into(pool_);
     batch_.clear();
-    rng_.sample_indices_into(pool_.size(), capacity, chosen_);
+    rng.sample_indices_into(pool_.size(), capacity, chosen_);
     for (std::size_t index : chosen_)
       batch_.set(pool_[index]);
     plan.send(arc_id, batch_);

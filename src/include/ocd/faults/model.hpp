@@ -22,7 +22,12 @@
 // sequence) yields a bit-identical loss trace, and channel state (the
 // Gilbert-Elliott chain) evolves per step independently of traffic, so
 // two runs with the same seed agree even when their policies differ in
-// *when* they send.
+// *when* they send.  Drop decisions are additionally derived per
+// (step, arc) rather than drawn from one sequential stream, which makes
+// lost() mutation-free: the sharded runtime can query a shared model
+// from several shards concurrently (or replicate it per process) and
+// every evaluator computes the same losses.  Only begin_step mutates,
+// and must run exactly once per process per step.
 #pragma once
 
 #include <cstdint>
@@ -72,7 +77,7 @@ class UniformLoss final : public FaultModel {
 
  private:
   double rate_;
-  Rng rng_{1};
+  std::uint64_t seed_ = 1;  ///< per-(step, arc) drop streams derive from this
 };
 
 /// Bursty loss: each arc is an independent two-state Markov channel
@@ -104,7 +109,7 @@ class GilbertElliott final : public FaultModel {
   double loss_bad_;
   std::vector<char> bad_;   ///< per-arc channel state
   Rng state_rng_{1};        ///< drives the per-step state chain
-  Rng drop_rng_{1};         ///< drives per-token drops (traffic-dependent)
+  std::uint64_t drop_seed_ = 1;  ///< per-(step, arc) drop streams
 };
 
 /// Scriptable drops: loses exactly the (step, arc, token) events added

@@ -26,7 +26,11 @@ class RandomPolicy final : public sim::Policy {
                    sim::StepPlan& plan) override;
 
  private:
-  Rng rng_{1};
+  // Sampling draws from an Rng derived per (seed, step, vertex) rather
+  // than one sequential stream, so a vertex's choices depend only on
+  // its own coordinates — any shard (or thread) planning it computes
+  // the same sends, in any order.
+  std::uint64_t seed_ = 1;
   // Planner scratch, sized once in reset() and rewritten in place each
   // step so steady-state planning does not allocate.
   TokenSet useful_;

@@ -33,8 +33,25 @@ class RarestRandomPolicy final : public sim::Policy {
 
   void reset(const core::Instance& instance, std::uint64_t seed) override;
   void plan_step(const sim::StepView& view, sim::StepPlan& plan) override;
+  /// Sharded entry point: identical per-receiver decisions restricted
+  /// to the owned vertices.  Bit-identity with plan_step holds because
+  /// (a) the shared rank order consumes exactly one shuffle per step on
+  /// every shard, (b) a receiver's request subdivision reads and writes
+  /// only its own in-arc budgets/rows (in-arc sets of distinct
+  /// receivers are disjoint), and (c) emission is arc-ascending, so
+  /// disjoint per-shard fragments merge back into plan_step's order.
+  void plan_shard(const sim::StepView& view, sim::StepPlan& plan,
+                  std::span<const VertexId> owned) override;
 
  private:
+  /// Pass-1 body for one receiver: subdivide the tokens `v` lacks into
+  /// per-in-arc request rows, spending the arcs' budgets.
+  void plan_receiver(VertexId v, const sim::StepView& view);
+  /// Shared per-step prologue (rank order + request/budget reset) and
+  /// epilogue (arc-ascending emission, idle mark).
+  void begin_plan(const sim::StepView& view);
+  void emit_requests(const sim::StepView& view, sim::StepPlan& plan);
+
   Rng rng_{1};
   // Planner scratch, sized once in reset() and rewritten in place each
   // step so steady-state planning does not allocate.

@@ -1,0 +1,96 @@
+// Vertex partitioning for the sharded runtime.
+//
+// A Partition splits the vertex set into `num_shards` ownership classes.
+// Each shard owns a contiguous-ish block of the overlay (BFS-grown, then
+// greedily refined to shrink the edge cut) and additionally *ghosts* the
+// vertices it can see but does not own: every non-owned endpoint of an
+// arc incident to an owned vertex.  Ghosts are the read-only possession
+// replicas the barrier protocol keeps fresh between steps, and the cut
+// arc table is exactly the traffic that must cross shard boundaries.
+//
+// The partitioner is deterministic and seedless: the same (graph,
+// num_shards) always yields the same Partition, on every shard of every
+// transport — the runtime relies on this to let each process derive the
+// partition independently instead of shipping it.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ocd/core/instance.hpp"
+#include "ocd/graph/digraph.hpp"
+
+namespace ocd::shard {
+
+/// One arc whose endpoints live on different shards.
+struct CutArc {
+  ArcId arc = -1;
+  std::int32_t from_shard = -1;
+  std::int32_t to_shard = -1;
+};
+
+/// Edge-cut quality report, printed by bench/fig_shard and asserted
+/// loosely by tests (a partitioner regression shows up as a cut blowup).
+struct PartitionStats {
+  std::int32_t num_shards = 1;
+  std::int64_t total_arcs = 0;
+  std::int64_t cut_arcs = 0;        ///< arcs crossing shards
+  std::int64_t min_owned = 0;       ///< smallest ownership class
+  std::int64_t max_owned = 0;       ///< largest ownership class
+  std::int64_t total_ghosts = 0;    ///< sum of per-shard ghost counts
+
+  [[nodiscard]] double cut_fraction() const noexcept {
+    return total_arcs == 0
+               ? 0.0
+               : static_cast<double>(cut_arcs) /
+                     static_cast<double>(total_arcs);
+  }
+};
+
+struct Partition {
+  std::int32_t num_shards = 1;
+  /// Owning shard per vertex.
+  std::vector<std::int32_t> shard_of;
+  /// Owned vertices per shard, ascending.
+  std::vector<std::vector<VertexId>> owned;
+  /// Ghost vertices per shard (non-owned endpoints of arcs incident to
+  /// owned vertices, either direction), ascending.
+  std::vector<std::vector<VertexId>> ghosts;
+  /// Cross-shard arcs, ascending arc id.
+  std::vector<CutArc> cut_arcs;
+  PartitionStats stats;
+};
+
+/// Partitions the graph's vertices into `num_shards` ownership classes:
+/// BFS-grow blocks of (near-)equal size in deterministic traversal
+/// order, then one greedy refinement sweep moving vertices to their
+/// neighbor-majority shard where that strictly reduces the cut without
+/// breaking the size bounds.  Requires 1 <= num_shards <= num_vertices.
+Partition partition_vertices(const Digraph& graph, std::int32_t num_shards);
+
+/// A shard's slice of an instance, relabeled to dense local ids — the
+/// unit a genuinely distributed deployment would ship to a remote host
+/// (BinStream-serializable via put_instance).  Local vertices are the
+/// shard's owned plus ghost vertices in ascending global order; arcs
+/// are every arc incident to an owned vertex (ghost-ghost arcs are
+/// dropped — no owned planner ever consults them).  have/want are
+/// copied for all local vertices so ghost possession can be seeded.
+///
+/// The one-host runtime does NOT plan on sub-instances — it keeps
+/// global vertex ids and maps them onto shard-local possession rows
+/// (StepView::set_row_map), which is what makes bit-identity with the
+/// single-process simulator a per-vertex statement instead of a
+/// relabeling argument.
+struct SubInstance {
+  core::Instance instance;
+  /// Local vertex id -> global vertex id, ascending.
+  std::vector<VertexId> to_global;
+  /// Local arc id -> global arc id, ascending.
+  std::vector<ArcId> arc_to_global;
+};
+
+SubInstance extract_sub_instance(const core::Instance& instance,
+                                 const Partition& partition,
+                                 std::int32_t shard);
+
+}  // namespace ocd::shard

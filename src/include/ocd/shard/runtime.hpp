@@ -1,0 +1,88 @@
+// Vertex-sharded simulation runtime.
+//
+// run_sharded() replays the single-process simulator's synchronous
+// round loop across `num_shards` shards, each owning a block of the
+// vertex partition (ocd/shard/partition.hpp).  Per step, every shard:
+//
+//   plan    — plans sends for its owned vertices only (via
+//             Policy::plan_shard on a shard-local StepView), validates
+//             them, applies the fault model's per-(step, arc) loss, and
+//             routes surviving cross-shard deliveries as BinStream
+//             messages to the destination's owner;
+//   apply   — merges inbound deliveries into its owned possession rows
+//             and prepares ghost updates for the shards that replicate
+//             its owned vertices;
+//   commit  — identical on every shard: folds the broadcast summaries
+//             (empty/idle flags, move/loss/useful counters, aggregate
+//             deltas, unsatisfied counts) into the replicated global
+//             decision state, so termination, the watchdog, and the
+//             aggregate vectors never need a coordinator.
+//
+// Bit-identity guarantee: for the local planners (round-robin, random,
+// local) the merged schedule and RunStats are bit-for-bit identical to
+// sim::run on the same (instance, options), for every shard count and
+// both transports — pinned by tests/shard/determinism_test.cpp.  The
+// three ingredients: per-vertex planning is independent (plan_shard
+// contract), all randomness is derived per-(step, coordinate) rather
+// than drawn from execution-order-dependent streams (util::derive_seed),
+// and merges are keyed sums or deterministic sorts.
+//
+// Envelope: coordinated planners (global, bandwidth), staleness,
+// stale aggregates, dynamics models, completion overrides, and
+// precomputed distances are refused with ocd::Error — each would need
+// state the barrier protocol does not replicate.  Fault models are
+// supported verbatim.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ocd/core/instance.hpp"
+#include "ocd/shard/partition.hpp"
+#include "ocd/sim/simulator.hpp"
+
+namespace ocd::shard {
+
+enum class TransportKind : std::uint8_t {
+  /// Shards stepped as chunks of the ocd::util worker pool, messages
+  /// through in-memory mailboxes (still BinStream-encoded, same codec
+  /// path as the process transport).  The tests/CI default.
+  kInProcess,
+  /// One process per shard (fork), a socketpair star routed by the
+  /// parent.  Breaks the single-address-space ceiling on one host:
+  /// each child's private state is its possession slice + planner
+  /// scratch; the instance is shared copy-on-write.
+  kForked,
+};
+
+struct ShardOptions {
+  /// Shard count; 0 resolves OCD_SHARDS from the environment
+  /// (validated), defaulting to 1.
+  std::int32_t num_shards = 0;
+  TransportKind transport = TransportKind::kInProcess;
+  /// Simulator options; see the envelope note above for the supported
+  /// subset.  faults (if any) must outlive the run.
+  sim::SimOptions sim;
+};
+
+/// Resolves a requested shard count: positive values pass through,
+/// 0 consults OCD_SHARDS (throwing ocd::Error on garbage), else 1.
+std::int32_t resolve_num_shards(std::int32_t requested);
+
+/// Runs `policy_name` (one of round-robin / random / local — each shard
+/// constructs its own instance via heuristics::make_policy) over the
+/// instance, sharded.  Throws ocd::Error for unsupported options.
+/// The result is bit-identical to sim::run for every shard count.
+sim::RunResult run_sharded(const core::Instance& instance,
+                           std::string_view policy_name,
+                           const ShardOptions& options);
+
+/// As run_sharded with a precomputed partition (must match
+/// resolve_num_shards(options.num_shards) shards).
+sim::RunResult run_sharded(const core::Instance& instance,
+                           std::string_view policy_name,
+                           const ShardOptions& options,
+                           const Partition& partition);
+
+}  // namespace ocd::shard

@@ -41,4 +41,21 @@ Digraph random_overlay(std::int32_t n, const RandomGraphOptions& options,
 /// Convenience: paper defaults.
 Digraph random_overlay(std::int32_t n, Rng& rng);
 
+/// Sparse Erdős–Rényi sampler for million-vertex overlays.  Equivalent
+/// in distribution to G(n, p) with p = expected_degree / (n - 1), but
+/// realized with Batagelj–Brandes geometric skip sampling over the
+/// ordered pair sequence, so the cost is O(n + |E|) instead of the
+/// O(n^2) candidate loop in random_overlay.  A separate entry point —
+/// NOT a fast path inside random_overlay — because the two consume the
+/// rng differently; existing seeded topologies stay bit-identical.
+/// Honors options.capacities and options.force_connected (Hamiltonian
+/// backbone, as in random_overlay); options.edge_probability is ignored
+/// in favor of expected_degree.
+Digraph sparse_random_overlay(std::int32_t n, double expected_degree,
+                              const RandomGraphOptions& options, Rng& rng);
+
+/// Convenience: paper capacities [3, 15], forced connectivity.
+Digraph sparse_random_overlay(std::int32_t n, double expected_degree,
+                              Rng& rng);
+
 }  // namespace ocd::topology

@@ -33,6 +33,24 @@ class SplitMix64 {
   std::uint64_t state_;
 };
 
+/// Derive a stream seed from a base seed plus two coordinates (e.g.
+/// (step, vertex) or (step, arc)).  Used wherever a randomized
+/// component must draw the same values regardless of which shard or
+/// thread evaluates it: instead of one sequential stream whose
+/// consumption order depends on the execution schedule, each
+/// coordinate pair gets an independent seed that any evaluator derives
+/// identically.  Chained SplitMix64 finalizers keep the mapping
+/// well-mixed in both coordinates.
+inline std::uint64_t derive_seed(std::uint64_t base, std::uint64_t a,
+                                 std::uint64_t b) noexcept {
+  SplitMix64 s1(base);
+  std::uint64_t x = s1.next();
+  SplitMix64 s2(x ^ a);
+  x = s2.next();
+  SplitMix64 s3(x ^ b);
+  return s3.next();
+}
+
 /// xoshiro256** generator.  Satisfies UniformRandomBitGenerator so it can
 /// be used with <random> distributions if ever needed, but the member
 /// helpers below are preferred (stable across platforms).

@@ -1,0 +1,209 @@
+#include "ocd/shard/partition.hpp"
+
+#include <algorithm>
+
+namespace ocd::shard {
+
+namespace {
+
+/// Deterministic BFS traversal order over the undirected skeleton:
+/// lowest-id unvisited seed, neighbors in adjacency (CSR) order, out-
+/// arcs before in-arcs.  Covers every vertex even in disconnected
+/// graphs (each component restarts from its lowest id).
+std::vector<VertexId> bfs_order(const Digraph& graph) {
+  const auto n = static_cast<std::size_t>(graph.num_vertices());
+  std::vector<VertexId> order;
+  order.reserve(n);
+  std::vector<char> visited(n, 0);
+  std::vector<VertexId> queue;
+  queue.reserve(n);
+  for (VertexId seed = 0; seed < graph.num_vertices(); ++seed) {
+    if (visited[static_cast<std::size_t>(seed)]) continue;
+    visited[static_cast<std::size_t>(seed)] = 1;
+    queue.clear();
+    queue.push_back(seed);
+    for (std::size_t head = 0; head < queue.size(); ++head) {
+      const VertexId v = queue[head];
+      order.push_back(v);
+      for (ArcId a : graph.out_arcs(v)) {
+        const VertexId w = graph.arc(a).to;
+        if (!visited[static_cast<std::size_t>(w)]) {
+          visited[static_cast<std::size_t>(w)] = 1;
+          queue.push_back(w);
+        }
+      }
+      for (ArcId a : graph.in_arcs(v)) {
+        const VertexId w = graph.arc(a).from;
+        if (!visited[static_cast<std::size_t>(w)]) {
+          visited[static_cast<std::size_t>(w)] = 1;
+          queue.push_back(w);
+        }
+      }
+    }
+  }
+  return order;
+}
+
+}  // namespace
+
+Partition partition_vertices(const Digraph& graph, std::int32_t num_shards) {
+  const std::int32_t n = graph.num_vertices();
+  OCD_EXPECTS(num_shards >= 1);
+  OCD_EXPECTS(num_shards <= std::max(n, 1));
+
+  Partition part;
+  part.num_shards = num_shards;
+  part.shard_of.assign(static_cast<std::size_t>(n), 0);
+
+  // Phase 1 — BFS-grow: chop the traversal order into num_shards
+  // consecutive blocks; the first n%num_shards blocks take the ceiling
+  // size so every shard lands in [lo, hi] exactly.  Consecutive BFS
+  // vertices are graph-close, so blocks start out with most of their
+  // adjacency internal.
+  const auto hi =
+      static_cast<std::int64_t>((n + num_shards - 1) / num_shards);
+  const auto lo = static_cast<std::int64_t>(n / num_shards);
+  const auto big_blocks = static_cast<std::int64_t>(n % num_shards);
+  const std::vector<VertexId> order = bfs_order(graph);
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    const auto pos = static_cast<std::int64_t>(i);
+    const std::int64_t s =
+        pos < big_blocks * hi
+            ? pos / std::max<std::int64_t>(hi, 1)
+            : big_blocks + (pos - big_blocks * hi) /
+                               std::max<std::int64_t>(lo, 1);
+    part.shard_of[static_cast<std::size_t>(order[i])] =
+        static_cast<std::int32_t>(std::min<std::int64_t>(s, num_shards - 1));
+  }
+
+  std::vector<std::int64_t> sizes(static_cast<std::size_t>(num_shards), 0);
+  for (std::int32_t s : part.shard_of) ++sizes[static_cast<std::size_t>(s)];
+
+  // Phase 2 — one greedy refinement sweep in vertex-id order: move a
+  // vertex to the shard holding the (strict) majority of its neighbors
+  // when the move keeps every shard size within [lo, hi].  Gains are
+  // evaluated against the current labels, so the sweep is deterministic
+  // and terminates by construction.
+  if (num_shards > 1) {
+    std::vector<std::int64_t> freq(static_cast<std::size_t>(num_shards), 0);
+    std::vector<std::int32_t> seen;
+    seen.reserve(16);
+    for (VertexId v = 0; v < n; ++v) {
+      const auto cur =
+          static_cast<std::size_t>(part.shard_of[static_cast<std::size_t>(v)]);
+      seen.clear();
+      const auto tally = [&](VertexId w) {
+        const auto s = static_cast<std::size_t>(
+            part.shard_of[static_cast<std::size_t>(w)]);
+        if (freq[s] == 0) seen.push_back(static_cast<std::int32_t>(s));
+        ++freq[s];
+      };
+      for (ArcId a : graph.out_arcs(v)) tally(graph.arc(a).to);
+      for (ArcId a : graph.in_arcs(v)) tally(graph.arc(a).from);
+      std::int32_t best = static_cast<std::int32_t>(cur);
+      std::int64_t best_freq = freq[cur];
+      std::sort(seen.begin(), seen.end());  // lowest shard id wins ties
+      for (std::int32_t s : seen) {
+        if (freq[static_cast<std::size_t>(s)] > best_freq) {
+          best_freq = freq[static_cast<std::size_t>(s)];
+          best = s;
+        }
+      }
+      for (std::int32_t s : seen) freq[static_cast<std::size_t>(s)] = 0;
+      if (best != static_cast<std::int32_t>(cur) && sizes[cur] > lo &&
+          sizes[static_cast<std::size_t>(best)] < hi) {
+        part.shard_of[static_cast<std::size_t>(v)] = best;
+        --sizes[cur];
+        ++sizes[static_cast<std::size_t>(best)];
+      }
+    }
+  }
+
+  // Ownership lists (ascending by construction).
+  part.owned.assign(static_cast<std::size_t>(num_shards), {});
+  for (std::size_t s = 0; s < sizes.size(); ++s)
+    part.owned[s].reserve(static_cast<std::size_t>(sizes[s]));
+  for (VertexId v = 0; v < n; ++v)
+    part.owned[static_cast<std::size_t>(part.shard_of[static_cast<std::size_t>(v)])]
+        .push_back(v);
+
+  // Cut arcs (ascending arc id) and ghost flags: a cross arc makes each
+  // endpoint a ghost of the other endpoint's shard.
+  std::vector<std::vector<char>> ghost_flag(
+      static_cast<std::size_t>(num_shards),
+      std::vector<char>(static_cast<std::size_t>(n), 0));
+  for (ArcId a = 0; a < graph.num_arcs(); ++a) {
+    const Arc& arc = graph.arc(a);
+    const std::int32_t sf = part.shard_of[static_cast<std::size_t>(arc.from)];
+    const std::int32_t st = part.shard_of[static_cast<std::size_t>(arc.to)];
+    if (sf == st) continue;
+    part.cut_arcs.push_back({a, sf, st});
+    ghost_flag[static_cast<std::size_t>(st)][static_cast<std::size_t>(
+        arc.from)] = 1;
+    ghost_flag[static_cast<std::size_t>(sf)][static_cast<std::size_t>(
+        arc.to)] = 1;
+  }
+  part.ghosts.assign(static_cast<std::size_t>(num_shards), {});
+  for (std::size_t s = 0; s < part.ghosts.size(); ++s) {
+    for (VertexId v = 0; v < n; ++v)
+      if (ghost_flag[s][static_cast<std::size_t>(v)])
+        part.ghosts[s].push_back(v);
+  }
+
+  part.stats.num_shards = num_shards;
+  part.stats.total_arcs = graph.num_arcs();
+  part.stats.cut_arcs = static_cast<std::int64_t>(part.cut_arcs.size());
+  part.stats.min_owned = n == 0 ? 0 : *std::min_element(sizes.begin(),
+                                                        sizes.end());
+  part.stats.max_owned = n == 0 ? 0 : *std::max_element(sizes.begin(),
+                                                        sizes.end());
+  for (const auto& g : part.ghosts)
+    part.stats.total_ghosts += static_cast<std::int64_t>(g.size());
+  return part;
+}
+
+SubInstance extract_sub_instance(const core::Instance& instance,
+                                 const Partition& partition,
+                                 std::int32_t shard) {
+  OCD_EXPECTS(shard >= 0 && shard < partition.num_shards);
+  const Digraph& graph = instance.graph();
+  const auto s = static_cast<std::size_t>(shard);
+
+  SubInstance sub;
+  // Local vertex set = owned ∪ ghosts, ascending (both inputs sorted).
+  sub.to_global.resize(partition.owned[s].size() + partition.ghosts[s].size());
+  std::merge(partition.owned[s].begin(), partition.owned[s].end(),
+             partition.ghosts[s].begin(), partition.ghosts[s].end(),
+             sub.to_global.begin());
+
+  std::vector<std::int32_t> to_local(
+      static_cast<std::size_t>(graph.num_vertices()), -1);
+  for (std::size_t i = 0; i < sub.to_global.size(); ++i)
+    to_local[static_cast<std::size_t>(sub.to_global[i])] =
+        static_cast<std::int32_t>(i);
+
+  Digraph local(static_cast<std::int32_t>(sub.to_global.size()));
+  for (ArcId a = 0; a < graph.num_arcs(); ++a) {
+    const Arc& arc = graph.arc(a);
+    const bool from_owned =
+        partition.shard_of[static_cast<std::size_t>(arc.from)] == shard;
+    const bool to_owned =
+        partition.shard_of[static_cast<std::size_t>(arc.to)] == shard;
+    if (!from_owned && !to_owned) continue;  // ghost-ghost: never consulted
+    local.add_arc(to_local[static_cast<std::size_t>(arc.from)],
+                  to_local[static_cast<std::size_t>(arc.to)], arc.capacity);
+    sub.arc_to_global.push_back(a);
+  }
+  local.finalize();
+
+  sub.instance = core::Instance(std::move(local), instance.num_tokens());
+  for (std::size_t i = 0; i < sub.to_global.size(); ++i) {
+    sub.instance.set_have(static_cast<VertexId>(i),
+                          instance.have(sub.to_global[i]));
+    sub.instance.set_want(static_cast<VertexId>(i),
+                          instance.want(sub.to_global[i]));
+  }
+  return sub;
+}
+
+}  // namespace ocd::shard

@@ -1,0 +1,319 @@
+#include "ocd/shard/transport.hpp"
+
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <exception>
+#include <memory>
+
+#include "ocd/faults/model.hpp"
+#include "ocd/util/parallel.hpp"
+
+namespace ocd::shard {
+
+// ---------------------------------------------------------------------
+// In-process transport
+// ---------------------------------------------------------------------
+
+std::vector<std::string> InProcessTransport::run(const RunContext& ctx) {
+  const std::int32_t num_shards = ctx.partition->num_shards;
+  const auto count = static_cast<std::size_t>(num_shards);
+  std::vector<std::unique_ptr<ShardWorker>> workers;
+  workers.reserve(count);
+  for (std::int32_t s = 0; s < num_shards; ++s)
+    workers.push_back(std::make_unique<ShardWorker>(ctx, s));
+
+  // Two mailbox grids per round trip: workers write their outbox row in
+  // parallel, the driver transposes at the barrier, then workers read
+  // their inbox — a phase never reads a grid a peer is still writing.
+  std::vector<std::vector<std::string>> outbox(count), inbox(count);
+  for (auto& row : inbox) row.assign(count, {});
+  const auto transpose = [&] {
+    for (std::size_t src = 0; src < count; ++src)
+      for (std::size_t dst = 0; dst < count; ++dst)
+        if (src != dst) inbox[dst][src] = std::move(outbox[src][dst]);
+  };
+  const auto each = [&](auto&& fn) {
+    util::parallel_for(count, 1, [&](util::ChunkRange chunk) {
+      for (std::size_t s = chunk.begin; s < chunk.end; ++s) fn(s);
+    });
+  };
+
+  each([&](std::size_t s) { workers[s]->phase_init(outbox[s]); });
+  transpose();
+  each([&](std::size_t s) { workers[s]->absorb_init(inbox[s]); });
+
+  const bool driver_faults =
+      !ctx.worker_advances_faults && ctx.sim.faults != nullptr;
+  while (workers[0]->running()) {
+    if (driver_faults)
+      ctx.sim.faults->begin_step(workers[0]->step(), ctx.instance->graph());
+    each([&](std::size_t s) { workers[s]->phase_plan(outbox[s]); });
+    transpose();
+    each([&](std::size_t s) { workers[s]->phase_apply(inbox[s], outbox[s]); });
+    transpose();
+    each([&](std::size_t s) { workers[s]->phase_commit(inbox[s]); });
+    for (std::size_t s = 1; s < count; ++s)
+      OCD_ASSERT_MSG(workers[s]->running() == workers[0]->running(),
+                     "shards disagree on continuation");
+  }
+
+  std::vector<std::string> fragments(count);
+  for (std::size_t s = 0; s < count; ++s)
+    fragments[s] = workers[s]->finish_fragment();
+  return fragments;
+}
+
+// ---------------------------------------------------------------------
+// Forked one-host transport
+// ---------------------------------------------------------------------
+
+namespace {
+
+/// EINTR-safe full read; throws on EOF or error (a dead child).
+void read_all(int fd, void* buffer, std::size_t n, const char* what) {
+  auto* out = static_cast<char*>(buffer);
+  while (n > 0) {
+    const ssize_t got = ::read(fd, out, n);
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      throw Error(std::string("shard transport: read failed (") + what +
+                  "): " + std::strerror(errno));
+    }
+    if (got == 0)
+      throw Error(std::string("shard transport: unexpected EOF (") + what +
+                  ") — a shard process died");
+    out += got;
+    n -= static_cast<std::size_t>(got);
+  }
+}
+
+void write_all(int fd, const void* buffer, std::size_t n, const char* what) {
+  const auto* in = static_cast<const char*>(buffer);
+  while (n > 0) {
+    const ssize_t put = ::write(fd, in, n);
+    if (put < 0) {
+      if (errno == EINTR) continue;
+      throw Error(std::string("shard transport: write failed (") + what +
+                  "): " + std::strerror(errno));
+    }
+    in += put;
+    n -= static_cast<std::size_t>(put);
+  }
+}
+
+constexpr std::uint32_t kMaxFrame = 1u << 30;  // 1 GiB sanity bound
+
+/// Frame: [u32 peer][u32 len][len bytes].  `peer` is the destination
+/// shard child->parent and the source shard parent->child.
+void write_frame(int fd, std::uint32_t peer, const std::string& bytes,
+                 const char* what) {
+  const auto len = static_cast<std::uint32_t>(bytes.size());
+  write_all(fd, &peer, sizeof(peer), what);
+  write_all(fd, &len, sizeof(len), what);
+  if (len > 0) write_all(fd, bytes.data(), len, what);
+}
+
+std::pair<std::uint32_t, std::string> read_frame(int fd, const char* what) {
+  std::uint32_t peer = 0;
+  std::uint32_t len = 0;
+  read_all(fd, &peer, sizeof(peer), what);
+  read_all(fd, &len, sizeof(len), what);
+  if (len > kMaxFrame)
+    throw Error(std::string("shard transport: oversized frame (") + what +
+                ")");
+  std::string bytes(len, '\0');
+  if (len > 0) read_all(fd, bytes.data(), len, what);
+  return {peer, std::move(bytes)};
+}
+
+/// Child side: send this shard's round messages, then receive the
+/// peers' messages.  Children always write their full round before
+/// reading, and the parent always reads every child before writing, so
+/// the star cannot deadlock regardless of socket buffer sizes.
+void child_round(int fd, std::int32_t self, std::vector<std::string>& out,
+                 std::vector<std::string>& in, const char* what) {
+  const auto count = out.size();
+  for (std::size_t dst = 0; dst < count; ++dst) {
+    if (dst == static_cast<std::size_t>(self)) continue;
+    write_frame(fd, static_cast<std::uint32_t>(dst), out[dst], what);
+  }
+  in.assign(count, {});
+  for (std::size_t i = 0; i + 1 < count; ++i) {
+    auto [src, bytes] = read_frame(fd, what);
+    if (src >= count || src == static_cast<std::uint32_t>(self) ||
+        !in[src].empty())
+      throw Error(std::string("shard transport: bad source shard (") + what +
+                  ")");
+    in[src] = std::move(bytes);
+  }
+}
+
+/// Child main loop.  Status bytes keep parent and children in lockstep:
+/// 0 = another step follows, 1 = the run is over.
+void child_loop(int fd, const RunContext& ctx, std::int32_t shard) {
+  ShardWorker worker(ctx, shard);
+  const auto count = static_cast<std::size_t>(ctx.partition->num_shards);
+  std::vector<std::string> out(count), in(count);
+
+  const auto handshake = [&] {
+    const std::uint8_t status = worker.running() ? 0 : 1;
+    write_all(fd, &status, 1, "status");
+    std::uint8_t ack = 0;
+    read_all(fd, &ack, 1, "ack");
+    if (ack != status)
+      throw Error("shard transport: shards disagree on continuation");
+  };
+
+  worker.phase_init(out);
+  child_round(fd, shard, out, in, "init");
+  worker.absorb_init(in);
+  handshake();
+  while (worker.running()) {
+    worker.phase_plan(out);
+    child_round(fd, shard, out, in, "plan");
+    worker.phase_apply(in, out);
+    child_round(fd, shard, out, in, "apply");
+    worker.phase_commit(in);
+    handshake();
+  }
+  const std::string fragment = worker.finish_fragment();
+  write_frame(fd, static_cast<std::uint32_t>(shard), fragment, "fragment");
+}
+
+/// Parent side of one message round: drain every child's outgoing
+/// frames, then deliver each child its peers' messages.
+void route_round(const std::vector<int>& fds, const char* what) {
+  const auto count = fds.size();
+  std::vector<std::vector<std::string>> mail(
+      count, std::vector<std::string>(count));
+  for (std::size_t src = 0; src < count; ++src) {
+    for (std::size_t i = 0; i + 1 < count; ++i) {
+      auto [dst, bytes] = read_frame(fds[src], what);
+      if (dst >= count || dst == src)
+        throw Error(std::string("shard transport: bad destination shard (") +
+                    what + ")");
+      mail[src][dst] = std::move(bytes);
+    }
+  }
+  for (std::size_t dst = 0; dst < count; ++dst)
+    for (std::size_t src = 0; src < count; ++src)
+      if (src != dst)
+        write_frame(fds[dst], static_cast<std::uint32_t>(src), mail[src][dst],
+                    what);
+}
+
+/// Parent side of a status barrier: children must agree unanimously.
+bool route_status(const std::vector<int>& fds) {
+  std::uint8_t first = 0;
+  for (std::size_t s = 0; s < fds.size(); ++s) {
+    std::uint8_t status = 0;
+    read_all(fds[s], &status, 1, "status");
+    if (s == 0)
+      first = status;
+    else if (status != first)
+      throw Error("shard transport: shards disagree on continuation");
+  }
+  for (int fd : fds) write_all(fd, &first, 1, "ack");
+  return first == 0;
+}
+
+void reap_children(std::vector<pid_t>& pids, bool expect_clean) {
+  std::string failure;
+  for (pid_t pid : pids) {
+    if (pid <= 0) continue;
+    int status = 0;
+    while (::waitpid(pid, &status, 0) < 0 && errno == EINTR) {
+    }
+    if (expect_clean &&
+        !(WIFEXITED(status) && WEXITSTATUS(status) == 0) && failure.empty())
+      failure = "shard transport: shard process exited abnormally (status " +
+                std::to_string(status) + ")";
+  }
+  pids.clear();
+  if (!failure.empty()) throw Error(failure);
+}
+
+}  // namespace
+
+std::vector<std::string> ForkTransport::run(const RunContext& ctx) {
+  const std::int32_t num_shards = ctx.partition->num_shards;
+  const auto count = static_cast<std::size_t>(num_shards);
+  std::vector<int> fds;          // parent ends
+  std::vector<pid_t> pids;
+  fds.reserve(count);
+  pids.reserve(count);
+
+  const auto close_fds = [&] {
+    for (int fd : fds)
+      if (fd >= 0) ::close(fd);
+    fds.clear();
+  };
+
+  try {
+    for (std::int32_t s = 0; s < num_shards; ++s) {
+      int pair[2] = {-1, -1};
+      if (::socketpair(AF_UNIX, SOCK_STREAM, 0, pair) != 0)
+        throw Error(std::string("shard transport: socketpair failed: ") +
+                    std::strerror(errno));
+      const pid_t pid = ::fork();
+      if (pid < 0) {
+        ::close(pair[0]);
+        ::close(pair[1]);
+        throw Error(std::string("shard transport: fork failed: ") +
+                    std::strerror(errno));
+      }
+      if (pid == 0) {
+        // Child: keep only its own socket.  The worker pool's threads
+        // did not survive the fork; the worker never uses them.
+        for (int fd : fds) ::close(fd);
+        ::close(pair[0]);
+        try {
+          child_loop(pair[1], ctx, s);
+        } catch (const std::exception& e) {
+          std::fprintf(stderr, "shard %d: %s\n", s, e.what());
+          ::_exit(1);
+        } catch (...) {
+          ::_exit(1);
+        }
+        ::_exit(0);
+      }
+      ::close(pair[1]);
+      fds.push_back(pair[0]);
+      pids.push_back(pid);
+    }
+
+    route_round(fds, "init");
+    bool running = route_status(fds);
+    while (running) {
+      route_round(fds, "plan");
+      route_round(fds, "apply");
+      running = route_status(fds);
+    }
+    std::vector<std::string> fragments(count);
+    for (std::size_t s = 0; s < count; ++s) {
+      auto [shard, bytes] = read_frame(fds[s], "fragment");
+      if (shard != s)
+        throw Error("shard transport: fragment from the wrong shard");
+      fragments[s] = std::move(bytes);
+    }
+    close_fds();
+    reap_children(pids, /*expect_clean=*/true);
+    return fragments;
+  } catch (...) {
+    // Closing the sockets unblocks any child mid-read; reap without
+    // masking the original error.
+    close_fds();
+    try {
+      reap_children(pids, /*expect_clean=*/false);
+    } catch (...) {
+    }
+    throw;
+  }
+}
+
+}  // namespace ocd::shard

@@ -99,6 +99,11 @@ void Policy::plan_step(const StepView& view, StepPlan& plan) {
 
 void Policy::plan_vertex(VertexId, const StepView&, StepPlan&) {}
 
+void Policy::plan_shard(const StepView& view, StepPlan& plan,
+                        std::span<const VertexId> owned) {
+  for (VertexId v : owned) plan_vertex(v, view, plan);
+}
+
 void Policy::finish_run(RunStats&) {}
 
 }  // namespace ocd::sim

@@ -59,4 +59,60 @@ Digraph random_overlay(std::int32_t n, Rng& rng) {
   return random_overlay(n, RandomGraphOptions{}, rng);
 }
 
+Digraph sparse_random_overlay(std::int32_t n, double expected_degree,
+                              const RandomGraphOptions& options, Rng& rng) {
+  OCD_EXPECTS(n >= 2);
+  OCD_EXPECTS(expected_degree >= 0.0);
+  const double p =
+      std::min(1.0, expected_degree / static_cast<double>(n - 1));
+  Digraph g(n);
+  if (p > 0.0 && p < 1.0) {
+    // Batagelj–Brandes: walk the lexicographic sequence of unordered
+    // pairs {u, v}, u < v, jumping geometric(p) positions between
+    // successful draws.  Row u holds (n - 1 - u) pairs; `row_start`
+    // advances monotonically, so decoding the linear index back to
+    // (u, v) is amortized O(1) per edge.
+    const double log_q = std::log1p(-p);
+    const std::int64_t total =
+        static_cast<std::int64_t>(n) * (n - 1) / 2;
+    std::int64_t i = -1;
+    std::int64_t row_start = 0;
+    VertexId u = 0;
+    while (true) {
+      const double r = rng.uniform_real();
+      const double skip = std::floor(std::log1p(-r) / log_q);
+      if (skip >= static_cast<double>(total - i)) break;
+      i += 1 + static_cast<std::int64_t>(skip);
+      if (i >= total) break;
+      while (i >= row_start + (n - 1 - u)) {
+        row_start += n - 1 - u;
+        ++u;
+      }
+      const VertexId v = static_cast<VertexId>(u + 1 + (i - row_start));
+      add_bidirectional(g, u, v, options.capacities, rng);
+    }
+  } else if (p >= 1.0) {
+    for (VertexId a = 0; a < n; ++a)
+      for (VertexId b = a + 1; b < n; ++b)
+        add_bidirectional(g, a, b, options.capacities, rng);
+  }
+  if (options.force_connected && !is_strongly_connected(g)) {
+    std::vector<VertexId> order(static_cast<std::size_t>(n));
+    for (VertexId v = 0; v < n; ++v) order[static_cast<std::size_t>(v)] = v;
+    rng.shuffle(order);
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      const VertexId a = order[i];
+      const VertexId b = order[(i + 1) % order.size()];
+      add_bidirectional(g, a, b, options.capacities, rng);
+    }
+  }
+  return g;
+}
+
+Digraph sparse_random_overlay(std::int32_t n, double expected_degree,
+                              Rng& rng) {
+  return sparse_random_overlay(n, expected_degree, RandomGraphOptions{},
+                               rng);
+}
+
 }  // namespace ocd::topology

