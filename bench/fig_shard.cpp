@@ -8,18 +8,41 @@
 // overlay that would be impractical under the O(n^2) generator —
 // completes across 4 shards.  Rows are emitted in a fixed (transport,
 // shards) loop order, so the output is diff-stable across runs.
+//
+// --crash-rate=<r> arms crash recovery (checkpoints every 3 steps) with
+// a seeded random crash schedule at rate r per (shard, step, phase).
+// The crashes/replayed/ckpt_b columns then snapshot the recovery
+// overhead, and the bit-identity check extends over the crashed rows:
+// recovery must not change a single reported number.
+#include <cstdlib>
 #include <iostream>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "bench_common.hpp"
 #include "ocd/core/scenario.hpp"
+#include "ocd/shard/recovery.hpp"
 #include "ocd/shard/runtime.hpp"
 #include "ocd/topology/random_graph.hpp"
+
+namespace {
+
+double crash_rate_requested(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg(argv[i]);
+    if (arg.rfind("--crash-rate=", 0) == 0)
+      return std::atof(arg.data() + std::string_view("--crash-rate=").size());
+  }
+  return 0.0;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace ocd;
   const bool csv = bench::csv_requested(argc, argv);
+  const double crash_rate = crash_rate_requested(argc, argv);
   const bool full = bench::full_scale();
   bench::print_header("fig_shard",
                       "vertex-sharded runtime: scaling + bit-identity "
@@ -48,8 +71,16 @@ int main(int argc, char** argv) {
       {shard::TransportKind::kForked, "forked"},
   };
 
+  shard::CrashPlan crash_plan;
+  if (crash_rate > 0.0) {
+    crash_plan.random_crashes(crash_rate, 0xc4a5'0001);
+    std::cout << "# crash-rate: " << crash_rate
+              << " per (shard, step, phase); checkpoints every 3 steps\n";
+  }
+
   Table table({"transport", "shards", "cut_arcs", "cut_pct", "ghosts",
-               "success", "steps", "bandwidth", "part_s", "run_s"});
+               "success", "steps", "bandwidth", "crashes", "replayed",
+               "ckpt_b", "part_s", "run_s"});
   table.set_precision(3);
 
   std::int64_t first_steps = -1;
@@ -68,6 +99,11 @@ int main(int argc, char** argv) {
       options.sim.seed = 7;
       options.sim.record_schedule = false;
       options.sim.max_steps = 500'000;
+      if (crash_rate > 0.0) {
+        options.recovery.crash_plan = &crash_plan;
+        options.recovery.checkpoint_interval = 3;
+        options.recovery.max_respawns = 64;
+      }
       Stopwatch run_timer;
       const auto result =
           shard::run_sharded(inst, "round-robin", options, part);
@@ -85,7 +121,10 @@ int main(int argc, char** argv) {
                      100.0 * part.stats.cut_fraction(),
                      part.stats.total_ghosts,
                      std::string(result.success ? "yes" : "no"),
-                     result.steps, result.bandwidth, part_seconds,
+                     result.steps, result.bandwidth,
+                     result.stats.worker_crashes,
+                     result.stats.replayed_steps,
+                     result.stats.checkpoint_bytes, part_seconds,
                      run_seconds});
     }
   }

@@ -40,6 +40,7 @@
 
 #include "ocd/core/instance.hpp"
 #include "ocd/shard/partition.hpp"
+#include "ocd/shard/recovery.hpp"
 #include "ocd/sim/simulator.hpp"
 
 namespace ocd::shard {
@@ -61,6 +62,16 @@ struct ShardOptions {
   /// (validated), defaulting to 1.
   std::int32_t num_shards = 0;
   TransportKind transport = TransportKind::kInProcess;
+  /// Hard deadline on every cross-process read and write in the forked
+  /// transport.  A peer that neither answers nor dies within this
+  /// window is declared hung: killed and respawned when recovery is
+  /// armed, surfaced as a field-named ocd::Error otherwise — never a
+  /// silent stall.  Generous by default because a child legitimately
+  /// waits its turn while the parent drains its siblings.
+  std::int64_t barrier_timeout_ms = 120'000;
+  /// Crash tolerance: checkpoint cadence, respawn budget, scripted
+  /// failure injection (ocd/shard/recovery.hpp).
+  RecoveryOptions recovery;
   /// Simulator options; see the envelope note above for the supported
   /// subset.  faults (if any) must outlive the run.
   sim::SimOptions sim;

@@ -46,6 +46,19 @@ struct RunContext {
   /// phase_plan); the in-process transport shares one model and the
   /// driver advances it exactly once per step.
   bool worker_advances_faults = false;
+  /// In-process replay cannot re-query the shared fault model for past
+  /// steps (its chain state has moved on), so when recovery is armed
+  /// with faults on the in-process path, every phase_plan also records
+  /// its per-send loss sets for the driver's log.
+  bool log_losses = false;
+  /// Resolved recovery knobs (ocd/shard/recovery.hpp).  recovery_armed:
+  /// a failed worker is respawned and replayed; otherwise it surfaces
+  /// as an ocd::Error.
+  bool recovery_armed = false;
+  std::int64_t checkpoint_interval = 0;  ///< 0 = checkpoints off
+  std::int32_t max_respawns = 0;
+  const CrashPlan* crash_plan = nullptr;
+  std::int64_t barrier_timeout_ms = 120'000;
   std::vector<std::int32_t> static_capacity;
 };
 
@@ -64,7 +77,13 @@ class ShardWorker {
 
   /// Plan owned vertices, validate, apply channel loss, route surviving
   /// deliveries to their destination's owner.  Requires running().
-  void phase_plan(std::vector<std::string>& out);
+  /// `replay_losses` (in-process replay only) substitutes a recorded
+  /// loss trace for live fault-model queries: the policy still plans in
+  /// full (its state must advance), but the per-send loss sets are read
+  /// from the record instead of the shared model, whose chain has
+  /// already moved past this step.
+  void phase_plan(std::vector<std::string>& out,
+                  const std::string* replay_losses = nullptr);
   /// Merge inbound deliveries into owned possession rows; emit apply
   /// summaries and ghost updates.
   void phase_apply(const std::vector<std::string>& in,
@@ -82,6 +101,21 @@ class ShardWorker {
   /// counts; shard 0 adds the global per-step series), BinStream-
   /// encoded for run_sharded's merge.
   [[nodiscard]] std::string finish_fragment();
+
+  /// Serializes this worker's complete restartable state (see
+  /// shard::Checkpoint).  Capture point: a committed barrier, i.e.
+  /// between phase_commit and the next phase_plan.
+  [[nodiscard]] std::string save_checkpoint() const;
+  /// Restores a save_checkpoint() blob into a freshly constructed
+  /// worker: validates shard identity and every shape against this
+  /// worker's layout, loads the policy state, and (forked transport)
+  /// fast-forwards the private fault-model copy to the fault cursor.
+  void restore_checkpoint(const std::string& bytes);
+  /// The loss record phase_plan captured (empty unless ctx.log_losses
+  /// and a fault model are active).
+  [[nodiscard]] const std::string& loss_record() const noexcept {
+    return loss_record_;
+  }
 
  private:
   void deliver(VertexId to, TokenSetView tokens);
@@ -118,6 +152,7 @@ class ShardWorker {
   TokenSet fresh_;        ///< apply kernel scratch
   TokenSet lost_;         ///< fault scratch
   TokenSet msg_tokens_;   ///< decode scratch
+  std::string loss_record_;  ///< this step's loss sets (ctx.log_losses)
 
   // Replicated global decision state (identical on every shard).
   std::int64_t step_ = 0;
@@ -145,28 +180,50 @@ class ShardWorker {
   core::Schedule schedule_;  ///< this shard's fragment (when recording)
 };
 
+/// A transport run's outcome: one finish fragment per shard, plus the
+/// recovery counters (all zero for a crash-free run).
+struct TransportResult {
+  std::vector<std::string> fragments;
+  RecoveryStats recovery;
+};
+
 class Transport {
  public:
   virtual ~Transport() = default;
   /// Runs the full protocol; returns one finish fragment per shard.
-  virtual std::vector<std::string> run(const RunContext& ctx) = 0;
+  virtual TransportResult run(const RunContext& ctx) = 0;
 };
 
 /// Workers stepped as chunks of the ocd::util worker pool; messages
 /// pass through two in-memory mailbox grids (one per round, so a
-/// phase never reads a grid another worker is writing).
+/// phase never reads a grid another worker is writing).  When recovery
+/// is armed, the driver logs committed message rows and checkpoints so
+/// an injected crash (CrashPlan) discards the worker and rebuilds it —
+/// hang injection is handled as a crash, since there is no deadline to
+/// expire inside one address space.  All recovery bookkeeping runs on
+/// the driver thread between parallel phases, so the suite is
+/// TSan-clean.
 class InProcessTransport final : public Transport {
  public:
-  std::vector<std::string> run(const RunContext& ctx) override;
+  TransportResult run(const RunContext& ctx) override;
 };
 
 /// One forked child process per shard, each owning a private
 /// ShardWorker; the parent routes frames over a socketpair star.  The
 /// instance and partition are shared copy-on-write; only possession
 /// slices and planner scratch are private dirty pages.
+///
+/// Every read and write carries ctx.barrier_timeout_ms; SIGPIPE is
+/// suppressed (MSG_NOSIGNAL + SIG_IGN in the parent for the run), so a
+/// dead child surfaces as EOF/EPIPE and a hung one as an expired
+/// deadline.  When recovery is armed the supervisor kills the failed
+/// child, respawns it from the latest checkpoint (or from scratch),
+/// replays the committed steps from the logged mail, and re-enters the
+/// barrier protocol at the exact sub-stage that failed; otherwise the
+/// failure is rethrown as a field-named ocd::Error.
 class ForkTransport final : public Transport {
  public:
-  std::vector<std::string> run(const RunContext& ctx) override;
+  TransportResult run(const RunContext& ctx) override;
 };
 
 }  // namespace ocd::shard

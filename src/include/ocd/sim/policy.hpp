@@ -8,6 +8,10 @@
 #include "ocd/sim/views.hpp"
 #include "ocd/util/rng.hpp"
 
+namespace ocd::util {
+class BinStream;
+}
+
 namespace ocd::sim {
 
 struct RunStats;
@@ -121,6 +125,17 @@ class Policy {
   /// retransmissions) into the run's stats here; wrappers must forward
   /// to their inner policy.  Default: no-op.
   virtual void finish_run(RunStats& stats);
+
+  /// Serializes the policy's mutable per-run state (RNG positions,
+  /// cursors) so the shard runtime can checkpoint and later restore a
+  /// mid-run worker.  The contract: after reset(inst, seed) followed by
+  /// load_state(s), the policy plans exactly as the policy s was saved
+  /// from would.  Immutable reset()-derived state need not be written.
+  /// Default: no state (writes and reads nothing) — correct for
+  /// stateless policies, silently wrong for stateful ones, which is why
+  /// the shard envelope only admits policies that implement the pair.
+  virtual void save_state(util::BinStream& out) const;
+  virtual void load_state(util::BinStream& in);
 };
 
 using PolicyPtr = std::unique_ptr<Policy>;

@@ -9,8 +9,10 @@
 
 #include "ocd/faults/model.hpp"
 #include "ocd/heuristics/factory.hpp"
+#include "ocd/shard/recovery.hpp"
 #include "ocd/shard/transport.hpp"
 #include "ocd/util/binstream.hpp"
+#include "ocd/util/env.hpp"
 #include "ocd/util/stopwatch.hpp"
 
 namespace ocd::shard {
@@ -214,13 +216,21 @@ void ShardWorker::validate_shard_sends(std::span<const core::ArcSend> sends) {
     arc_load_[static_cast<std::size_t>(send.arc)] = 0;
 }
 
-void ShardWorker::phase_plan(std::vector<std::string>& out) {
+void ShardWorker::phase_plan(std::vector<std::string>& out,
+                             const std::string* replay_losses) {
   OCD_ASSERT(running_);
   const core::Instance& inst = *ctx_.instance;
   // Channel state advances every step, traffic or not (the in-process
-  // driver advances the shared model instead; see RunContext).
+  // driver advances the shared model instead; see RunContext).  A
+  // replaying in-process worker reads its recorded loss trace and never
+  // touches the shared model, whose chain is already at the live step.
   if (ctx_.worker_advances_faults && faulted_)
     ctx_.sim.faults->begin_step(step_, inst.graph());
+  const bool log_losses =
+      ctx_.log_losses && faulted_ && replay_losses == nullptr;
+  util::BinStream record;
+  util::BinStream replay(replay_losses == nullptr ? std::string()
+                                                  : *replay_losses);
 
   const std::span<const std::int32_t> capacity(ctx_.static_capacity);
   plan_.rebind(inst.graph(), capacity);
@@ -240,6 +250,11 @@ void ShardWorker::phase_plan(std::vector<std::string>& out) {
   local_deliv_.clear();
   for (auto& routed : deliv_for_) routed.clear();
   const std::span<core::ArcSend> sends = plan_.sends();
+  if (replay_losses != nullptr && faulted_)
+    replay.require(replay.get_varint("loss_record.sends") == sends.size(),
+                   "loss_record.sends",
+                   "send count does not match the replayed plan");
+  if (log_losses) record.put_varint(sends.size());
   for (std::size_t i = 0; i < sends.size(); ++i) {
     core::ArcSend& send = sends[i];
     const Arc& arc = inst.graph().arc(send.arc);
@@ -247,9 +262,14 @@ void ShardWorker::phase_plan(std::vector<std::string>& out) {
     step_moves_ += count;
     sent_by_[static_cast<std::size_t>(arc.from)] += count;
     if (faulted_) {
-      lost_.clear();
-      ctx_.sim.faults->lost(step_, send.arc, send.tokens, lost_);
+      if (replay_losses != nullptr) {
+        util::get_token_set_into(replay, "loss_record.lost", lost_);
+      } else {
+        lost_.clear();
+        ctx_.sim.faults->lost(step_, send.arc, send.tokens, lost_);
+      }
       lost_ &= send.tokens;  // a model may only lose what was sent
+      if (log_losses) util::put_token_set(record, lost_);
       const auto lost_count = static_cast<std::int64_t>(lost_.count());
       if (lost_count > 0) {
         step_lost_ += lost_count;
@@ -265,6 +285,9 @@ void ShardWorker::phase_plan(std::vector<std::string>& out) {
       deliv_for_[static_cast<std::size_t>(owner)].push_back(
           static_cast<std::uint32_t>(i));
   }
+  if (replay_losses != nullptr && faulted_)
+    replay.require(replay.exhausted(), "loss_record", "trailing bytes");
+  if (log_losses) loss_record_ = std::move(record).take();
 
   out.assign(static_cast<std::size_t>(num_shards_), {});
   for (std::int32_t p = 0; p < num_shards_; ++p) {
@@ -524,6 +547,106 @@ std::string ShardWorker::finish_fragment() {
   return std::move(frag).take();
 }
 
+std::string ShardWorker::save_checkpoint() const {
+  Checkpoint c;
+  c.shard = shard_;
+  c.num_shards = num_shards_;
+  c.step = step_;
+  c.fault_cursor = step_;  // begin_step has run once per committed step
+  c.unsatisfied = unsatisfied_;
+  c.local_unsatisfied = local_unsatisfied_;
+  c.no_progress = no_progress_;
+  c.possession = possession_;
+  c.satisfied = satisfied_;
+  c.completion = completion_;
+  for (std::size_t v = 0; v < sent_by_.size(); ++v)
+    if (sent_by_[v] != 0)
+      c.sent_by.emplace_back(static_cast<std::int64_t>(v), sent_by_[v]);
+  if (needs_aggregates_) {
+    c.holders = aggregates_.holders;
+    c.need = aggregates_.need;
+  }
+  util::BinStream policy_state;
+  policy_->save_state(policy_state);
+  c.policy_state = std::move(policy_state).take();
+  if (shard_ == 0) {
+    c.moves_per_step = moves_per_step_;
+    c.lost_per_step = lost_per_step_;
+    c.useful_total = useful_total_;
+    c.lost_total = lost_total_;
+  }
+  c.has_schedule = ctx_.sim.record_schedule;
+  if (c.has_schedule) c.schedule = schedule_;
+  util::BinStream out;
+  put_checkpoint(out, c);
+  return std::move(out).take();
+}
+
+void ShardWorker::restore_checkpoint(const std::string& bytes) {
+  util::BinStream in(bytes);
+  Checkpoint c = get_checkpoint(in, "checkpoint", shard_);
+  in.require(in.exhausted(), "checkpoint", "trailing bytes");
+  in.require(c.num_shards == num_shards_, "checkpoint.num_shards",
+             "shard count does not match this run");
+  in.require(c.possession.rows() == possession_.rows() &&
+                 c.possession.universe_size() == possession_.universe_size(),
+             "checkpoint.possession", "row layout does not match this shard");
+  in.require(c.satisfied.size() == satisfied_.size(), "checkpoint.satisfied",
+             "owned slot count does not match this shard");
+  in.require(c.step <= ctx_.sim.max_steps, "checkpoint.step",
+             "beyond max_steps");
+  in.require(c.holders.empty() == !needs_aggregates_,
+             "checkpoint.has_aggregates",
+             "aggregate presence does not match the policy");
+  in.require(c.has_schedule == ctx_.sim.record_schedule,
+             "checkpoint.has_schedule",
+             "schedule presence does not match the run options");
+  if (c.has_schedule)
+    in.require(c.schedule.steps().size() == static_cast<std::size_t>(c.step),
+               "checkpoint.schedule", "length != committed steps");
+  const auto n = static_cast<std::int64_t>(sent_by_.size());
+  for (const auto& [vertex, count] : c.sent_by)
+    in.require(vertex < n, "checkpoint.sender.vertex",
+               "vertex id out of range");
+
+  possession_ = std::move(c.possession);
+  satisfied_ = std::move(c.satisfied);
+  completion_ = std::move(c.completion);
+  std::fill(sent_by_.begin(), sent_by_.end(), 0);
+  for (const auto& [vertex, count] : c.sent_by)
+    sent_by_[static_cast<std::size_t>(vertex)] = count;
+  if (needs_aggregates_) {
+    aggregates_.holders = std::move(c.holders);
+    aggregates_.need = std::move(c.need);
+  }
+  step_ = c.step;
+  unsatisfied_ = c.unsatisfied;
+  local_unsatisfied_ = c.local_unsatisfied;
+  no_progress_ = c.no_progress;
+  stalled_ = false;
+  watchdog_hit_ = false;
+  pending_stall_ = false;
+  running_ = step_ < ctx_.sim.max_steps && unsatisfied_ > 0;
+  util::BinStream policy_state(std::move(c.policy_state));
+  policy_->load_state(policy_state);
+  policy_state.require(policy_state.exhausted(), "checkpoint.policy_state",
+                       "trailing bytes");
+  if (shard_ == 0) {
+    moves_per_step_ = std::move(c.moves_per_step);
+    lost_per_step_ = std::move(c.lost_per_step);
+    useful_total_ = c.useful_total;
+    lost_total_ = c.lost_total;
+  }
+  if (ctx_.sim.record_schedule) schedule_ = std::move(c.schedule);
+  // A respawned forked worker inherited the parent's reset-state fault
+  // model copy-on-write; fast-forward the per-arc chains to the cursor.
+  // In-process workers share the live model and must not touch it —
+  // replay reads the recorded loss traces instead.
+  if (faulted_ && ctx_.worker_advances_faults)
+    for (std::int64_t k = 0; k < c.fault_cursor; ++k)
+      ctx_.sim.faults->begin_step(k, ctx_.instance->graph());
+}
+
 // ---------------------------------------------------------------------
 // run_sharded
 // ---------------------------------------------------------------------
@@ -534,19 +657,7 @@ std::int32_t resolve_num_shards(std::int32_t requested) {
     throw Error("num_shards must be >= 0, got " + std::to_string(requested));
   const char* env = std::getenv("OCD_SHARDS");
   if (env == nullptr) return 1;
-  const std::string value(env);
-  std::size_t consumed = 0;
-  long parsed = -1;
-  try {
-    parsed = std::stol(value, &consumed);
-  } catch (const std::exception&) {
-    consumed = 0;
-  }
-  if (consumed == 0 || consumed != value.size() || parsed <= 0 ||
-      parsed > std::numeric_limits<std::int32_t>::max()) {
-    throw Error("OCD_SHARDS must be a positive integer, got '" + value + "'");
-  }
-  return static_cast<std::int32_t>(parsed);
+  return static_cast<std::int32_t>(util::parse_env_int("OCD_SHARDS", env));
 }
 
 namespace {
@@ -731,6 +842,21 @@ sim::RunResult run_sharded(const core::Instance& instance,
     ctx.watchdog_window =
         options.sim.faults != nullptr ? kDefaultNoProgressWindow : -1;
   ctx.worker_advances_faults = options.transport == TransportKind::kForked;
+  if (options.barrier_timeout_ms <= 0)
+    throw Error("ShardOptions.barrier_timeout_ms must be positive, got " +
+                std::to_string(options.barrier_timeout_ms));
+  if (options.recovery.max_respawns < 0)
+    throw Error("RecoveryOptions.max_respawns must be >= 0, got " +
+                std::to_string(options.recovery.max_respawns));
+  ctx.barrier_timeout_ms = options.barrier_timeout_ms;
+  ctx.checkpoint_interval =
+      resolve_checkpoint_interval(options.recovery.checkpoint_interval);
+  ctx.max_respawns = options.recovery.max_respawns;
+  ctx.crash_plan = options.recovery.crash_plan;
+  ctx.recovery_armed =
+      ctx.checkpoint_interval > 0 || ctx.crash_plan != nullptr;
+  ctx.log_losses = ctx.recovery_armed && options.sim.faults != nullptr &&
+                   options.transport == TransportKind::kInProcess;
   ctx.static_capacity.resize(
       static_cast<std::size_t>(instance.graph().num_arcs()));
   for (ArcId a = 0; a < instance.graph().num_arcs(); ++a)
@@ -742,16 +868,21 @@ sim::RunResult run_sharded(const core::Instance& instance,
   if (options.sim.faults != nullptr)
     options.sim.faults->reset(instance, options.sim.seed);
 
-  std::vector<std::string> fragments;
+  TransportResult transported;
   if (options.transport == TransportKind::kInProcess) {
     InProcessTransport transport;
-    fragments = transport.run(ctx);
+    transported = transport.run(ctx);
   } else {
     ForkTransport transport;
-    fragments = transport.run(ctx);
+    transported = transport.run(ctx);
   }
 
-  sim::RunResult result = merge_fragments(instance, policy_name, fragments);
+  sim::RunResult result =
+      merge_fragments(instance, policy_name, transported.fragments);
+  result.stats.worker_crashes = transported.recovery.worker_crashes;
+  result.stats.recoveries = transported.recovery.recoveries;
+  result.stats.replayed_steps = transported.recovery.replayed_steps;
+  result.stats.checkpoint_bytes = transported.recovery.checkpoint_bytes;
   result.stats.wall_seconds = timer.seconds();
   return result;
 }

@@ -106,4 +106,8 @@ void Policy::plan_shard(const StepView& view, StepPlan& plan,
 
 void Policy::finish_run(RunStats&) {}
 
+void Policy::save_state(util::BinStream&) const {}
+
+void Policy::load_state(util::BinStream&) {}
+
 }  // namespace ocd::sim

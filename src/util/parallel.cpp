@@ -1,5 +1,7 @@
 #include "ocd/util/parallel.hpp"
 
+#include "ocd/util/env.hpp"
+
 #include <atomic>
 #include <condition_variable>
 #include <cstdlib>
@@ -151,19 +153,7 @@ class Pool {
 }  // namespace
 
 unsigned parse_jobs_value(const char* text) {
-  const std::string value = text == nullptr ? "" : text;
-  std::size_t consumed = 0;
-  long parsed = -1;
-  try {
-    parsed = std::stol(value, &consumed);
-  } catch (const std::exception&) {
-    consumed = 0;
-  }
-  if (consumed == 0 || consumed != value.size() || parsed <= 0 ||
-      parsed > std::numeric_limits<int>::max()) {
-    throw Error("OCD_JOBS must be a positive integer, got '" + value + "'");
-  }
-  return static_cast<unsigned>(parsed);
+  return static_cast<unsigned>(parse_env_int("OCD_JOBS", text));
 }
 
 unsigned parallel_jobs() {

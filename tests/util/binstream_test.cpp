@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "ocd/core/scenario.hpp"
+#include "ocd/shard/recovery.hpp"
 #include "ocd/topology/random_graph.hpp"
 #include "ocd/util/binstream.hpp"
 #include "ocd/util/rng.hpp"
@@ -314,6 +315,158 @@ TEST(BinStream, TruncationAndCorruptionSweep) {
     } catch (const Error&) {
       // rejected: fine
     }
+  }
+}
+
+// ---- checkpoint record ---------------------------------------------
+// The shard checkpoint is the highest-stakes record in the codec: a
+// silently misparsed one resurrects a worker with wrong state, which
+// recovery then replicates into the final schedule.  Same discipline as
+// the instance sweep: truncation at every byte (hence at every field
+// boundary) throws a field-named error, corruption never crashes, and a
+// checkpoint presented to the wrong shard is rejected by name.
+
+shard::Checkpoint sample_checkpoint(std::int32_t shard_id) {
+  shard::Checkpoint c;
+  c.shard = shard_id;
+  c.num_shards = 4;
+  c.step = 6;
+  c.fault_cursor = 6;
+  c.unsatisfied = 9;
+  c.local_unsatisfied = 3;
+  c.no_progress = 1;
+  Rng rng(41);
+  c.possession = TokenMatrix(7, 65);
+  for (std::size_t row = 0; row < 7; ++row)
+    c.possession.assign_row(row, random_set(65, 0.4, rng));
+  c.satisfied = {1, 0, 1, 0, 0};
+  c.completion = {2, -1, 5, -1, -1};
+  c.sent_by = {{0, 4}, {3, 1}, {6, 11}};
+  c.holders.assign(65, 2);
+  c.need.assign(65, 3);
+  {
+    BinStream policy;
+    policy.put_u64(0xfeedfacecafebeefull);
+    c.policy_state = std::move(policy).take();
+  }
+  if (shard_id == 0) {
+    c.moves_per_step = {4, 3, 5, 2, 1, 6};
+    c.lost_per_step = {0, 1, 0, 0, 2, 0};
+    c.useful_total = 17;
+    c.lost_total = 3;
+  }
+  c.has_schedule = true;
+  core::Timestep step;
+  step.add(1, TokenSet::of(65, {2, 64}));
+  c.schedule.append(std::move(step));
+  return c;
+}
+
+TEST(BinStream, CheckpointRoundTrip) {
+  for (std::int32_t shard_id : {0, 2}) {
+    const shard::Checkpoint original = sample_checkpoint(shard_id);
+    BinStream stream;
+    shard::put_checkpoint(stream, original);
+    BinStream reader(stream.bytes());
+    const shard::Checkpoint decoded =
+        shard::get_checkpoint(reader, "checkpoint", shard_id);
+    EXPECT_TRUE(reader.exhausted());
+    EXPECT_EQ(decoded.shard, original.shard);
+    EXPECT_EQ(decoded.num_shards, original.num_shards);
+    EXPECT_EQ(decoded.step, original.step);
+    EXPECT_EQ(decoded.fault_cursor, original.fault_cursor);
+    EXPECT_EQ(decoded.unsatisfied, original.unsatisfied);
+    EXPECT_EQ(decoded.local_unsatisfied, original.local_unsatisfied);
+    EXPECT_EQ(decoded.no_progress, original.no_progress);
+    ASSERT_EQ(decoded.possession.rows(), original.possession.rows());
+    for (std::size_t row = 0; row < original.possession.rows(); ++row)
+      EXPECT_EQ(TokenSet(decoded.possession.row(row)),
+                TokenSet(original.possession.row(row)));
+    EXPECT_EQ(decoded.satisfied, original.satisfied);
+    EXPECT_EQ(decoded.completion, original.completion);
+    EXPECT_EQ(decoded.sent_by, original.sent_by);
+    EXPECT_EQ(decoded.holders, original.holders);
+    EXPECT_EQ(decoded.need, original.need);
+    EXPECT_EQ(decoded.policy_state, original.policy_state);
+    EXPECT_EQ(decoded.moves_per_step, original.moves_per_step);
+    EXPECT_EQ(decoded.lost_per_step, original.lost_per_step);
+    EXPECT_EQ(decoded.useful_total, original.useful_total);
+    EXPECT_EQ(decoded.lost_total, original.lost_total);
+    ASSERT_EQ(decoded.has_schedule, original.has_schedule);
+    EXPECT_EQ(decoded.schedule.length(), original.schedule.length());
+  }
+}
+
+TEST(BinStream, CheckpointTruncationAtEveryFieldBoundary) {
+  BinStream stream;
+  shard::put_checkpoint(stream, sample_checkpoint(0));
+  const std::string& bytes = stream.bytes();
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    BinStream reader(bytes.substr(0, cut));
+    EXPECT_THROW(shard::get_checkpoint(reader, "checkpoint"), Error)
+        << "cut " << cut;
+  }
+}
+
+TEST(BinStream, CheckpointCorruptionNeverCrashes) {
+  BinStream stream;
+  shard::put_checkpoint(stream, sample_checkpoint(2));
+  const std::string& bytes = stream.bytes();
+  Rng rng(7);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string mutated = bytes;
+    const auto pos = static_cast<std::size_t>(rng.below(mutated.size()));
+    mutated[pos] = static_cast<char>(
+        mutated[pos] ^ static_cast<char>(1 + rng.below(255)));
+    BinStream reader(mutated);
+    try {
+      const shard::Checkpoint decoded =
+          shard::get_checkpoint(reader, "checkpoint", 2);
+      // Surviving decodes must still satisfy the record's invariants.
+      EXPECT_EQ(decoded.shard, 2);
+      EXPECT_EQ(decoded.fault_cursor, decoded.step);
+      EXPECT_LE(decoded.local_unsatisfied, decoded.unsatisfied);
+      EXPECT_EQ(decoded.completion.size(), decoded.satisfied.size());
+    } catch (const Error&) {
+      // rejected: fine
+    }
+  }
+}
+
+TEST(BinStream, CheckpointFromTheWrongShardIsRejected) {
+  BinStream stream;
+  shard::put_checkpoint(stream, sample_checkpoint(1));
+  BinStream reader(stream.bytes());
+  try {
+    shard::get_checkpoint(reader, "checkpoint", /*expect_shard=*/3);
+    FAIL() << "expected wrong-shard rejection";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("checkpoint from the wrong shard"),
+              std::string::npos)
+        << e.what();
+  }
+  // Without an expectation the same record decodes fine.
+  BinStream again(stream.bytes());
+  EXPECT_EQ(shard::get_checkpoint(again, "checkpoint").shard, 1);
+}
+
+TEST(BinStream, CheckpointCorruptVarintAndBadMagicAreRejected) {
+  BinStream stream;
+  shard::put_checkpoint(stream, sample_checkpoint(0));
+  std::string bytes = stream.bytes();
+  {
+    std::string bad_magic = bytes;
+    bad_magic[0] = static_cast<char>(bad_magic[0] ^ 0x5a);
+    BinStream reader(bad_magic);
+    EXPECT_THROW(shard::get_checkpoint(reader, "checkpoint"), Error);
+  }
+  {
+    // An unterminated varint where the shard id lives: continuation
+    // bits forever.
+    std::string runaway = bytes.substr(0, 4);
+    runaway.append(12, static_cast<char>(0x80));
+    BinStream reader(runaway);
+    EXPECT_THROW(shard::get_checkpoint(reader, "checkpoint"), Error);
   }
 }
 
