@@ -420,6 +420,14 @@ BENCHMARK_CAPTURE(BM_ShardStep, local, "local")
     ->Args({1000, 512, 2})
     ->Args({1000, 512, 4})
     ->Unit(benchmark::kMillisecond);
+// Coordinated planning: shards > 1 adds the wave round (top-k summary
+// broadcast + replicated merge) on top of full possession replication.
+BENCHMARK_CAPTURE(BM_ShardStep, global, "global")
+    ->ArgNames({"", "", "shards"})
+    ->Args({1000, 512, 1})
+    ->Args({1000, 512, 2})
+    ->Args({1000, 512, 4})
+    ->Unit(benchmark::kMillisecond);
 
 void BM_ValidateAndPrune(benchmark::State& state) {
   Rng rng(13);

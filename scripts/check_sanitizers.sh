@@ -59,10 +59,14 @@ done
 # teardown/respawn and checkpoint/replay interleaved with the pool
 # phases — the recovery bookkeeping claims to run only on the driver
 # thread between barriers, and this pass is what holds it to that),
+# ShardCoordinated replays the coordinated planners' wave round (the
+# per-step top-k broadcast that precedes plan) against single-process
+# runs with the same pool fan-out,
 # and ShardPartition/BinStream cover the partitioner and the message
 # codec (their data races would surface as corrupt frames, so they run
-# here AND in the ASan pass above).  ShardForkTransport and
-# ShardForkRecovery are deliberately absent from the filter: fork()
+# here AND in the ASan pass above).  ShardForkTransport,
+# ShardForkRecovery and ShardForkCoordinated are deliberately absent
+# from the filter: fork()
 # from a threaded test binary is outside TSan's supported envelope —
 # the forked transport's correctness (including crash respawn and the
 # barrier-deadline hang detection) is pinned by the differential
@@ -79,6 +83,6 @@ cmake --build --preset tsan -j "$(nproc)" --target ocd_tests ocd_alloc_tests
 
 export TSAN_OPTIONS="halt_on_error=1"
 OCD_JOBS=8 ctest --preset tsan -j "$(nproc)" \
-  -R "${OCD_TSAN_FILTER:-Parallel|Determinism|SweepGrid|FaultSweep|TokenMatrix|SnapshotRing|AllocCount|ShardDeterminism|ShardPartition|ShardRecovery|BinStream}"
+  -R "${OCD_TSAN_FILTER:-Parallel|Determinism|SweepGrid|FaultSweep|TokenMatrix|SnapshotRing|AllocCount|ShardDeterminism|ShardCoordinated|ShardPartition|ShardRecovery|BinStream}"
 
 echo "Sanitizer run clean."

@@ -46,10 +46,12 @@ std::vector<VertexId> bfs_order(const Digraph& graph) {
 
 }  // namespace
 
-Partition partition_vertices(const Digraph& graph, std::int32_t num_shards) {
+Partition partition_vertices(const Digraph& graph, std::int32_t num_shards,
+                             std::int32_t refinement_sweeps) {
   const std::int32_t n = graph.num_vertices();
   OCD_EXPECTS(num_shards >= 1);
   OCD_EXPECTS(num_shards <= std::max(n, 1));
+  OCD_EXPECTS(refinement_sweeps >= 0);
 
   Partition part;
   part.num_shards = num_shards;
@@ -79,43 +81,50 @@ Partition partition_vertices(const Digraph& graph, std::int32_t num_shards) {
   std::vector<std::int64_t> sizes(static_cast<std::size_t>(num_shards), 0);
   for (std::int32_t s : part.shard_of) ++sizes[static_cast<std::size_t>(s)];
 
-  // Phase 2 — one greedy refinement sweep in vertex-id order: move a
+  // Phase 2 — greedy refinement sweeps in vertex-id order: move a
   // vertex to the shard holding the (strict) majority of its neighbors
   // when the move keeps every shard size within [lo, hi].  Gains are
-  // evaluated against the current labels, so the sweep is deterministic
-  // and terminates by construction.
+  // evaluated against the current labels, so each sweep is
+  // deterministic and terminates by construction; later sweeps see the
+  // earlier ones' labels and keep chipping at the cut until a sweep
+  // moves nothing (a local minimum) or the sweep budget runs out.
   if (num_shards > 1) {
     std::vector<std::int64_t> freq(static_cast<std::size_t>(num_shards), 0);
     std::vector<std::int32_t> seen;
     seen.reserve(16);
-    for (VertexId v = 0; v < n; ++v) {
-      const auto cur =
-          static_cast<std::size_t>(part.shard_of[static_cast<std::size_t>(v)]);
-      seen.clear();
-      const auto tally = [&](VertexId w) {
-        const auto s = static_cast<std::size_t>(
-            part.shard_of[static_cast<std::size_t>(w)]);
-        if (freq[s] == 0) seen.push_back(static_cast<std::int32_t>(s));
-        ++freq[s];
-      };
-      for (ArcId a : graph.out_arcs(v)) tally(graph.arc(a).to);
-      for (ArcId a : graph.in_arcs(v)) tally(graph.arc(a).from);
-      std::int32_t best = static_cast<std::int32_t>(cur);
-      std::int64_t best_freq = freq[cur];
-      std::sort(seen.begin(), seen.end());  // lowest shard id wins ties
-      for (std::int32_t s : seen) {
-        if (freq[static_cast<std::size_t>(s)] > best_freq) {
-          best_freq = freq[static_cast<std::size_t>(s)];
-          best = s;
+    for (std::int32_t sweep = 0; sweep < refinement_sweeps; ++sweep) {
+      std::int64_t moved = 0;
+      for (VertexId v = 0; v < n; ++v) {
+        const auto cur = static_cast<std::size_t>(
+            part.shard_of[static_cast<std::size_t>(v)]);
+        seen.clear();
+        const auto tally = [&](VertexId w) {
+          const auto s = static_cast<std::size_t>(
+              part.shard_of[static_cast<std::size_t>(w)]);
+          if (freq[s] == 0) seen.push_back(static_cast<std::int32_t>(s));
+          ++freq[s];
+        };
+        for (ArcId a : graph.out_arcs(v)) tally(graph.arc(a).to);
+        for (ArcId a : graph.in_arcs(v)) tally(graph.arc(a).from);
+        std::int32_t best = static_cast<std::int32_t>(cur);
+        std::int64_t best_freq = freq[cur];
+        std::sort(seen.begin(), seen.end());  // lowest shard id wins ties
+        for (std::int32_t s : seen) {
+          if (freq[static_cast<std::size_t>(s)] > best_freq) {
+            best_freq = freq[static_cast<std::size_t>(s)];
+            best = s;
+          }
+        }
+        for (std::int32_t s : seen) freq[static_cast<std::size_t>(s)] = 0;
+        if (best != static_cast<std::int32_t>(cur) && sizes[cur] > lo &&
+            sizes[static_cast<std::size_t>(best)] < hi) {
+          part.shard_of[static_cast<std::size_t>(v)] = best;
+          --sizes[cur];
+          ++sizes[static_cast<std::size_t>(best)];
+          ++moved;
         }
       }
-      for (std::int32_t s : seen) freq[static_cast<std::size_t>(s)] = 0;
-      if (best != static_cast<std::int32_t>(cur) && sizes[cur] > lo &&
-          sizes[static_cast<std::size_t>(best)] < hi) {
-        part.shard_of[static_cast<std::size_t>(v)] = best;
-        --sizes[cur];
-        ++sizes[static_cast<std::size_t>(best)];
-      }
+      if (moved == 0) break;
     }
   }
 

@@ -32,6 +32,7 @@ namespace {
 /// checkpoint trims them, so the log is bounded by the checkpoint
 /// interval.
 struct StepMailLog {
+  std::vector<std::vector<std::string>> wave_in;   ///< [shard][peer], coordinated
   std::vector<std::vector<std::string>> plan_in;   ///< [shard][peer]
   std::vector<std::vector<std::string>> apply_in;  ///< [shard][peer]
   std::vector<std::string> losses;                 ///< [shard], in-process
@@ -75,6 +76,7 @@ TransportResult InProcessTransport::run(const RunContext& ctx) {
   RecoveryStats& rec = result.recovery;
   const bool recovery = ctx.recovery_armed;
   const bool faulted = ctx.sim.faults != nullptr;
+  const bool coordinated = ctx.coordinated && count > 1;
   std::vector<std::int32_t> incarnation(count, 0);
   std::vector<std::vector<std::string>> init_in;
   std::map<std::int64_t, StepMailLog> log;
@@ -108,16 +110,27 @@ TransportResult InProcessTransport::run(const RunContext& ctx) {
     std::vector<std::string> discard;
     for (std::int64_t k = from; k < step; ++k) {
       const StepMailLog& l = log.at(k);
+      if (coordinated) {
+        workers[s]->phase_wave(discard);
+        workers[s]->absorb_wave(l.wave_in[s]);
+      }
       workers[s]->phase_plan(discard, faulted ? &l.losses[s] : nullptr);
       workers[s]->phase_apply(l.plan_in[s], discard);
       workers[s]->phase_commit(l.apply_in[s]);
     }
     rec.replayed_steps += step - from;
-    if (phase != CrashPhase::kPlan) {
+    if (coordinated ? phase != CrashPhase::kWave
+                    : phase != CrashPhase::kPlan) {
       const StepMailLog& l = log.at(step);
-      workers[s]->phase_plan(discard, faulted ? &l.losses[s] : nullptr);
-      if (phase == CrashPhase::kCommit)
-        workers[s]->phase_apply(l.plan_in[s], discard);
+      if (coordinated) {
+        workers[s]->phase_wave(discard);
+        workers[s]->absorb_wave(l.wave_in[s]);
+      }
+      if (phase != CrashPhase::kPlan) {
+        workers[s]->phase_plan(discard, faulted ? &l.losses[s] : nullptr);
+        if (phase == CrashPhase::kCommit)
+          workers[s]->phase_apply(l.plan_in[s], discard);
+      }
     }
     ++rec.recoveries;
   };
@@ -148,16 +161,20 @@ TransportResult InProcessTransport::run(const RunContext& ctx) {
     const std::int64_t step = workers[0]->step();
     if (driver_faults)
       ctx.sim.faults->begin_step(step, ctx.instance->graph());
+    StepMailLog* l = recovery ? &log[step] : nullptr;
+    if (coordinated) {
+      inject(CrashPhase::kWave, step);
+      each([&](std::size_t s) { workers[s]->phase_wave(outbox[s]); });
+      transpose();
+      if (recovery) l->wave_in = inbox;
+      each([&](std::size_t s) { workers[s]->absorb_wave(inbox[s]); });
+    }
     inject(CrashPhase::kPlan, step);
     each([&](std::size_t s) { workers[s]->phase_plan(outbox[s]); });
-    StepMailLog* l = nullptr;
-    if (recovery) {
-      l = &log[step];
-      if (faulted) {
-        l->losses.resize(count);
-        for (std::size_t s = 0; s < count; ++s)
-          l->losses[s] = workers[s]->loss_record();
-      }
+    if (recovery && faulted) {
+      l->losses.resize(count);
+      for (std::size_t s = 0; s < count; ++s)
+        l->losses[s] = workers[s]->loss_record();
     }
     transpose();
     if (recovery) l->plan_in = inbox;
@@ -362,9 +379,10 @@ enum class Resume : std::uint8_t {
   kFresh,            ///< initial spawn, full protocol from phase_init
   kInitRound,        ///< redo the init round's I/O
   kInitCommit,       ///< absorb the logged init mail, handshake, loop
-  kPlanRound,        ///< replay, then loop from phase_plan
-  kApplyRound,       ///< replay; silent plan; live from phase_apply
-  kCommitRound,      ///< replay; silent plan+apply; live from commit
+  kWaveRound,        ///< replay, then loop from phase_wave (coordinated)
+  kPlanRound,        ///< replay (+ silent wave), loop from phase_plan
+  kApplyRound,       ///< replay; silent wave+plan; live from phase_apply
+  kCommitRound,      ///< replay; silent wave+plan+apply; live from commit
   kCheckpointFrame,  ///< replay everything, rewrite the checkpoint frame
   kFragment,         ///< replay everything, write the fragment
 };
@@ -391,6 +409,7 @@ struct Supervisor {
       : ctx(context),
         count(static_cast<std::size_t>(context.partition->num_shards)),
         timeout(context.barrier_timeout_ms),
+        coordinated(context.coordinated && count > 1),
         fds(count, -1),
         pids(count, -1),
         incarnation(count, 0),
@@ -400,6 +419,7 @@ struct Supervisor {
   const RunContext& ctx;
   std::size_t count;
   std::int64_t timeout;
+  bool coordinated;
   std::vector<int> fds;
   std::vector<pid_t> pids;
   std::vector<std::int32_t> incarnation;
@@ -425,6 +445,10 @@ struct Supervisor {
     kCheckpoint,  ///< reading a child's checkpoint frame
     kFragment,    ///< reading a child's finish fragment
   };
+
+  /// Which message round a kFrames/kMail stage belongs to; the other
+  /// stages ignore it (pass Round::kApply by convention).
+  enum class Round : std::uint8_t { kWave, kPlan, kApply };
 
   void spawn(std::size_t s, Resume resume) {
     int pair[2] = {-1, -1};
@@ -500,15 +524,21 @@ struct Supervisor {
 
   const char* mail_round_label = "plan";  ///< set by step_round()
 
-  [[nodiscard]] Resume resume_point(Stage stage, bool plan_round) const {
+  [[nodiscard]] Resume resume_point(Stage stage, Round round) const {
     if (in_init)
       return stage == Stage::kFrames ? Resume::kInitRound
                                      : Resume::kInitCommit;
     switch (stage) {
       case Stage::kFrames:
-        return plan_round ? Resume::kPlanRound : Resume::kApplyRound;
+        return round == Round::kWave    ? Resume::kWaveRound
+               : round == Round::kPlan  ? Resume::kPlanRound
+                                        : Resume::kApplyRound;
       case Stage::kMail:
-        return plan_round ? Resume::kApplyRound : Resume::kCommitRound;
+        // The failed mail row is re-read from the log (route_round files
+        // it before any write), so the child rejoins at the next round.
+        return round == Round::kWave    ? Resume::kPlanRound
+               : round == Round::kPlan  ? Resume::kApplyRound
+                                        : Resume::kCommitRound;
       case Stage::kStatus:
       case Stage::kAck:
         return Resume::kCommitRound;
@@ -523,7 +553,7 @@ struct Supervisor {
   /// Kills, respawns, and fast-forwards shard `s` after an I/O failure
   /// at `stage`.  Throws when recovery is off (rethrowing the original
   /// field-named error with context) or the respawn budget is spent.
-  void recover(std::size_t s, Stage stage, bool plan_round,
+  void recover(std::size_t s, Stage stage, Round round,
                const Error& cause) {
     ++rec.worker_crashes;
     terminate(s);
@@ -538,7 +568,7 @@ struct Supervisor {
                   std::to_string(committed) + ", phase " +
                   phase_label(stage));
     ++incarnation[s];
-    const Resume resume = resume_point(stage, plan_round);
+    const Resume resume = resume_point(stage, round);
     // Respawn-time replay accounting: the child will re-execute every
     // logged step below the live one (all of them for the post-loop
     // resume points).
@@ -568,13 +598,13 @@ struct Supervisor {
   /// respawned child takes its input from the log instead (mail
   /// writes).
   template <typename Op>
-  bool attempt(std::size_t s, Stage stage, bool plan_round, Op&& op) {
+  bool attempt(std::size_t s, Stage stage, Round round, Op&& op) {
     for (;;) {
       try {
         op();
         return true;
       } catch (const Error& e) {
-        recover(s, stage, plan_round, e);
+        recover(s, stage, round, e);
         if (stage == Stage::kMail) return false;  // child reads the log
       }
     }
@@ -604,22 +634,25 @@ struct Supervisor {
   }
 
   /// One full message round: drain every child's frames, transpose,
-  /// deliver.  Returns the per-recipient rows for the log.
-  std::vector<std::vector<std::string>> route_round(const char* what,
-                                                    bool plan_round) {
+  /// deliver.  The per-recipient rows are filed into `log_rows` BEFORE
+  /// any mail write, so a child that dies mid-delivery can always
+  /// re-read its row from the log (a kMail resume point depends on it).
+  void route_round(const char* what, Round round,
+                   std::vector<std::vector<std::string>>* log_rows) {
     mail_round_label = what;
     for (std::size_t s = 0; s < count; ++s)
-      attempt(s, Stage::kFrames, plan_round,
-              [&] { read_frames(s, what); });
-    std::vector<std::vector<std::string>> rows = recipient_rows();
+      attempt(s, Stage::kFrames, round, [&] { read_frames(s, what); });
+    std::vector<std::vector<std::string>> local;
+    std::vector<std::vector<std::string>>& rows =
+        log_rows != nullptr ? *log_rows : local;
+    rows = recipient_rows();
     for (std::size_t dst = 0; dst < count; ++dst)
-      attempt(dst, Stage::kMail, plan_round, [&] {
+      attempt(dst, Stage::kMail, round, [&] {
         for (std::size_t src = 0; src < count; ++src)
           if (src != dst)
             write_frame(fds[dst], static_cast<std::uint32_t>(src),
                         rows[dst][src], what, timeout);
       });
-    return rows;
   }
 
   /// Status barrier: children must agree unanimously; the ack echo
@@ -627,7 +660,7 @@ struct Supervisor {
   bool status_barrier() {
     bool have = false;
     for (std::size_t s = 0; s < count; ++s)
-      attempt(s, Stage::kStatus, false, [&] {
+      attempt(s, Stage::kStatus, Round::kApply, [&] {
         std::uint8_t status = 0;
         read_all(fds[s], &status, 1, "status", timeout);
         if (!have) {
@@ -638,7 +671,7 @@ struct Supervisor {
         }
       });
     for (std::size_t s = 0; s < count; ++s)
-      attempt(s, Stage::kAck, false, [&] {
+      attempt(s, Stage::kAck, Round::kApply, [&] {
         write_all(fds[s], &barrier_status, 1, "ack", timeout);
       });
     return barrier_status == 0;
@@ -647,10 +680,11 @@ struct Supervisor {
   void run_init_round() {
     mail_round_label = "init";
     for (std::size_t s = 0; s < count; ++s)
-      attempt(s, Stage::kFrames, true, [&] { read_frames(s, "init"); });
+      attempt(s, Stage::kFrames, Round::kPlan,
+              [&] { read_frames(s, "init"); });
     init_in = recipient_rows();
     for (std::size_t dst = 0; dst < count; ++dst)
-      attempt(dst, Stage::kMail, true, [&] {
+      attempt(dst, Stage::kMail, Round::kPlan, [&] {
         for (std::size_t src = 0; src < count; ++src)
           if (src != dst)
             write_frame(fds[dst], static_cast<std::uint32_t>(src),
@@ -659,14 +693,14 @@ struct Supervisor {
   }
 
   void run_step_round() {
-    auto plan_rows = route_round("plan", true);
-    StepMailLog* entry = nullptr;
-    if (ctx.recovery_armed) {
-      entry = &log[committed];
-      entry->plan_in = std::move(plan_rows);
-    }
-    auto apply_rows = route_round("apply", false);
-    if (entry != nullptr) entry->apply_in = std::move(apply_rows);
+    StepMailLog* entry = ctx.recovery_armed ? &log[committed] : nullptr;
+    if (coordinated)
+      route_round("wave", Round::kWave,
+                  entry != nullptr ? &entry->wave_in : nullptr);
+    route_round("plan", Round::kPlan,
+                entry != nullptr ? &entry->plan_in : nullptr);
+    route_round("apply", Round::kApply,
+                entry != nullptr ? &entry->apply_in : nullptr);
   }
 
   void maybe_collect_checkpoints() {
@@ -675,7 +709,7 @@ struct Supervisor {
       return;
     std::vector<std::string> fresh(count);
     for (std::size_t s = 0; s < count; ++s)
-      attempt(s, Stage::kCheckpoint, false, [&] {
+      attempt(s, Stage::kCheckpoint, Round::kApply, [&] {
         auto [shard, bytes] = read_frame(fds[s], "checkpoint", timeout);
         if (shard != s)
           throw Error("shard transport: checkpoint from the wrong shard");
@@ -691,7 +725,7 @@ struct Supervisor {
   std::vector<std::string> collect_fragments() {
     std::vector<std::string> fragments(count);
     for (std::size_t s = 0; s < count; ++s)
-      attempt(s, Stage::kFragment, false, [&] {
+      attempt(s, Stage::kFragment, Round::kApply, [&] {
         auto [shard, bytes] = read_frame(fds[s], "fragment", timeout);
         if (shard != s)
           throw Error("shard transport: fragment from the wrong shard");
@@ -741,8 +775,16 @@ void child_main(int fd, const ChildTask& task) {
       ctx.barrier_timeout_ms *
       (static_cast<std::int64_t>(count) * (ctx.max_respawns + 2) + 2);
   const auto shard = static_cast<std::size_t>(task.shard);
+  const bool coordinated = ctx.coordinated && count > 1;
   ShardWorker worker(ctx, task.shard);
   std::vector<std::string> out(count), in(count), discard(count);
+  // Silent wave for a replayed or already-routed step: the summary was
+  // already delivered in a previous incarnation, so the output is
+  // discarded and the logged peer frames are merged instead.
+  const auto replay_wave = [&](const StepMailLog& entry) {
+    worker.phase_wave(discard);
+    worker.absorb_wave(entry.wave_in[shard]);
+  };
 
   const auto handshake = [&] {
     const std::uint8_t status = worker.running() ? 0 : 1;
@@ -773,6 +815,9 @@ void child_main(int fd, const ChildTask& task) {
     }
   };
 
+  // Set when a resume point already merged the live step's wave round,
+  // so the first loop iteration must not run it again.
+  bool wave_done = false;
   if (task.resume == Resume::kFresh || task.resume == Resume::kInitRound) {
     worker.phase_init(out);
     child_round(fd, task.shard, out, in, "init", timeout);
@@ -798,15 +843,25 @@ void child_main(int fd, const ChildTask& task) {
                                   : sup.committed;
     for (const auto& [k, entry] : sup.log) {
       if (k < from || k >= upto) continue;
+      if (coordinated) replay_wave(entry);
       worker.phase_plan(discard);
       worker.phase_apply(entry.plan_in[shard], discard);
       worker.phase_commit(entry.apply_in[shard]);
     }
     switch (task.resume) {
+      case Resume::kWaveRound:
+        break;  // the loop below starts exactly at phase_wave
       case Resume::kPlanRound:
-        break;  // the loop below starts exactly at phase_plan
+        // The live step's wave round was already routed; rebuild the
+        // merged decision from the log, then loop from phase_plan.
+        if (coordinated) {
+          replay_wave(sup.log.at(sup.committed));
+          wave_done = true;
+        }
+        break;
       case Resume::kApplyRound: {
         const StepMailLog& live = sup.log.at(sup.committed);
+        if (coordinated) replay_wave(live);
         worker.phase_plan(discard);  // frames already delivered
         inject(CrashPhase::kApply);
         worker.phase_apply(live.plan_in[shard], out);
@@ -819,6 +874,7 @@ void child_main(int fd, const ChildTask& task) {
       }
       case Resume::kCommitRound: {
         const StepMailLog& live = sup.log.at(sup.committed);
+        if (coordinated) replay_wave(live);
         worker.phase_plan(discard);
         worker.phase_apply(live.plan_in[shard], discard);
         inject(CrashPhase::kCommit);
@@ -839,6 +895,13 @@ void child_main(int fd, const ChildTask& task) {
   }
 
   while (worker.running()) {
+    if (coordinated && !wave_done) {
+      inject(CrashPhase::kWave);
+      worker.phase_wave(out);
+      child_round(fd, task.shard, out, in, "wave", timeout);
+      worker.absorb_wave(in);
+    }
+    wave_done = false;
     inject(CrashPhase::kPlan);
     worker.phase_plan(out);
     child_round(fd, task.shard, out, in, "plan", timeout);

@@ -1,0 +1,276 @@
+// Sharded coordinated planning: the "global" (GlobalGreedy) and
+// "bandwidth" planners need the whole possession map to decide, so the
+// sharded runtime replicates possession on every shard and inserts one
+// wave round (top-k candidate summaries) before each plan phase.  The
+// contract is unchanged from the local planners: the merged schedule
+// and RunStats are bit-for-bit identical to sim::run for every shard
+// count, both transports, any wave_topk, and any fault model — a
+// smaller summary horizon may only trade bytes for exact-rescan
+// fallbacks, never change a single send.
+//
+// The ShardCoordinated suite drives the in-process transport (it is
+// part of the TSan pass); ShardForkCoordinated drives forked children
+// and is ASan-only like the other fork suites.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "ocd/core/scenario.hpp"
+#include "ocd/faults/model.hpp"
+#include "ocd/heuristics/factory.hpp"
+#include "ocd/shard/runtime.hpp"
+#include "ocd/sim/simulator.hpp"
+#include "ocd/topology/random_graph.hpp"
+
+namespace ocd::shard {
+namespace {
+
+constexpr std::int32_t kShardCounts[] = {1, 2, 4};
+constexpr const char* kCoordinatedPolicies[] = {"global", "bandwidth"};
+
+core::Instance broadcast_instance(std::int32_t n, std::int32_t tokens,
+                                  std::uint64_t seed) {
+  Rng rng(seed);
+  Digraph g = topology::random_overlay(n, rng);
+  return core::single_source_all_receivers(std::move(g), tokens, 0);
+}
+
+core::Instance scattered_instance(std::int32_t n, std::int32_t tokens,
+                                  std::uint64_t seed) {
+  Rng rng(seed);
+  Digraph g = topology::random_overlay(n, rng);
+  core::Instance inst(std::move(g), tokens);
+  for (VertexId v = 0; v < n; ++v) {
+    TokenSet have(static_cast<std::size_t>(tokens));
+    have.set(static_cast<TokenId>(v % tokens));
+    if (rng.chance(0.3)) have.set(static_cast<TokenId>((v + 1) % tokens));
+    inst.set_have(v, have);
+    inst.set_want(v, TokenSet::full(static_cast<std::size_t>(tokens)));
+  }
+  return inst;
+}
+
+void expect_same_run(const sim::RunResult& sharded,
+                     const sim::RunResult& reference,
+                     const std::string& label) {
+  EXPECT_EQ(sharded.success, reference.success) << label;
+  EXPECT_EQ(sharded.steps, reference.steps) << label;
+  EXPECT_EQ(sharded.bandwidth, reference.bandwidth) << label;
+  EXPECT_EQ(sharded.termination, reference.termination) << label;
+  EXPECT_EQ(sharded.stats.useful_moves, reference.stats.useful_moves)
+      << label;
+  EXPECT_EQ(sharded.stats.redundant_moves, reference.stats.redundant_moves)
+      << label;
+  EXPECT_EQ(sharded.stats.lost_moves, reference.stats.lost_moves) << label;
+  EXPECT_EQ(sharded.stats.moves_per_step, reference.stats.moves_per_step)
+      << label;
+  EXPECT_EQ(sharded.stats.lost_per_step, reference.stats.lost_per_step)
+      << label;
+  EXPECT_EQ(sharded.stats.completion_step, reference.stats.completion_step)
+      << label;
+  EXPECT_EQ(sharded.stats.sent_by_vertex, reference.stats.sent_by_vertex)
+      << label;
+  ASSERT_EQ(sharded.schedule.length(), reference.schedule.length()) << label;
+  for (std::size_t s = 0; s < reference.schedule.steps().size(); ++s) {
+    const auto& sa = sharded.schedule.steps()[s].sends();
+    const auto& sb = reference.schedule.steps()[s].sends();
+    ASSERT_EQ(sa.size(), sb.size()) << label << " step " << s;
+    for (std::size_t i = 0; i < sa.size(); ++i) {
+      EXPECT_EQ(sa[i].arc, sb[i].arc) << label << " step " << s;
+      EXPECT_EQ(sa[i].tokens, sb[i].tokens) << label << " step " << s;
+    }
+  }
+}
+
+sim::RunResult reference_run(const core::Instance& inst,
+                             const char* policy_name,
+                             const sim::SimOptions& options) {
+  const sim::PolicyPtr policy = heuristics::make_policy(policy_name);
+  return sim::run(inst, *policy, options);
+}
+
+sim::RunResult run_with(const core::Instance& inst, const char* policy_name,
+                        std::int32_t shards, const sim::SimOptions& sim,
+                        TransportKind transport, std::int32_t wave_topk = 0) {
+  ShardOptions options;
+  options.num_shards = shards;
+  options.transport = transport;
+  options.wave_topk = wave_topk;
+  options.sim = sim;
+  return run_sharded(inst, policy_name, options);
+}
+
+// ---- in-process (TSan pass) ----------------------------------------
+
+TEST(ShardCoordinated, MatchesSingleProcessForEveryShardCount) {
+  for (const auto& make_inst :
+       {std::function<core::Instance()>(
+            [] { return broadcast_instance(40, 24, 7); }),
+        std::function<core::Instance()>(
+            [] { return scattered_instance(30, 12, 11); })}) {
+    const core::Instance inst = make_inst();
+    for (const char* policy_name : kCoordinatedPolicies) {
+      sim::SimOptions options;
+      options.max_steps = 400;
+      options.seed = 99;
+      const sim::RunResult reference =
+          reference_run(inst, policy_name, options);
+      for (std::int32_t shards : kShardCounts) {
+        const sim::RunResult result = run_with(
+            inst, policy_name, shards, options, TransportKind::kInProcess);
+        expect_same_run(result, reference,
+                        std::string(policy_name) + " shards=" +
+                            std::to_string(shards));
+      }
+    }
+  }
+}
+
+TEST(ShardCoordinated, MatchesSingleProcessUnderUniformLoss) {
+  const core::Instance inst = broadcast_instance(32, 16, 13);
+  for (const char* policy_name : kCoordinatedPolicies) {
+    sim::SimOptions options;
+    options.max_steps = 400;
+    options.seed = 5;
+    faults::UniformLoss reference_model(0.3);
+    options.faults = &reference_model;
+    const sim::RunResult reference =
+        reference_run(inst, policy_name, options);
+    ASSERT_GT(reference.stats.lost_moves, 0) << policy_name;
+    for (std::int32_t shards : kShardCounts) {
+      faults::UniformLoss sharded_model(0.3);
+      sim::SimOptions sharded = options;
+      sharded.faults = &sharded_model;
+      const sim::RunResult result = run_with(
+          inst, policy_name, shards, sharded, TransportKind::kInProcess);
+      expect_same_run(result, reference,
+                      std::string(policy_name) + "/uniform shards=" +
+                          std::to_string(shards));
+    }
+  }
+}
+
+TEST(ShardCoordinated, ExhaustedHorizonFallsBackToTheExactRescan) {
+  // wave_topk = 1 starves the summaries: GlobalGreedy's merge runs out
+  // of listed ranks while a shard's more-flag is set, forcing the exact
+  // serial-rescan fallback — which must leave the schedule untouched.
+  const core::Instance inst = broadcast_instance(40, 24, 7);
+  sim::SimOptions options;
+  options.max_steps = 400;
+  options.seed = 99;
+  const sim::RunResult reference = reference_run(inst, "global", options);
+  for (std::int32_t shards : {2, 4}) {
+    const sim::RunResult starved =
+        run_with(inst, "global", shards, options, TransportKind::kInProcess,
+                 /*wave_topk=*/1);
+    expect_same_run(starved, reference,
+                    "topk=1 shards=" + std::to_string(shards));
+    EXPECT_GT(starved.stats.shard_wave_fallbacks, 0)
+        << "a horizon of 1 must actually exercise the fallback";
+    const sim::RunResult roomy =
+        run_with(inst, "global", shards, options, TransportKind::kInProcess,
+                 /*wave_topk=*/1 << 16);
+    expect_same_run(roomy, reference,
+                    "topk=64k shards=" + std::to_string(shards));
+    EXPECT_EQ(roomy.stats.shard_wave_fallbacks, 0)
+        << "an unbounded horizon never falls back";
+  }
+}
+
+TEST(ShardCoordinated, ReportsBarrierTrafficCounters) {
+  const core::Instance inst = broadcast_instance(32, 16, 13);
+  sim::SimOptions options;
+  options.max_steps = 400;
+  // Single process: no barrier, all counters stay zero.
+  const sim::RunResult reference = reference_run(inst, "global", options);
+  EXPECT_EQ(reference.stats.shard_bytes_sent, 0);
+  EXPECT_EQ(reference.stats.shard_bytes_received, 0);
+  EXPECT_EQ(reference.stats.shard_summary_entries, 0);
+  // One shard: no peers, still no traffic.
+  const sim::RunResult solo =
+      run_with(inst, "global", 1, options, TransportKind::kInProcess);
+  EXPECT_EQ(solo.stats.shard_bytes_sent, 0);
+  EXPECT_EQ(solo.stats.shard_bytes_received, 0);
+  // Two shards: every frame is counted on both ends of the star, and
+  // the wave summaries contribute entries.
+  const sim::RunResult sharded =
+      run_with(inst, "global", 2, options, TransportKind::kInProcess);
+  EXPECT_GT(sharded.stats.shard_bytes_sent, 0);
+  EXPECT_EQ(sharded.stats.shard_bytes_sent,
+            sharded.stats.shard_bytes_received)
+      << "a 2-shard star delivers every byte it sends";
+  EXPECT_GT(sharded.stats.shard_summary_entries, 0);
+}
+
+TEST(ShardCoordinated, ResolvesWaveTopkFromEnvironment) {
+  EXPECT_EQ(resolve_wave_topk(3), 3);
+  ::unsetenv("OCD_SHARD_WAVE_TOPK");
+  EXPECT_EQ(resolve_wave_topk(0), 8);
+  ::setenv("OCD_SHARD_WAVE_TOPK", "16", 1);
+  EXPECT_EQ(resolve_wave_topk(0), 16);
+  EXPECT_EQ(resolve_wave_topk(2), 2);  // explicit beats environment
+  ::setenv("OCD_SHARD_WAVE_TOPK", "lots", 1);
+  EXPECT_THROW(resolve_wave_topk(0), Error);
+  ::unsetenv("OCD_SHARD_WAVE_TOPK");
+  EXPECT_THROW(resolve_wave_topk(-4), Error);
+}
+
+TEST(ShardCoordinated, ScheduleRecordingCanBeDisabled) {
+  const core::Instance inst = broadcast_instance(20, 8, 2);
+  sim::SimOptions options;
+  options.record_schedule = false;
+  const sim::RunResult reference = reference_run(inst, "global", options);
+  const sim::RunResult result =
+      run_with(inst, "global", 2, options, TransportKind::kInProcess);
+  EXPECT_TRUE(result.schedule.empty());
+  EXPECT_EQ(result.steps, reference.steps);
+  EXPECT_EQ(result.bandwidth, reference.bandwidth);
+  EXPECT_EQ(result.stats.completion_step, reference.stats.completion_step);
+}
+
+// ---- forked (ASan-only; fork is excluded from TSan) -----------------
+
+TEST(ShardForkCoordinated, MatchesSingleProcessForEveryShardCount) {
+  const core::Instance inst = broadcast_instance(32, 16, 13);
+  for (const char* policy_name : kCoordinatedPolicies) {
+    sim::SimOptions options;
+    options.max_steps = 400;
+    options.seed = 99;
+    const sim::RunResult reference =
+        reference_run(inst, policy_name, options);
+    for (std::int32_t shards : kShardCounts) {
+      const sim::RunResult result = run_with(
+          inst, policy_name, shards, options, TransportKind::kForked);
+      expect_same_run(result, reference,
+                      std::string("fork ") + policy_name + " shards=" +
+                          std::to_string(shards));
+    }
+  }
+}
+
+TEST(ShardForkCoordinated, MatchesSingleProcessUnderUniformLoss) {
+  const core::Instance inst = broadcast_instance(28, 14, 17);
+  for (const char* policy_name : kCoordinatedPolicies) {
+    sim::SimOptions options;
+    options.max_steps = 400;
+    options.seed = 23;
+    faults::UniformLoss reference_model(0.3);
+    options.faults = &reference_model;
+    const sim::RunResult reference =
+        reference_run(inst, policy_name, options);
+    ASSERT_GT(reference.stats.lost_moves, 0) << policy_name;
+    faults::UniformLoss sharded_model(0.3);
+    sim::SimOptions sharded = options;
+    sharded.faults = &sharded_model;
+    const sim::RunResult result = run_with(inst, policy_name, 4, sharded,
+                                           TransportKind::kForked);
+    expect_same_run(result, reference,
+                    std::string("fork ") + policy_name + "/uniform");
+  }
+}
+
+}  // namespace
+}  // namespace ocd::shard

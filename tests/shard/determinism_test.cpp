@@ -279,8 +279,6 @@ TEST(ShardDeterminism, RefusesOptionsOutsideTheEnvelope) {
   distances.sim.precompute_distances = true;
   expect_refused(distances, "round-robin", "precompute_distances");
 
-  expect_refused(base, "global", "coordinated policy");
-  expect_refused(base, "bandwidth", "coordinated policy");
   expect_refused(base, "random+reliable", "adapter wrapper");
 
   ShardOptions negative = base;

@@ -140,6 +140,45 @@ TEST(ShardPartition, RefinementKeepsTheCutBelowRandomAssignment) {
   EXPECT_LT(part.stats.cut_arcs, striped_cut);
 }
 
+TEST(ShardPartition, MultiSweepRefinementOnlyImprovesTheCut) {
+  // Deeper refinement must never cost cut quality and must keep the
+  // balance bounds; on a sparse overlay it should strictly help.
+  const Digraph g = overlay(160, 12);
+  for (std::int32_t shards : {2, 4, 8}) {
+    const Partition raw = partition_vertices(g, shards, 0);
+    const Partition one = partition_vertices(g, shards, 1);
+    const Partition deep = partition_vertices(g, shards, 8);
+    EXPECT_LE(one.stats.cut_arcs, raw.stats.cut_arcs) << shards;
+    EXPECT_LE(deep.stats.cut_arcs, one.stats.cut_arcs) << shards;
+    const std::int64_t lo = 160 / shards;
+    const std::int64_t hi = (160 + shards - 1) / shards;
+    EXPECT_GE(deep.stats.min_owned, lo) << shards;
+    EXPECT_LE(deep.stats.max_owned, hi) << shards;
+  }
+  // A strict multi-sweep win on a representative configuration (dense
+  // cut, many shards), or the extra sweeps are dead code: at 8 shards
+  // on a 100-vertex overlay the single sweep is far from the local
+  // minimum.
+  const Digraph h = overlay(100, 21);
+  const Partition one = partition_vertices(h, 8, 1);
+  const Partition deep = partition_vertices(h, 8, 8);
+  EXPECT_LT(deep.stats.cut_arcs, one.stats.cut_arcs);
+}
+
+TEST(ShardPartition, MultiSweepConvergesAndStaysDeterministic) {
+  const Digraph g = overlay(100, 21);
+  // Once a sweep moves nothing the loop stops, so any budget at or past
+  // convergence yields the identical partition.
+  const Partition big = partition_vertices(g, 4, 64);
+  const Partition bigger = partition_vertices(g, 4, 1 << 20);
+  EXPECT_EQ(big.shard_of, bigger.shard_of);
+  const Partition again = partition_vertices(g, 4, 64);
+  EXPECT_EQ(big.shard_of, again.shard_of);
+  // The default stays bit-compatible with the historical single sweep.
+  EXPECT_EQ(partition_vertices(g, 4).shard_of,
+            partition_vertices(g, 4, 1).shard_of);
+}
+
 TEST(ShardPartition, SubInstanceExtractsOwnedPlusGhostSlice) {
   Rng rng(5);
   Digraph g = topology::random_overlay(30, rng);

@@ -209,6 +209,78 @@ TEST(BinStream, TokenSetHostileEncodingsAreRejected) {
   }
 }
 
+TEST(BinStream, TokenSetRawSparseThresholdAtWordBoundaries) {
+  // Pin the density-tag choice exactly at the word-boundary universes
+  // the ghost-delta wire format leans on.  Sparse costs
+  // varint_len(count) + count id bytes (one byte per id below 128);
+  // raw costs 8 bytes per word.  Ties must go to raw.  A drift in this
+  // threshold silently changes every shard frame on the wire, so the
+  // byte counts are asserted literally, not just round-tripped.
+  const auto encoded = [](const TokenSet& set) {
+    BinStream stream;
+    put_token_set(stream, set);
+    return std::string(stream.bytes());
+  };
+  const auto expect_roundtrip = [&](const TokenSet& set) {
+    BinStream reader(encoded(set));
+    EXPECT_EQ(get_token_set(reader, "set"), set);
+    EXPECT_TRUE(reader.exhausted());
+  };
+  for (const std::size_t universe : {63u, 64u}) {
+    // One word: raw payload is 8 bytes, so sparse wins up to 6 tokens
+    // (6 ids + 1 count byte = 7 < 8) and loses the tie at 7.
+    const TokenSet empty(universe);
+    EXPECT_EQ(encoded(empty).size(), 3u) << universe;  // uni+tag+count
+    EXPECT_EQ(encoded(empty)[1], 1) << universe;       // sparse tag
+    expect_roundtrip(empty);
+
+    const TokenSet single = TokenSet::of(universe, {62});
+    EXPECT_EQ(encoded(single).size(), 4u) << universe;
+    EXPECT_EQ(encoded(single)[1], 1) << universe;
+    expect_roundtrip(single);
+
+    TokenSet six(universe);
+    for (TokenId t = 0; t < 6; ++t) six.set(t);
+    EXPECT_EQ(encoded(six).size(), 9u) << universe;  // still sparse
+    EXPECT_EQ(encoded(six)[1], 1) << universe;
+    expect_roundtrip(six);
+
+    TokenSet seven(universe);
+    for (TokenId t = 0; t < 7; ++t) seven.set(t);
+    EXPECT_EQ(encoded(seven).size(), 10u) << universe;  // raw: uni+tag+8
+    EXPECT_EQ(encoded(seven)[1], 0) << universe;
+    expect_roundtrip(seven);
+  }
+  {
+    // Two words (universe 65): raw payload doubles to 16 bytes, so the
+    // flip moves to 15 tokens — the threshold tracks words, not bits.
+    const TokenSet empty(65);
+    EXPECT_EQ(encoded(empty).size(), 3u);
+    EXPECT_EQ(encoded(empty)[1], 1);
+    expect_roundtrip(empty);
+
+    const TokenSet single = TokenSet::of(65, {64});
+    EXPECT_EQ(encoded(single).size(), 4u);
+    EXPECT_EQ(encoded(single)[1], 1);
+    expect_roundtrip(single);
+
+    TokenSet fourteen(65);
+    for (TokenId t = 0; t < 14; ++t) fourteen.set(t);
+    EXPECT_EQ(encoded(fourteen).size(), 17u);  // sparse: uni+tag+count+14
+    EXPECT_EQ(encoded(fourteen)[1], 1);
+    expect_roundtrip(fourteen);
+
+    TokenSet fifteen(65);
+    for (TokenId t = 0; t < 15; ++t) fifteen.set(t);
+    EXPECT_EQ(encoded(fifteen).size(), 18u);  // raw: uni+tag+16
+    EXPECT_EQ(encoded(fifteen)[1], 0);
+    expect_roundtrip(fifteen);
+
+    // The full two-word set decodes through the tail-mask check.
+    expect_roundtrip(TokenSet::full(65));
+  }
+}
+
 TEST(BinStream, TokenMatrixRoundTrip) {
   Rng rng(11);
   for (std::size_t universe : kUniverses) {
