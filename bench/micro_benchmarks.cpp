@@ -429,6 +429,43 @@ BENCHMARK_CAPTURE(BM_ShardStep, global, "global")
     ->Args({1000, 512, 4})
     ->Unit(benchmark::kMillisecond);
 
+// Partitioner cost at both refinement tiers on the paper's structured
+// topology.  "k" (not "shards") in the arg name on purpose: the
+// undersized-host waiver keys on /shards:N and /threads:N, and the
+// partitioner is single-threaded — its numbers are valid on any host.
+// items/sec == arcs scanned/sec; the cut quality each tier buys at
+// these shard counts is recorded by bench/fig_shard.
+void BM_Partition(benchmark::State& state, bool flow_refine) {
+  const auto shards = static_cast<std::int32_t>(state.range(0));
+  Rng rng(41);
+  const Digraph g = topology::transit_stub(
+      topology::transit_stub_options_for_size(2'000), rng);
+  shard::PartitionOptions options;
+  options.num_shards = shards;
+  options.balance_eps = 5;
+  options.flow_refine = flow_refine;
+  std::int64_t cut = 0;
+  for (auto _ : state) {
+    const shard::Partition part = shard::partition_vertices(g, options);
+    cut = part.stats.cut_arcs;
+    benchmark::DoNotOptimize(cut);
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_arcs());
+  state.counters["cut_arcs"] = static_cast<double>(cut);
+}
+BENCHMARK_CAPTURE(BM_Partition, greedy, false)
+    ->ArgNames({"k"})
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_Partition, flow, true)
+    ->ArgNames({"k"})
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
 void BM_ValidateAndPrune(benchmark::State& state) {
   Rng rng(13);
   Digraph g = topology::random_overlay(60, rng);

@@ -58,7 +58,7 @@ done
 # scripts/compare_bench.py.
 echo "== micro_benchmarks (planner + token kernels + shard steps) =="
 build-bench/bench/micro_benchmarks \
-  --benchmark_filter='PlannerStepsPerSec|TokenKernel|ShardStep' \
+  --benchmark_filter='PlannerStepsPerSec|TokenKernel|ShardStep|Partition' \
   --benchmark_out=results/BENCH_planner.json \
   --benchmark_out_format=json | tee results/micro_benchmarks.txt
 
@@ -101,6 +101,9 @@ if [[ -n "${OCD_BENCH_BASELINE:-}" ]]; then
     --require-any 'ShardStep/local/1000/512/shards:4' \
     --require-any 'ShardStep/global/1000/512/shards:1' \
     --require-any 'ShardStep/global/1000/512/shards:4' \
+    --require-any 'Partition/greedy/k:4' \
+    --require-any 'Partition/flow/k:4' \
+    --require-any 'Partition/flow/k:8' \
     "${simd_requires[@]}" ||
     echo "WARNING: planner kernel throughput regressed vs baseline."
 fi

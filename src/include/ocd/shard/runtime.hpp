@@ -92,6 +92,14 @@ struct ShardOptions {
   /// smaller horizon only trades summary bytes for exact-rescan
   /// fallbacks.  Ignored by the local planners.
   std::int32_t wave_topk = 0;
+  /// Partition balance slack ε in percent; -1 consults
+  /// OCD_SHARD_BALANCE_EPS (validated, default 0 — the historical exact
+  /// band).  A resolved ε > 0 also enables the flow-based min-cut
+  /// refinement stage (shard/partition.hpp), trading a bounded
+  /// ownership imbalance for fewer cut arcs and hence less barrier
+  /// traffic.  The merged schedule is bit-identical either way —
+  /// partitioning only moves ownership, never planning decisions.
+  std::int32_t balance_eps = -1;
   /// Simulator options; see the envelope note above for the supported
   /// subset.  faults (if any) must outlive the run.
   sim::SimOptions sim;

@@ -23,4 +23,12 @@ std::int64_t parse_env_int(
     std::string_view name, const char* text,
     std::int64_t max_value = std::numeric_limits<std::int32_t>::max());
 
+/// As parse_env_int, but 0 is a legal value: for knobs where zero means
+/// "feature off" rather than "misconfigured" (OCD_SHARD_BALANCE_EPS's
+/// exact balance band).  Error wording: "<name> must be a non-negative
+/// integer, got '<text>'", with the same bare-digit contract.
+std::int64_t parse_env_nonneg_int(
+    std::string_view name, const char* text,
+    std::int64_t max_value = std::numeric_limits<std::int32_t>::max());
+
 }  // namespace ocd::util

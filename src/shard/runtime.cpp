@@ -1111,10 +1111,18 @@ sim::RunResult run_sharded(const core::Instance& instance,
     throw Error("num_shards (" + std::to_string(num_shards) +
                 ") exceeds the vertex count (" +
                 std::to_string(instance.num_vertices()) + ")");
+  PartitionOptions part_options;
+  part_options.num_shards = num_shards;
+  part_options.balance_eps = resolve_balance_eps(options.balance_eps);
+  // A relaxed band is only worth its imbalance if the flow stage gets
+  // to spend it on the cut; a resolved 0 keeps the historical partition
+  // bit-for-bit.
+  part_options.flow_refine = part_options.balance_eps > 0;
   const Partition partition =
-      partition_vertices(instance.graph(), num_shards);
+      partition_vertices(instance.graph(), part_options);
   ShardOptions resolved = options;
   resolved.num_shards = num_shards;
+  resolved.balance_eps = part_options.balance_eps;
   return run_sharded(instance, policy_name, resolved, partition);
 }
 

@@ -305,6 +305,26 @@ TEST(ShardDeterminism, ResolvesShardCountFromEnvironment) {
   EXPECT_THROW(resolve_num_shards(-1), Error);
 }
 
+// A flow-refined, eps-relaxed partition moves ownership around, and
+// ownership must be invisible: the merged schedule stays bit-identical
+// to sim::run, so balance_eps is purely a traffic/balance trade.
+TEST(ShardDeterminism, BalanceEpsNeverChangesTheSchedule) {
+  const core::Instance inst = broadcast_instance(40, 24, 7);
+  sim::SimOptions options;
+  options.max_steps = 400;
+  options.seed = 99;
+  const sim::RunResult reference = reference_run(inst, "local", options);
+  for (std::int32_t shards : kShardCounts) {
+    ShardOptions sharded;
+    sharded.num_shards = shards;
+    sharded.balance_eps = 10;
+    sharded.sim = options;
+    const sim::RunResult result = run_sharded(inst, "local", sharded);
+    expect_same_run(result, reference,
+                    "eps=10 shards=" + std::to_string(shards));
+  }
+}
+
 // ---- partition reuse ------------------------------------------------
 
 TEST(ShardDeterminism, AcceptsPrecomputedPartition) {

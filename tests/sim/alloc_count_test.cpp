@@ -25,6 +25,14 @@ namespace {
 std::atomic<std::uint64_t> g_allocations{0};
 }  // namespace
 
+namespace ocd::testing_alloc {
+// Read access for sibling suites in this binary (flow/flow_alloc_test
+// .cpp): the counting allocator lives here exactly once.
+std::uint64_t allocation_count() {
+  return g_allocations.load(std::memory_order_relaxed);
+}
+}  // namespace ocd::testing_alloc
+
 void* operator new(std::size_t size) {
   g_allocations.fetch_add(1, std::memory_order_relaxed);
   if (void* p = std::malloc(size == 0 ? 1 : size)) return p;
